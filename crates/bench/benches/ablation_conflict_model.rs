@@ -1,0 +1,40 @@
+//! Ablation: the paper's probabilistic conflict draw vs a real lock
+//! table (explicit granule sets + conservative locking).
+//!
+//! Prints a side-by-side throughput comparison over the lock sweep, then
+//! times both modes so the cost of materializing lock sets is visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lockgran_core::{sim, ConflictMode, ModelConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== ablation: probabilistic vs explicit conflict model ==");
+    println!("{:>6} {:>14} {:>14} {:>7}", "ltot", "probabilistic", "explicit", "ratio");
+    for ltot in [1u64, 10, 100, 1000, 5000] {
+        let base = ModelConfig::table1().with_ltot(ltot).with_tmax(1_000.0);
+        let p = sim::run(&base.clone().with_conflict(ConflictMode::Probabilistic), 42);
+        let e = sim::run(&base.with_conflict(ConflictMode::Explicit), 42);
+        println!(
+            "{ltot:>6} {:>14.4} {:>14.4} {:>7.2}",
+            p.throughput,
+            e.throughput,
+            p.throughput / e.throughput
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_conflict_model");
+    for mode in ConflictMode::ALL {
+        let cfg = ModelConfig::table1().with_conflict(mode).with_tmax(300.0);
+        group.bench_function(mode.name(), |b| b.iter(|| sim::run(black_box(&cfg), 42)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: how lock work is spread over processors.
+//!
+//! `per-op` (indivisible lock operations round-robin over the granule
+//! owners — the default), `even-split` (idealized divisible lock work),
+//! and `single` (a centralized lock manager). The paper asserts the work
+//! is "shared by all processors"; this ablation shows what each reading
+//! costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lockgran_core::config::LockDistribution;
+use lockgran_core::{sim, ModelConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== ablation: lock-work distribution across processors ==");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "ltot", "per-op", "even-split", "single"
+    );
+    for ltot in [1u64, 100, 5000] {
+        let mut row = format!("{ltot:>6}");
+        for d in LockDistribution::ALL {
+            let cfg = ModelConfig::table1()
+                .with_npros(30)
+                .with_ltot(ltot)
+                .with_lock_distribution(d)
+                .with_tmax(1_000.0);
+            let m = sim::run(&cfg, 42);
+            row.push_str(&format!(" {:>12.4}", m.throughput));
+        }
+        println!("{row}");
+    }
+
+    let mut group = c.benchmark_group("ablation_lock_distribution");
+    for d in LockDistribution::ALL {
+        let cfg = ModelConfig::table1()
+            .with_lock_distribution(d)
+            .with_tmax(300.0);
+        group.bench_function(d.name(), |b| b.iter(|| sim::run(black_box(&cfg), 42)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

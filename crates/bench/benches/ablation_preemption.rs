@@ -1,0 +1,45 @@
+//! Ablation: preemptive vs non-preemptive lock priority.
+//!
+//! The paper assumes "the locking mechanism has preemptive power over
+//! running transactions for I/O and CPU resources". This ablation demotes
+//! lock work to non-preemptive head-of-line priority and compares — the
+//! effect concentrates at fine granularity, where lock jobs are frequent
+//! and would otherwise wait behind long sub-transaction stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lockgran_core::{sim, ModelConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== ablation: preemptive vs non-preemptive lock work ==");
+    println!(
+        "{:>6} {:>14} {:>16} {:>14} {:>16}",
+        "ltot", "tput(preempt)", "tput(no-preempt)", "resp(preempt)", "resp(no-preempt)"
+    );
+    for ltot in [1u64, 100, 1000, 5000] {
+        let base = ModelConfig::table1().with_ltot(ltot).with_tmax(1_000.0);
+        let p = sim::run(&base.clone().with_lock_preemption(true), 42);
+        let n = sim::run(&base.with_lock_preemption(false), 42);
+        println!(
+            "{ltot:>6} {:>14.4} {:>16.4} {:>14.1} {:>16.1}",
+            p.throughput, n.throughput, p.response_time, n.response_time
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_preemption");
+    for (name, preempt) in [("preemptive", true), ("non_preemptive", false)] {
+        let cfg = ModelConfig::table1()
+            .with_lock_preemption(preempt)
+            .with_tmax(300.0);
+        group.bench_function(name, |b| b.iter(|| sim::run(black_box(&cfg), 42)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

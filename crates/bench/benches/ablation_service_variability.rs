@@ -1,0 +1,42 @@
+//! Ablation: deterministic vs exponential sub-transaction service times.
+//!
+//! Deterministic per-entity costs (the paper's model) keep all
+//! sub-transactions of a transaction in lockstep; exponential service
+//! with the same mean makes the fork/join barrier wait for the slowest
+//! of `PU_i` stages. The printed table quantifies that straggler
+//! penalty by fan-out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lockgran_core::{sim, ModelConfig, ServiceVariability};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== ablation: service-time variability (throughput) ==");
+    println!("{:>6} {:>14} {:>14} {:>9}", "npros", "deterministic", "exponential", "penalty");
+    for npros in [1u32, 5, 10, 30] {
+        let base = ModelConfig::table1().with_npros(npros).with_tmax(1_000.0);
+        let det = sim::run(&base.clone().with_service(ServiceVariability::Deterministic), 42);
+        let exp = sim::run(&base.with_service(ServiceVariability::Exponential), 42);
+        println!(
+            "{npros:>6} {:>14.4} {:>14.4} {:>8.1}%",
+            det.throughput,
+            exp.throughput,
+            (1.0 - exp.throughput / det.throughput) * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_service_variability");
+    for v in ServiceVariability::ALL {
+        let cfg = ModelConfig::table1().with_service(v).with_tmax(300.0);
+        group.bench_function(v.name(), |b| b.iter(|| sim::run(black_box(&cfg), 42)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench for paper artifact `fig3`: regenerates the rows in quick mode,
+//! then times a representative simulation point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use lockgran_core::{sim, ModelConfig};
+#[allow(unused_imports)]
+use lockgran_workload::{Partitioning, Placement, SizeDistribution};
+
+fn bench(c: &mut Criterion) {
+    lockgran_bench::regenerate("fig3");
+    let cfg = ModelConfig::table1().with_npros(20).with_tmax(300.0);
+    c.bench_function("fig3/npros20_ltot100", |b| {
+        b.iter(|| sim::run(black_box(&cfg), 42))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

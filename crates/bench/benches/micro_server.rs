@@ -1,0 +1,75 @@
+//! Micro-bench: the preemptive-resume server and a whole-simulation
+//! events-per-second figure.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lockgran_core::{sim, ModelConfig};
+use lockgran_sim::{Class, CompletionOutcome, Dur, Job, JobId, Server, Time};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server");
+
+    group.bench_function("submit_complete_cycle", |b| {
+        let mut s = Server::new();
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            let c = s
+                .submit(
+                    now,
+                    Job {
+                        id: JobId(1),
+                        demand: Dur::from_ticks(10),
+                        class: Class::Transaction,
+                    },
+                )
+                .expect("idle server starts immediately");
+            now = c.at;
+            match s.on_completion(now, c.token) {
+                CompletionOutcome::Finished { job, .. } => black_box(job),
+                CompletionOutcome::Stale => unreachable!(),
+            };
+        });
+    });
+
+    group.bench_function("preemption_cycle", |b| {
+        let mut s = Server::new();
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            // Long transaction job, preempted by a lock job, both drained.
+            let c1 = s
+                .submit(now, Job { id: JobId(1), demand: Dur::from_ticks(100), class: Class::Transaction })
+                .unwrap();
+            let c2 = s
+                .submit(now + Dur::from_ticks(10), Job { id: JobId(2), demand: Dur::from_ticks(5), class: Class::Lock })
+                .unwrap();
+            let _ = black_box(s.on_completion(c1.at, c1.token)); // stale
+            if let CompletionOutcome::Finished { next: Some(c3), .. } =
+                s.on_completion(c2.at, c2.token)
+            {
+                let _ = black_box(s.on_completion(c3.at, c3.token));
+                now = c3.at;
+            } else {
+                unreachable!("transaction job must resume");
+            }
+        });
+    });
+
+    group.finish();
+
+    // End-to-end simulator speed, reported as simulated-time-units/sec.
+    let mut e2e = c.benchmark_group("simulator");
+    let cfg = ModelConfig::table1().with_tmax(300.0);
+    e2e.throughput(Throughput::Elements(300));
+    e2e.bench_function("table1_units_per_sec", |b| {
+        b.iter(|| sim::run(black_box(&cfg), 42))
+    });
+    e2e.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Every per-figure bench does two things:
+//!
+//! 1. **Regenerate** the paper artifact in quick mode and print the rows
+//!    the paper's plot would be drawn from (once, at bench start-up).
+//! 2. **Time** a representative simulation point so regressions in the
+//!    simulator's hot path show up in Criterion history.
+
+use lockgran_core::ModelConfig;
+use lockgran_experiments::figures::run_by_id;
+use lockgran_experiments::{render_table, RunOptions};
+
+/// Regenerate a figure in quick mode and print its rows.
+pub fn regenerate(id: &str) {
+    let opts = RunOptions::quick();
+    let fig = run_by_id(id, &opts).unwrap_or_else(|| panic!("unknown figure {id}"));
+    println!("\n{}", render_table(&fig));
+}
+
+/// A short, representative configuration for timing (not measuring model
+/// outputs): Table 1 at a reduced horizon.
+pub fn timing_config() -> ModelConfig {
+    ModelConfig::table1().with_tmax(300.0)
+}

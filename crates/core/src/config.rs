@@ -1,0 +1,525 @@
+//! Model configuration — the paper's input parameters.
+//!
+//! [`ModelConfig`] carries every §2 input parameter plus the §3 sweep
+//! dimensions. [`ModelConfig::table1`] reproduces the paper's Table 1
+//! baseline (reconstructed from the running text of §2–§3: `dbsize =
+//! 5000`, `ntrans = 10`, `maxtransize = 500`, `cputime = 0.05`, `iotime =
+//! 0.2`, `lcputime = 0.01`, `liotime = 0.2`; `tmax = 10 000` time units,
+//! long enough for the closed system to reach steady state).
+
+use serde::{Deserialize, Serialize};
+
+use lockgran_workload::{HotSpot, Partitioning, Placement, SizeDistribution, WorkloadParams};
+
+/// Service order for queued sub-transaction work at the resources
+/// (serde-friendly mirror of [`lockgran_sim::Discipline`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// First come, first served — the paper's model.
+    #[default]
+    Fcfs,
+    /// Shortest job first (non-preemptive) among queued sub-transactions.
+    /// Extension: checks the paper's §4 remark (citing Dandamudi & Chow)
+    /// that sub-transaction-level scheduling has "only marginal effect"
+    /// on locking granularity.
+    Sjf,
+}
+
+impl QueueDiscipline {
+    /// Both disciplines.
+    pub const ALL: [QueueDiscipline; 2] = [QueueDiscipline::Fcfs, QueueDiscipline::Sjf];
+
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueDiscipline::Fcfs => "fcfs",
+            QueueDiscipline::Sjf => "sjf",
+        }
+    }
+
+    /// The simulation-kernel equivalent.
+    pub fn to_sim(self) -> lockgran_sim::Discipline {
+        match self {
+            QueueDiscipline::Fcfs => lockgran_sim::Discipline::Fcfs,
+            QueueDiscipline::Sjf => lockgran_sim::Discipline::Sjf,
+        }
+    }
+}
+
+impl std::str::FromStr for QueueDiscipline {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fcfs" => Ok(QueueDiscipline::Fcfs),
+            "sjf" => Ok(QueueDiscipline::Sjf),
+            other => Err(format!("unknown discipline '{other}' (fcfs|sjf)")),
+        }
+    }
+}
+
+/// Which lock-conflict computation drives blocking decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConflictMode {
+    /// The paper's probabilistic Ries–Stonebraker partition draw.
+    Probabilistic,
+    /// A real lock table with explicit granule sets (validation mode).
+    Explicit,
+}
+
+impl ConflictMode {
+    /// Both modes.
+    pub const ALL: [ConflictMode; 2] = [ConflictMode::Probabilistic, ConflictMode::Explicit];
+
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConflictMode::Probabilistic => "probabilistic",
+            ConflictMode::Explicit => "explicit",
+        }
+    }
+}
+
+impl std::str::FromStr for ConflictMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "probabilistic" | "prob" => Ok(ConflictMode::Probabilistic),
+            "explicit" | "table" => Ok(ConflictMode::Explicit),
+            other => Err(format!("unknown conflict mode '{other}' (probabilistic|explicit)")),
+        }
+    }
+}
+
+/// How the `LU_i` lock operations of one request are distributed over the
+/// processors ("we assume that processors share the work for locking
+/// mechanism … because relations are equally distributed among the system
+/// resources", paper §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LockDistribution {
+    /// Each of the `LU_i` lock operations is indivisible and lands on one
+    /// processor; operations are spread round-robin (granules are
+    /// declustered with the data). The default — it reproduces the
+    /// paper's observation that per-processor useful time *decreases*
+    /// with `npros` (lock operations create stragglers that the fork/join
+    /// barrier amplifies).
+    #[default]
+    PerOperation,
+    /// The total lock time is split into `npros` exactly equal shares —
+    /// an idealized infinitely divisible lock manager (ablation).
+    EvenSplit,
+    /// The entire request is processed by a single (rotating) processor —
+    /// a centralized lock manager (ablation).
+    SingleProcessor,
+}
+
+impl LockDistribution {
+    /// All distribution policies.
+    pub const ALL: [LockDistribution; 3] = [
+        LockDistribution::PerOperation,
+        LockDistribution::EvenSplit,
+        LockDistribution::SingleProcessor,
+    ];
+
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockDistribution::PerOperation => "per-op",
+            LockDistribution::EvenSplit => "even-split",
+            LockDistribution::SingleProcessor => "single",
+        }
+    }
+}
+
+impl std::str::FromStr for LockDistribution {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "per-op" | "perop" | "per-operation" => Ok(LockDistribution::PerOperation),
+            "even-split" | "even" => Ok(LockDistribution::EvenSplit),
+            "single" | "single-processor" => Ok(LockDistribution::SingleProcessor),
+            other => Err(format!(
+                "unknown lock distribution '{other}' (per-op|even-split|single)"
+            )),
+        }
+    }
+}
+
+/// Distribution of sub-transaction stage service times around their
+/// mean (`entities × per-entity cost`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ServiceVariability {
+    /// Exactly the mean — the paper's deterministic per-entity costs.
+    #[default]
+    Deterministic,
+    /// Exponentially distributed with the same mean (disk-seek/CPU-burst
+    /// variance). Extension: with random stage times the fork/join
+    /// barrier waits for the slowest of `PU_i` sub-transactions, which
+    /// reproduces the sublinear speedup (and the Fig 3 useful-time
+    /// ordering) that deterministic symmetric service hides.
+    Exponential,
+}
+
+impl ServiceVariability {
+    /// Both options.
+    pub const ALL: [ServiceVariability; 2] = [
+        ServiceVariability::Deterministic,
+        ServiceVariability::Exponential,
+    ];
+
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceVariability::Deterministic => "deterministic",
+            ServiceVariability::Exponential => "exponential",
+        }
+    }
+}
+
+impl std::str::FromStr for ServiceVariability {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "deterministic" | "det" => Ok(ServiceVariability::Deterministic),
+            "exponential" | "exp" => Ok(ServiceVariability::Exponential),
+            other => Err(format!(
+                "unknown service variability '{other}' (deterministic|exponential)"
+            )),
+        }
+    }
+}
+
+/// Complete description of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// `dbsize`: accessible entities in the database.
+    pub dbsize: u64,
+    /// `ltot`: number of granule locks (1 = whole-database lock,
+    /// `dbsize` = entity-level locks).
+    pub ltot: u64,
+    /// `ntrans`: multiprogramming level (simulated terminals).
+    pub ntrans: u32,
+    /// Distribution of transaction sizes (`NU_i`); the paper's default is
+    /// `U(1, maxtransize)`.
+    pub size: SizeDistribution,
+    /// `cputime`: CPU time units per entity processed.
+    pub cputime: f64,
+    /// `iotime`: I/O time units per entity processed (read + write).
+    pub iotime: f64,
+    /// `lcputime`: CPU time units per lock (request + set + release).
+    pub lcputime: f64,
+    /// `liotime`: I/O time units per lock (0 = lock table in memory).
+    pub liotime: f64,
+    /// `npros`: number of processors (each with private CPU + disk).
+    pub npros: u32,
+    /// `tmax`: simulated time units to run.
+    pub tmax: f64,
+    /// Granule placement model (determines `LU_i`).
+    pub placement: Placement,
+    /// Declustering strategy (determines `PU_i`).
+    pub partitioning: Partitioning,
+    /// Conflict computation.
+    pub conflict: ConflictMode,
+    /// How lock operations are spread over processors.
+    #[serde(default)]
+    pub lock_distribution: LockDistribution,
+    /// Sub-transaction stage service-time variability.
+    #[serde(default)]
+    pub service: ServiceVariability,
+    /// Service order for queued sub-transaction work.
+    #[serde(default)]
+    pub discipline: QueueDiscipline,
+    /// Optional hot-spot access skew. Only the explicit conflict model
+    /// can honour it (the probabilistic draw assumes uniform access);
+    /// validation rejects the combination with `Probabilistic`.
+    #[serde(default)]
+    pub hot_spot: Option<HotSpot>,
+    /// Whether lock work preempts transaction work at the resources
+    /// (the paper gives the locking mechanism "preemptive power"); false
+    /// demotes it to non-preemptive head-of-line priority (ablation).
+    #[serde(default = "default_true")]
+    pub lock_preemption: bool,
+    /// Transaction-level admission control: at most this many
+    /// transactions may compete for locks at once; the rest wait in the
+    /// pending queue. `None` (the paper's model) admits everyone
+    /// immediately. The paper's §3.7 points to exactly this mechanism
+    /// ("transaction level scheduling can be used to effectively handle
+    /// this problem") as the remedy for heavy-load lock thrashing.
+    #[serde(default)]
+    pub mpl_limit: Option<u32>,
+    /// Measurement warm-up, in time units: statistics collected before
+    /// this instant are discarded. The paper uses none (0.0).
+    #[serde(default)]
+    pub warmup: f64,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+impl ModelConfig {
+    /// The paper's Table 1 baseline configuration (horizontal
+    /// partitioning, best placement, probabilistic conflicts — §3.1–3.4
+    /// defaults).
+    pub fn table1() -> Self {
+        ModelConfig {
+            dbsize: 5000,
+            ltot: 100,
+            ntrans: 10,
+            size: SizeDistribution::Uniform { max: 500 },
+            cputime: 0.05,
+            iotime: 0.2,
+            lcputime: 0.01,
+            liotime: 0.2,
+            npros: 10,
+            tmax: 10_000.0,
+            placement: Placement::Best,
+            partitioning: Partitioning::Horizontal,
+            conflict: ConflictMode::Probabilistic,
+            lock_distribution: LockDistribution::PerOperation,
+            service: ServiceVariability::Deterministic,
+            discipline: QueueDiscipline::Fcfs,
+            hot_spot: None,
+            lock_preemption: true,
+            mpl_limit: None,
+            warmup: 0.0,
+        }
+    }
+
+    /// Builder-style setters for the common sweep dimensions.
+    #[must_use]
+    pub fn with_ltot(mut self, ltot: u64) -> Self {
+        self.ltot = ltot;
+        self
+    }
+    /// Set the processor count.
+    #[must_use]
+    pub fn with_npros(mut self, npros: u32) -> Self {
+        self.npros = npros;
+        self
+    }
+    /// Set the multiprogramming level.
+    #[must_use]
+    pub fn with_ntrans(mut self, ntrans: u32) -> Self {
+        self.ntrans = ntrans;
+        self
+    }
+    /// Set a uniform transaction-size distribution with this maximum.
+    #[must_use]
+    pub fn with_maxtransize(mut self, max: u64) -> Self {
+        self.size = SizeDistribution::Uniform { max };
+        self
+    }
+    /// Set an arbitrary size distribution.
+    #[must_use]
+    pub fn with_size(mut self, size: SizeDistribution) -> Self {
+        self.size = size;
+        self
+    }
+    /// Set the per-lock I/O cost.
+    #[must_use]
+    pub fn with_liotime(mut self, liotime: f64) -> Self {
+        self.liotime = liotime;
+        self
+    }
+    /// Set the placement model.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+    /// Set the partitioning strategy.
+    #[must_use]
+    pub fn with_partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.partitioning = partitioning;
+        self
+    }
+    /// Set the conflict computation.
+    #[must_use]
+    pub fn with_conflict(mut self, conflict: ConflictMode) -> Self {
+        self.conflict = conflict;
+        self
+    }
+    /// Set the lock-work distribution policy.
+    #[must_use]
+    pub fn with_lock_distribution(mut self, d: LockDistribution) -> Self {
+        self.lock_distribution = d;
+        self
+    }
+    /// Set the service-time variability.
+    #[must_use]
+    pub fn with_service(mut self, service: ServiceVariability) -> Self {
+        self.service = service;
+        self
+    }
+    /// Set a hot-spot access skew (explicit conflict mode only).
+    #[must_use]
+    pub fn with_hot_spot(mut self, hot_spot: Option<HotSpot>) -> Self {
+        self.hot_spot = hot_spot;
+        self
+    }
+    /// Set the sub-transaction queue discipline.
+    #[must_use]
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+    /// Enable or disable preemptive lock priority.
+    #[must_use]
+    pub fn with_lock_preemption(mut self, preemptive: bool) -> Self {
+        self.lock_preemption = preemptive;
+        self
+    }
+    /// Cap the number of transactions concurrently competing for locks.
+    #[must_use]
+    pub fn with_mpl_limit(mut self, limit: Option<u32>) -> Self {
+        self.mpl_limit = limit;
+        self
+    }
+    /// Set the simulation horizon (time units).
+    #[must_use]
+    pub fn with_tmax(mut self, tmax: f64) -> Self {
+        self.tmax = tmax;
+        self
+    }
+    /// Set the measurement warm-up (time units).
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: f64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// The workload-generation view of this configuration.
+    pub fn workload_params(&self) -> WorkloadParams {
+        WorkloadParams {
+            dbsize: self.dbsize,
+            ltot: self.ltot,
+            size: self.size.clone(),
+            placement: self.placement,
+            partitioning: self.partitioning,
+            npros: self.npros,
+        }
+    }
+
+    /// Validate the whole configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.workload_params().validate()?;
+        if self.ntrans == 0 {
+            return Err("ntrans must be positive (closed model)".into());
+        }
+        for (name, v) in [
+            ("cputime", self.cputime),
+            ("iotime", self.iotime),
+            ("lcputime", self.lcputime),
+            ("liotime", self.liotime),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be a finite non-negative number"));
+            }
+        }
+        if self.cputime + self.iotime == 0.0 {
+            return Err("cputime and iotime cannot both be zero: transactions would be instantaneous".into());
+        }
+        if !(self.tmax.is_finite() && self.tmax > 0.0) {
+            return Err("tmax must be a positive, finite number of time units".into());
+        }
+        if !(self.warmup.is_finite() && self.warmup >= 0.0) {
+            return Err("warmup must be a finite non-negative number".into());
+        }
+        if let Some(h) = &self.hot_spot {
+            h.validate()?;
+            if self.conflict == ConflictMode::Probabilistic {
+                return Err(
+                    "hot-spot skew requires the explicit conflict model: the probabilistic \
+                     partition draw assumes uniform access"
+                        .into(),
+                );
+            }
+        }
+        if self.mpl_limit == Some(0) {
+            return Err("mpl_limit of 0 would admit no transactions".into());
+        }
+        if self.warmup >= self.tmax {
+            return Err(format!(
+                "warmup ({}) must be smaller than tmax ({})",
+                self.warmup, self.tmax
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_text() {
+        let c = ModelConfig::table1();
+        assert_eq!(c.dbsize, 5000);
+        assert_eq!(c.ntrans, 10);
+        assert_eq!(c.size, SizeDistribution::Uniform { max: 500 });
+        assert_eq!(c.cputime, 0.05);
+        assert_eq!(c.iotime, 0.2);
+        assert_eq!(c.lcputime, 0.01);
+        assert_eq!(c.liotime, 0.2);
+        assert_eq!(c.placement, Placement::Best);
+        assert_eq!(c.partitioning, Partitioning::Horizontal);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ModelConfig::table1()
+            .with_npros(30)
+            .with_ltot(200)
+            .with_maxtransize(50)
+            .with_liotime(0.0)
+            .with_placement(Placement::Worst)
+            .with_partitioning(Partitioning::Random)
+            .with_conflict(ConflictMode::Explicit)
+            .with_ntrans(200)
+            .with_tmax(500.0)
+            .with_warmup(100.0);
+        assert_eq!(c.npros, 30);
+        assert_eq!(c.ltot, 200);
+        assert_eq!(c.size, SizeDistribution::Uniform { max: 50 });
+        assert_eq!(c.liotime, 0.0);
+        assert_eq!(c.placement, Placement::Worst);
+        assert_eq!(c.partitioning, Partitioning::Random);
+        assert_eq!(c.conflict, ConflictMode::Explicit);
+        assert_eq!(c.ntrans, 200);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(ModelConfig::table1().with_ltot(0).validate().is_err());
+        assert!(ModelConfig::table1().with_ltot(10_000).validate().is_err());
+        assert!(ModelConfig::table1().with_ntrans(0).validate().is_err());
+        assert!(ModelConfig::table1().with_tmax(0.0).validate().is_err());
+        assert!(ModelConfig::table1().with_tmax(f64::NAN).validate().is_err());
+        assert!(ModelConfig::table1().with_warmup(10_000.0).validate().is_err());
+        let mut c = ModelConfig::table1();
+        c.lcputime = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = ModelConfig::table1();
+        c.cputime = 0.0;
+        c.iotime = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ModelConfig::table1().with_npros(20);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn conflict_mode_parsing() {
+        assert_eq!("prob".parse::<ConflictMode>().unwrap(), ConflictMode::Probabilistic);
+        assert_eq!("explicit".parse::<ConflictMode>().unwrap(), ConflictMode::Explicit);
+        assert!("fuzzy".parse::<ConflictMode>().is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Lock-conflict models.
+//!
+//! The paper (§2, "The computation of lock conflicts") never materializes
+//! lock sets. Instead, with active transactions `T_1 … T_k` holding
+//! `L_1 … L_k` locks out of `ltot`, the unit interval is partitioned as
+//!
+//! ```text
+//! P_1 = (0, L_1/ltot],  P_2 = (L_1/ltot, (L_1+L_2)/ltot],  …,
+//! P_{k+1} = (Σ L_j / ltot, 1]
+//! ```
+//!
+//! and a uniform draw `p` decides: landing in `P_j` (`j ≤ k`) blocks the
+//! requester **on `T_j`**, who will wake it at completion; landing in the
+//! remainder admits it. [`ProbabilisticConflict`] implements exactly this.
+//!
+//! The [`ConflictModel`] trait abstracts the decision so the same system
+//! model can also run against a real lock table
+//! ([`crate::explicit::ExplicitConflict`]), quantifying the quality of the
+//! approximation.
+
+use std::collections::HashMap;
+
+use lockgran_sim::SimRng;
+
+/// Identifies a transaction instance within a run (monotone serial).
+pub type TxnSerial = u64;
+
+/// Outcome of an admission attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictDecision {
+    /// All locks granted; the transaction becomes active.
+    Granted,
+    /// Blocked; the named active transaction will wake it on completion.
+    BlockedBy(TxnSerial),
+}
+
+/// A pluggable lock-conflict computation.
+///
+/// The contract mirrors the paper's protocol:
+/// * `try_acquire` is called once per **attempt** (first request and every
+///   retry after a wake-up); it either admits the transaction or records
+///   it as blocked on a specific active transaction.
+/// * `release` is called exactly once when an *active* transaction
+///   completes; it returns every transaction blocked on it, which the
+///   system re-enters into the lock phase (paying lock overhead again).
+pub trait ConflictModel {
+    /// Attempt to admit `txn`, which needs `locks` locks over the granule
+    /// set `granules` (explicit models use the set; the probabilistic
+    /// model uses only the count).
+    fn try_acquire(
+        &mut self,
+        txn: TxnSerial,
+        locks: u64,
+        granules: &[u64],
+        rng: &mut SimRng,
+    ) -> ConflictDecision;
+
+    /// Release `txn`'s locks; returns the transactions it was blocking,
+    /// in wake order.
+    fn release(&mut self, txn: TxnSerial) -> Vec<TxnSerial>;
+
+    /// Number of currently active (lock-holding) transactions.
+    fn active_count(&self) -> usize;
+
+    /// Total locks currently held across active transactions.
+    fn locks_held(&self) -> u64;
+}
+
+/// The paper's probabilistic Ries–Stonebraker conflict computation.
+pub struct ProbabilisticConflict {
+    ltot: u64,
+    /// Active transactions in admission order, with their lock counts.
+    active: Vec<(TxnSerial, u64)>,
+    /// blocker → transactions blocked on it (FIFO).
+    blocked: HashMap<TxnSerial, Vec<TxnSerial>>,
+    locks_held: u64,
+}
+
+impl ProbabilisticConflict {
+    /// Create for a system with `ltot` locks.
+    ///
+    /// # Panics
+    /// Panics if `ltot == 0`.
+    pub fn new(ltot: u64) -> Self {
+        assert!(ltot > 0, "ltot must be positive");
+        ProbabilisticConflict {
+            ltot,
+            active: Vec::new(),
+            blocked: HashMap::new(),
+            locks_held: 0,
+        }
+    }
+}
+
+impl ConflictModel for ProbabilisticConflict {
+    fn try_acquire(
+        &mut self,
+        txn: TxnSerial,
+        locks: u64,
+        _granules: &[u64],
+        rng: &mut SimRng,
+    ) -> ConflictDecision {
+        debug_assert!(
+            !self.active.iter().any(|(t, _)| *t == txn),
+            "transaction {txn} acquired twice"
+        );
+        // Draw p ~ U(0,1); walk the partition (0, L1/ltot], ….
+        let p = rng.uniform01();
+        let mut cum = 0.0;
+        for &(holder, held) in &self.active {
+            cum += held as f64 / self.ltot as f64;
+            if p < cum {
+                self.blocked.entry(holder).or_default().push(txn);
+                return ConflictDecision::BlockedBy(holder);
+            }
+        }
+        self.active.push((txn, locks));
+        self.locks_held += locks;
+        ConflictDecision::Granted
+    }
+
+    fn release(&mut self, txn: TxnSerial) -> Vec<TxnSerial> {
+        let pos = self
+            .active
+            .iter()
+            .position(|(t, _)| *t == txn)
+            .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
+        let (_, locks) = self.active.remove(pos);
+        self.locks_held -= locks;
+        self.blocked.remove(&txn).unwrap_or_default()
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    fn locks_held(&self) -> u64 {
+        self.locks_held
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn empty_system_always_admits() {
+        let mut m = ProbabilisticConflict::new(100);
+        let mut r = rng();
+        assert_eq!(m.try_acquire(1, 10, &[], &mut r), ConflictDecision::Granted);
+        assert_eq!(m.active_count(), 1);
+        assert_eq!(m.locks_held(), 10);
+    }
+
+    #[test]
+    fn whole_database_lock_serializes() {
+        // ltot = 1: the single active holder owns the full interval, so
+        // every other attempt blocks on it.
+        let mut m = ProbabilisticConflict::new(1);
+        let mut r = rng();
+        assert_eq!(m.try_acquire(1, 1, &[], &mut r), ConflictDecision::Granted);
+        for t in 2..20 {
+            assert_eq!(
+                m.try_acquire(t, 1, &[], &mut r),
+                ConflictDecision::BlockedBy(1)
+            );
+        }
+        let woken = m.release(1);
+        assert_eq!(woken, (2..20).collect::<Vec<_>>());
+        assert_eq!(m.active_count(), 0);
+        assert_eq!(m.locks_held(), 0);
+    }
+
+    #[test]
+    fn blocking_probability_matches_lock_fraction() {
+        // One active holder with L = 25 of ltot = 100: a requester blocks
+        // with probability 0.25.
+        let mut r = rng();
+        let n = 50_000;
+        let mut blocked = 0;
+        for i in 0..n {
+            let mut m = ProbabilisticConflict::new(100);
+            let _ = m.try_acquire(0, 25, &[], &mut r);
+            if let ConflictDecision::BlockedBy(_) = m.try_acquire(i + 1, 10, &[], &mut r) {
+                blocked += 1;
+            }
+        }
+        let frac = blocked as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "blocking fraction {frac}");
+    }
+
+    #[test]
+    fn blocker_chosen_proportional_to_locks() {
+        // Holders with 10 and 40 locks of 100: conditional on blocking,
+        // the second blocker is chosen 4x as often.
+        let mut r = rng();
+        let mut by_first = 0u32;
+        let mut by_second = 0u32;
+        for i in 0..100_000u64 {
+            let mut m = ProbabilisticConflict::new(100);
+            let _ = m.try_acquire(1, 10, &[], &mut r);
+            let _ = m.try_acquire(2, 40, &[], &mut r); // may block; force state
+            if m.active_count() < 2 {
+                continue; // txn 2 happened to block; skip this trial
+            }
+            match m.try_acquire(100 + i, 5, &[], &mut r) {
+                ConflictDecision::BlockedBy(1) => by_first += 1,
+                ConflictDecision::BlockedBy(2) => by_second += 1,
+                _ => {}
+            }
+        }
+        let ratio = by_second as f64 / by_first as f64;
+        assert!((ratio - 4.0).abs() < 0.4, "blocker ratio {ratio}");
+    }
+
+    #[test]
+    fn oversubscribed_interval_always_blocks() {
+        // Active lock fractions can exceed 1 (the last admit slipped in
+        // under the wire); then every attempt must block.
+        let mut r = rng();
+        let mut m = ProbabilisticConflict::new(10);
+        // Hand-build an oversubscribed state: 6 + 6 locks of 10.
+        assert_eq!(m.try_acquire(1, 6, &[], &mut r), ConflictDecision::Granted);
+        // Force admission of txn 2 by retrying until the draw lands in the
+        // remainder (p > 0.6 happens quickly).
+        let mut admitted = false;
+        for _ in 0..1000 {
+            if m.active_count() == 2 {
+                admitted = true;
+                break;
+            }
+            if let ConflictDecision::BlockedBy(b) = m.try_acquire(2, 6, &[], &mut r) {
+                let _ = b;
+                // Pull it back out of the blocked index for a clean retry.
+                m.blocked.clear();
+            }
+        }
+        assert!(admitted, "txn 2 never admitted");
+        assert_eq!(m.locks_held(), 12); // > ltot: oversubscribed
+        for t in 10..200 {
+            assert!(matches!(
+                m.try_acquire(t, 1, &[], &mut r),
+                ConflictDecision::BlockedBy(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn release_returns_waiters_in_fifo_order() {
+        let mut r = rng();
+        let mut m = ProbabilisticConflict::new(1);
+        let _ = m.try_acquire(7, 1, &[], &mut r);
+        for t in [3, 9, 4] {
+            let _ = m.try_acquire(t, 1, &[], &mut r);
+        }
+        assert_eq!(m.release(7), vec![3, 9, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of inactive")]
+    fn release_of_unknown_txn_panics() {
+        let mut m = ProbabilisticConflict::new(10);
+        let _ = m.release(42);
+    }
+
+    #[test]
+    fn zero_lock_transaction_never_blocks_others() {
+        // A degenerate transaction holding 0 locks occupies no interval.
+        let mut r = rng();
+        let mut m = ProbabilisticConflict::new(100);
+        assert_eq!(m.try_acquire(1, 0, &[], &mut r), ConflictDecision::Granted);
+        for t in 2..100 {
+            assert_eq!(m.try_acquire(t, 0, &[], &mut r), ConflictDecision::Granted);
+        }
+        assert_eq!(m.active_count(), 99);
+    }
+}

@@ -1,0 +1,731 @@
+//! The event-driven system model.
+//!
+//! Implements the paper's Figure 1 machinery:
+//!
+//! 1. Transactions arrive one time unit apart into the pending queue; a
+//!    transaction leaving the pending queue issues its lock request.
+//! 2. Lock request/set/release work (`LU_i · lcputime` CPU and
+//!    `LU_i · liotime` I/O **per attempt**, charged even when denied) is
+//!    shared by all processors ("we assume that processors share the work
+//!    for locking mechanism") and **preempts** transaction work at each
+//!    resource.
+//! 3. When the overhead is paid, the conflict model decides: blocked
+//!    transactions sit in the blocked queue, recorded against their
+//!    blocker; admitted transactions split into `PU_i` sub-transactions on
+//!    distinct processors, each running an I/O stage then a CPU stage
+//!    (FCFS), then joining.
+//! 4. A completed transaction releases its locks, wakes every transaction
+//!    blocked on it (they re-issue lock requests, paying the overhead
+//!    again), and is replaced by a freshly drawn transaction — the closed
+//!    model keeps exactly `ntrans` transactions in the system.
+
+use std::collections::{HashMap, VecDeque};
+
+use lockgran_sim::{
+    Class, Completion, CompletionOutcome, Dur, Executor, Histogram, Job, JobId, Model, Server,
+    SimRng, Tally, Time, TimeWeighted, Token,
+};
+use lockgran_workload::{access, HotSpot, WorkloadGenerator};
+
+use crate::config::{ConflictMode, LockDistribution, ModelConfig, ServiceVariability};
+use crate::conflict::{ConflictDecision, ConflictModel, ProbabilisticConflict};
+use crate::explicit::ExplicitConflict;
+use crate::metrics::RunMetrics;
+use crate::timeline::TimelineCollector;
+use crate::trace::{TraceEvent, Tracer, VecTracer};
+use crate::transaction::{Transaction, TxnPhase};
+
+/// Events of the system model.
+#[derive(Debug)]
+pub enum Event {
+    /// A transaction arrives into the pending queue (initial staggering).
+    Arrive,
+    /// A CPU-server completion fired on processor `proc`.
+    CpuDone {
+        /// Processor index.
+        proc: u32,
+        /// Server token identifying the service segment.
+        token: Token,
+    },
+    /// An I/O-server completion fired on processor `proc`.
+    IoDone {
+        /// Processor index.
+        proc: u32,
+        /// Server token identifying the service segment.
+        token: Token,
+    },
+    /// The measurement warm-up boundary was reached.
+    WarmupReached,
+    /// A timeline sampling tick.
+    SampleTick,
+}
+
+fn mk_server(preemptive: bool, discipline: crate::config::QueueDiscipline) -> Server {
+    let s = if preemptive {
+        Server::new()
+    } else {
+        Server::non_preemptive()
+    };
+    s.with_discipline(discipline.to_sim())
+}
+
+/// Job-id encoding: `serial * 4 + kind`.
+const KIND_LOCK_CPU: u64 = 0;
+const KIND_LOCK_IO: u64 = 1;
+const KIND_SUB_IO: u64 = 2;
+const KIND_SUB_CPU: u64 = 3;
+
+fn job_id(serial: u64, kind: u64) -> JobId {
+    JobId(serial * 4 + kind)
+}
+fn decode(id: JobId) -> (u64, u64) {
+    (id.0 / 4, id.0 % 4)
+}
+
+/// Counter snapshot used to subtract warm-up activity from final totals.
+#[derive(Clone, Copy, Debug, Default)]
+struct CounterSnapshot {
+    cpu_busy_all: Dur,
+    cpu_busy_lock: Dur,
+    io_busy_all: Dur,
+    io_busy_lock: Dur,
+    lock_attempts: u64,
+    lock_denials: u64,
+}
+
+/// The complete model state (see module docs).
+pub struct System {
+    // --- static parameters, converted to ticks ---
+    npros: u32,
+    cputime: Dur,
+    iotime: Dur,
+    lcputime: Dur,
+    liotime: Dur,
+    warmup: Time,
+    tmax: Time,
+    conflict_mode: ConflictMode,
+    lock_distribution: LockDistribution,
+    service: ServiceVariability,
+    hot_spot: Option<HotSpot>,
+    /// Rotating processor offset for lock-operation placement.
+    lock_rr: u64,
+    dbsize: u64,
+    ltot: u64,
+
+    // --- stochastic machinery ---
+    generator: WorkloadGenerator,
+    conflict_rng: SimRng,
+    access_rng: SimRng,
+    service_rng: SimRng,
+    conflict: Box<dyn ConflictModel>,
+
+    // --- resources ---
+    cpu: Vec<Server>,
+    io: Vec<Server>,
+
+    // --- transactions ---
+    txns: HashMap<u64, Transaction>,
+    next_serial: u64,
+    blocked_count: u32,
+    /// Admission control (`mpl_limit`): transactions holding a slot.
+    admitted: u32,
+    mpl_limit: Option<u32>,
+    /// FIFO of transactions waiting for an admission slot.
+    pending: VecDeque<u64>,
+    pending_tw: TimeWeighted,
+
+    // --- measurement ---
+    lock_attempts: u64,
+    lock_denials: u64,
+    totcom: u64,
+    response: Tally,
+    response_hist: Histogram,
+    attempts_per_txn: Tally,
+    active_tw: TimeWeighted,
+    blocked_tw: TimeWeighted,
+    snapshot: CounterSnapshot,
+    /// Optional protocol trace (None = tracing off, zero overhead).
+    tracer: Option<VecTracer>,
+    /// Optional windowed time-series sampler.
+    timeline: Option<TimelineCollector>,
+}
+
+impl System {
+    /// Build the initial system state and schedule the initial arrivals.
+    ///
+    /// # Panics
+    /// Panics if `cfg.validate()` fails.
+    pub fn new(cfg: &ModelConfig, seed: u64, ex: &mut Executor<Event>) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid model configuration: {e}");
+        }
+        let root = SimRng::new(seed);
+        let conflict: Box<dyn ConflictModel> = match cfg.conflict {
+            ConflictMode::Probabilistic => Box::new(ProbabilisticConflict::new(cfg.ltot)),
+            ConflictMode::Explicit => Box::new(ExplicitConflict::new()),
+        };
+        let tmax = Time::from_units(cfg.tmax);
+        let warmup = Time::from_units(cfg.warmup);
+
+        // Initial arrivals, one time unit apart (paper §2).
+        for i in 0..cfg.ntrans {
+            ex.schedule(Time::from_units(f64::from(i)), Event::Arrive);
+        }
+        if warmup > Time::ZERO {
+            ex.schedule(warmup, Event::WarmupReached);
+        }
+
+        System {
+            npros: cfg.npros,
+            cputime: Dur::from_units(cfg.cputime),
+            iotime: Dur::from_units(cfg.iotime),
+            lcputime: Dur::from_units(cfg.lcputime),
+            liotime: Dur::from_units(cfg.liotime),
+            warmup,
+            tmax,
+            conflict_mode: cfg.conflict,
+            lock_distribution: cfg.lock_distribution,
+            service: cfg.service,
+            hot_spot: cfg.hot_spot,
+            lock_rr: 0,
+            dbsize: cfg.dbsize,
+            ltot: cfg.ltot,
+            generator: WorkloadGenerator::new(cfg.workload_params(), &root),
+            conflict_rng: root.split("conflict"),
+            access_rng: root.split("access"),
+            service_rng: root.split("service"),
+            conflict,
+            cpu: (0..cfg.npros)
+                .map(|_| mk_server(cfg.lock_preemption, cfg.discipline))
+                .collect(),
+            io: (0..cfg.npros)
+                .map(|_| mk_server(cfg.lock_preemption, cfg.discipline))
+                .collect(),
+            txns: HashMap::new(),
+            next_serial: 0,
+            blocked_count: 0,
+            admitted: 0,
+            mpl_limit: cfg.mpl_limit,
+            pending: VecDeque::new(),
+            pending_tw: TimeWeighted::new(),
+            lock_attempts: 0,
+            lock_denials: 0,
+            totcom: 0,
+            response: Tally::new(),
+            response_hist: Histogram::new(cfg.tmax, 2_000),
+            attempts_per_txn: Tally::new(),
+            active_tw: TimeWeighted::new(),
+            blocked_tw: TimeWeighted::new(),
+            snapshot: CounterSnapshot::default(),
+            tracer: None,
+            timeline: None,
+        }
+    }
+
+    /// Turn on timeline sampling every `interval` time units (see
+    /// [`crate::timeline`]). Must be called before the run starts.
+    pub fn enable_timeline(&mut self, interval: f64, ex: &mut Executor<Event>) {
+        let interval = Dur::from_units(interval);
+        self.timeline = Some(TimelineCollector::new(interval));
+        ex.schedule(Time::ZERO + interval, Event::SampleTick);
+    }
+
+    /// Take the collected timeline, disabling further sampling.
+    pub fn take_timeline(&mut self) -> Option<TimelineCollector> {
+        self.timeline.take()
+    }
+
+    fn sample_tick(&mut self, now: Time, ex: &mut Executor<Event>) {
+        for srv in self.cpu.iter_mut().chain(self.io.iter_mut()) {
+            srv.flush(now);
+        }
+        let cpu_busy: Dur = self.cpu.iter().map(Server::total_busy).sum();
+        let io_busy: Dur = self.io.iter().map(Server::total_busy).sum();
+        let active = self.conflict.active_count() as u32;
+        let (totcom, blocked, npros) = (self.totcom, self.blocked_count, self.npros);
+        let Some(tl) = &mut self.timeline else {
+            return;
+        };
+        tl.record(now, totcom, cpu_busy, io_busy, npros, active, blocked);
+        let interval = tl.interval;
+        if now + interval <= self.tmax {
+            ex.schedule(now + interval, Event::SampleTick);
+        }
+    }
+
+    /// Turn on protocol tracing (see [`crate::trace`]).
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Some(VecTracer::default());
+    }
+
+    /// Take the recorded trace, leaving tracing enabled but empty.
+    pub fn take_trace(&mut self) -> Option<VecTracer> {
+        self.tracer.replace(VecTracer::default())
+    }
+
+    #[inline]
+    fn trace(&mut self, now: Time, event: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t.record(now, event);
+        }
+    }
+
+    fn measuring(&self, now: Time) -> bool {
+        now >= self.warmup
+    }
+
+    /// Create a fresh transaction (closed-model replacement or initial
+    /// arrival) and start its lock phase.
+    fn spawn_transaction(&mut self, now: Time, ex: &mut Executor<Event>) {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let spec = self.generator.next_spec();
+        let granules = match self.conflict_mode {
+            ConflictMode::Probabilistic => Vec::new(),
+            ConflictMode::Explicit => match self.hot_spot {
+                None => access::sample_granules(
+                    &mut self.access_rng,
+                    self.generator.params().placement,
+                    spec.entities,
+                    self.ltot,
+                    self.dbsize,
+                ),
+                Some(skew) => access::sample_granules_hot(
+                    &mut self.access_rng,
+                    self.generator.params().placement,
+                    spec.entities,
+                    self.ltot,
+                    self.dbsize,
+                    skew,
+                ),
+            },
+        };
+        let txn = Transaction::new(serial, spec, granules, now);
+        self.txns.insert(serial, txn);
+        self.trace(now, TraceEvent::Arrived { serial });
+        self.admit_or_enqueue(now, serial, ex);
+    }
+
+    /// Admission control: hand the transaction a slot (and start its lock
+    /// phase) if the multiprogramming cap allows, otherwise queue it.
+    fn admit_or_enqueue(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+        let open = self.mpl_limit.is_none_or(|cap| self.admitted < cap);
+        if open {
+            self.admitted += 1;
+            self.begin_lock_phase(now, serial, ex);
+        } else {
+            self.pending.push_back(serial);
+            self.pending_tw.record(now, self.pending.len() as f64);
+        }
+    }
+
+    /// Issue a lock request attempt: charge the lock overhead across all
+    /// processors as preemptive high-priority work; the admission decision
+    /// happens when the last share completes.
+    fn begin_lock_phase(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+        let (cpu_total, io_total) = {
+            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            txn.phase = TxnPhase::LockPhase;
+            txn.attempts += 1;
+            (
+                txn.lock_cpu_demand(self.lcputime),
+                txn.lock_io_demand(self.liotime),
+            )
+        };
+        if self.measuring(now) {
+            self.lock_attempts += 1;
+        }
+        let attempt = self.txns[&serial].attempts;
+        self.trace(now, TraceEvent::LockRequested { serial, attempt });
+
+        let (cpu_shares, io_shares) = self.lock_shares(serial, cpu_total, io_total);
+        let outstanding = cpu_shares.iter().filter(|d| !d.is_zero()).count()
+            + io_shares.iter().filter(|d| !d.is_zero()).count();
+        self.txns
+            .get_mut(&serial)
+            .expect("transaction exists")
+            .lock_shares_outstanding = outstanding as u32;
+
+        if outstanding == 0 {
+            // Zero-cost locking (lcputime = liotime = 0, or LU = 0): the
+            // decision is immediate.
+            self.decide(now, serial, ex);
+            return;
+        }
+        for (p, d) in cpu_shares.into_iter().enumerate() {
+            if d.is_zero() {
+                continue;
+            }
+            let job = Job {
+                id: job_id(serial, KIND_LOCK_CPU),
+                demand: d,
+                class: Class::Lock,
+            };
+            if let Some(c) = self.cpu[p].submit(now, job) {
+                Self::schedule_cpu(ex, p as u32, c);
+            }
+        }
+        for (p, d) in io_shares.into_iter().enumerate() {
+            if d.is_zero() {
+                continue;
+            }
+            let job = Job {
+                id: job_id(serial, KIND_LOCK_IO),
+                demand: d,
+                class: Class::Lock,
+            };
+            if let Some(c) = self.io[p].submit(now, job) {
+                Self::schedule_io(ex, p as u32, c);
+            }
+        }
+    }
+
+    fn schedule_cpu(ex: &mut Executor<Event>, proc: u32, c: Completion) {
+        ex.schedule(c.at, Event::CpuDone { proc, token: c.token });
+    }
+    fn schedule_io(ex: &mut Executor<Event>, proc: u32, c: Completion) {
+        ex.schedule(c.at, Event::IoDone { proc, token: c.token });
+    }
+
+    /// The lock overhead is paid: ask the conflict model for a verdict.
+    fn decide(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+        let (locks, granules) = {
+            let txn = self.txns.get(&serial).expect("transaction exists");
+            (txn.spec.locks, txn.granules.clone())
+        };
+        match self
+            .conflict
+            .try_acquire(serial, locks, &granules, &mut self.conflict_rng)
+        {
+            ConflictDecision::Granted => {
+                self.trace(now, TraceEvent::Granted { serial });
+                self.active_tw.record(now, self.conflict.active_count() as f64);
+                self.start_subtransactions(now, serial, ex);
+            }
+            ConflictDecision::BlockedBy(blocker) => {
+                self.trace(now, TraceEvent::Denied { serial, blocker });
+                if self.measuring(now) {
+                    self.lock_denials += 1;
+                }
+                let txn = self.txns.get_mut(&serial).expect("transaction exists");
+                txn.phase = TxnPhase::Blocked;
+                self.blocked_count += 1;
+                self.blocked_tw.record(now, f64::from(self.blocked_count));
+            }
+        }
+    }
+
+    /// Fork the admitted transaction into `PU_i` sub-transactions and
+    /// submit their I/O stages. The `NU_i` entities are dealt out in
+    /// whole units (an entity is "the unit moved by the operating
+    /// system"), so with `NU_i` not divisible by `PU_i` some
+    /// sub-transactions carry one extra entity; the surplus rotates
+    /// across processors between transactions so no processor is
+    /// systematically hotter.
+    fn start_subtransactions(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+        let rot = self.lock_rr; // reuse the rotating offset
+        let (fanout, entities) = {
+            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            txn.phase = TxnPhase::Running;
+            (u64::from(txn.fanout()), txn.spec.entities)
+        };
+        let base = entities / fanout;
+        let extra = entities % fanout;
+        let entities_at = |i: u64| base + u64::from((i + rot) % fanout < extra);
+        let io_shares: Vec<Dur> = (0..fanout)
+            .map(|i| self.stage_demand(self.iotime, entities_at(i)))
+            .collect();
+        let cpu_shares: Vec<Dur> = (0..fanout)
+            .map(|i| self.stage_demand(self.cputime, entities_at(i)))
+            .collect();
+        let processors = {
+            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            txn.subtxns_outstanding = txn.fanout();
+            txn.cpu_shares = cpu_shares;
+            txn.spec.processors.clone()
+        };
+        for (i, &p) in processors.iter().enumerate() {
+            let job = Job {
+                id: job_id(serial, KIND_SUB_IO),
+                demand: io_shares[i],
+                class: Class::Transaction,
+            };
+            if let Some(c) = self.io[p as usize].submit(now, job) {
+                Self::schedule_io(ex, p, c);
+            }
+        }
+    }
+
+    /// A sub-transaction finished its I/O stage on `proc`: submit its CPU
+    /// stage there.
+    fn subtxn_io_done(&mut self, now: Time, serial: u64, proc: u32, ex: &mut Executor<Event>) {
+        self.trace(now, TraceEvent::SubIoDone { serial, proc });
+        let demand = {
+            let txn = self.txns.get(&serial).expect("transaction exists");
+            let idx = txn
+                .spec
+                .processors
+                .iter()
+                .position(|&p| p == proc)
+                .expect("sub-transaction ran on an assigned processor");
+            txn.cpu_shares[idx]
+        };
+        let job = Job {
+            id: job_id(serial, KIND_SUB_CPU),
+            demand,
+            class: Class::Transaction,
+        };
+        if let Some(c) = self.cpu[proc as usize].submit(now, job) {
+            Self::schedule_cpu(ex, proc, c);
+        }
+    }
+
+    /// A sub-transaction finished its CPU stage: join, and complete the
+    /// parent when the last one is in.
+    fn subtxn_cpu_done(&mut self, now: Time, serial: u64, proc: u32, ex: &mut Executor<Event>) {
+        self.trace(now, TraceEvent::SubCpuDone { serial, proc });
+        let done = {
+            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            txn.subtxns_outstanding -= 1;
+            txn.subtxns_outstanding == 0
+        };
+        if done {
+            self.complete(now, serial, ex);
+        }
+    }
+
+    /// Transaction completion: release locks, wake blocked transactions,
+    /// record statistics, spawn the closed-model replacement.
+    fn complete(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+        let txn = self.txns.remove(&serial).expect("transaction exists");
+        debug_assert_eq!(txn.phase, TxnPhase::Running);
+        self.trace(now, TraceEvent::Completed { serial });
+        if self.measuring(now) {
+            self.totcom += 1;
+            let resp = now.since(txn.arrived).units();
+            self.response.record(resp);
+            self.response_hist.record(resp);
+            self.attempts_per_txn.record(f64::from(txn.attempts));
+        }
+        let woken = self.conflict.release(serial);
+        self.active_tw.record(now, self.conflict.active_count() as f64);
+        for w in woken {
+            debug_assert_eq!(self.txns[&w].phase, TxnPhase::Blocked);
+            self.trace(now, TraceEvent::Woken { serial: w });
+            self.blocked_count -= 1;
+            self.blocked_tw.record(now, f64::from(self.blocked_count));
+            self.begin_lock_phase(now, w, ex);
+        }
+        // The finished transaction gives up its admission slot; the head
+        // of the pending queue takes it.
+        self.admitted -= 1;
+        if let Some(next) = self.pending.pop_front() {
+            self.pending_tw.record(now, self.pending.len() as f64);
+            self.admitted += 1;
+            self.begin_lock_phase(now, next, ex);
+        }
+        // Closed model: a fresh transaction replaces the finished one.
+        self.spawn_transaction(now, ex);
+    }
+
+    fn take_snapshot(&mut self, now: Time) {
+        for s in self.cpu.iter_mut().chain(self.io.iter_mut()) {
+            s.flush(now);
+        }
+        let sum =
+            |servers: &[Server], f: &dyn Fn(&Server) -> Dur| servers.iter().map(f).sum::<Dur>();
+        self.snapshot = CounterSnapshot {
+            cpu_busy_all: sum(&self.cpu, &Server::total_busy),
+            cpu_busy_lock: sum(&self.cpu, &|s| s.busy_time(Class::Lock)),
+            io_busy_all: sum(&self.io, &Server::total_busy),
+            io_busy_lock: sum(&self.io, &|s| s.busy_time(Class::Lock)),
+            lock_attempts: self.lock_attempts,
+            lock_denials: self.lock_denials,
+        };
+        self.active_tw.reset(now);
+        self.blocked_tw.reset(now);
+        self.pending_tw.reset(now);
+    }
+
+    /// Close accounting at the horizon and assemble the metrics.
+    pub fn finish(mut self, end: Time) -> RunMetrics {
+        for s in self.cpu.iter_mut().chain(self.io.iter_mut()) {
+            s.flush(end);
+        }
+        let sum =
+            |servers: &[Server], f: &dyn Fn(&Server) -> Dur| servers.iter().map(f).sum::<Dur>();
+        let totcpus =
+            (sum(&self.cpu, &Server::total_busy) - self.snapshot.cpu_busy_all).units();
+        let lockcpus =
+            (sum(&self.cpu, &|s| s.busy_time(Class::Lock)) - self.snapshot.cpu_busy_lock).units();
+        let totios = (sum(&self.io, &Server::total_busy) - self.snapshot.io_busy_all).units();
+        let lockios =
+            (sum(&self.io, &|s| s.busy_time(Class::Lock)) - self.snapshot.io_busy_lock).units();
+        let npros = f64::from(self.npros);
+        let measured_time = end.since(self.warmup).units();
+        let lock_attempts = self.lock_attempts - self.snapshot.lock_attempts;
+        let lock_denials = self.lock_denials - self.snapshot.lock_denials;
+        let span = measured_time.max(f64::MIN_POSITIVE);
+
+        RunMetrics {
+            totcpus,
+            totios,
+            lockcpus,
+            lockios,
+            usefulcpus: (totcpus - lockcpus) / npros,
+            usefulios: (totios - lockios) / npros,
+            totcom: self.totcom,
+            throughput: self.totcom as f64 / span,
+            response_time: self.response.mean(),
+            measured_time,
+            lock_attempts,
+            lock_denials,
+            denial_rate: if lock_attempts == 0 {
+                0.0
+            } else {
+                lock_denials as f64 / lock_attempts as f64
+            },
+            mean_active: self.active_tw.mean_at(end),
+            mean_blocked: self.blocked_tw.mean_at(end),
+            mean_pending: self.pending_tw.mean_at(end),
+            cpu_utilization: totcpus / (npros * span),
+            io_utilization: totios / (npros * span),
+            response_time_std: self.response.std_dev(),
+            response_time_p95: self.response_hist.quantile(0.95).unwrap_or(0.0),
+            attempts_per_txn: self.attempts_per_txn.mean(),
+        }
+    }
+
+    /// Number of transactions currently resident (always `ntrans` once the
+    /// initial arrivals are in).
+    pub fn resident_transactions(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Number of transactions currently blocked.
+    pub fn blocked_transactions(&self) -> u32 {
+        self.blocked_count
+    }
+
+    /// The horizon this system was configured with.
+    pub fn tmax(&self) -> Time {
+        self.tmax
+    }
+}
+
+impl Model for System {
+    type Event = Event;
+
+    fn handle(&mut self, now: Time, event: Event, ex: &mut Executor<Event>) {
+        match event {
+            Event::Arrive => self.spawn_transaction(now, ex),
+            Event::WarmupReached => self.take_snapshot(now),
+            Event::SampleTick => self.sample_tick(now, ex),
+            Event::CpuDone { proc, token } => {
+                match self.cpu[proc as usize].on_completion(now, token) {
+                    CompletionOutcome::Stale => {}
+                    CompletionOutcome::Finished { job, next } => {
+                        if let Some(c) = next {
+                            Self::schedule_cpu(ex, proc, c);
+                        }
+                        let (serial, kind) = decode(job.id);
+                        match kind {
+                            KIND_LOCK_CPU => self.lock_share_done(now, serial, ex),
+                            KIND_SUB_CPU => self.subtxn_cpu_done(now, serial, proc, ex),
+                            other => unreachable!("CPU server finished job kind {other}"),
+                        }
+                    }
+                }
+            }
+            Event::IoDone { proc, token } => {
+                match self.io[proc as usize].on_completion(now, token) {
+                    CompletionOutcome::Stale => {}
+                    CompletionOutcome::Finished { job, next } => {
+                        if let Some(c) = next {
+                            Self::schedule_io(ex, proc, c);
+                        }
+                        let (serial, kind) = decode(job.id);
+                        match kind {
+                            KIND_LOCK_IO => self.lock_share_done(now, serial, ex),
+                            KIND_SUB_IO => self.subtxn_io_done(now, serial, proc, ex),
+                            other => unreachable!("I/O server finished job kind {other}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl System {
+    /// Demand of one sub-transaction stage: `entities × per-entity cost`,
+    /// optionally perturbed by the configured service variability.
+    fn stage_demand(&mut self, per_entity: Dur, entities: u64) -> Dur {
+        let mean = per_entity.times(entities);
+        match self.service {
+            ServiceVariability::Deterministic => mean,
+            ServiceVariability::Exponential => {
+                if mean.is_zero() {
+                    return mean;
+                }
+                let u: f64 = self.service_rng.uniform01();
+                // Inverse-CDF exponential with the same mean.
+                let ticks = (-(1.0 - u).ln() * mean.ticks() as f64).round() as u64;
+                Dur::from_ticks(ticks.max(1))
+            }
+        }
+    }
+
+    /// Distribute one request's lock overhead over the processors
+    /// according to the configured [`LockDistribution`]. Returns
+    /// per-processor (CPU, I/O) demands; totals are conserved exactly.
+    fn lock_shares(&mut self, serial: u64, cpu_total: Dur, io_total: Dur) -> (Vec<Dur>, Vec<Dur>) {
+        let npros = u64::from(self.npros);
+        match self.lock_distribution {
+            LockDistribution::EvenSplit => (
+                cpu_total.split_even(npros).collect(),
+                io_total.split_even(npros).collect(),
+            ),
+            LockDistribution::SingleProcessor => {
+                let target = (self.lock_rr % npros) as usize;
+                self.lock_rr += 1;
+                let mut cpu = vec![Dur::ZERO; npros as usize];
+                let mut io = vec![Dur::ZERO; npros as usize];
+                cpu[target] = cpu_total;
+                io[target] = io_total;
+                (cpu, io)
+            }
+            LockDistribution::PerOperation => {
+                // LU indivisible lock operations land round-robin on the
+                // processors holding the granules, starting at a rotating
+                // offset; processor p gets ops_p operations, hence
+                // ops_p * lcputime CPU and ops_p * liotime I/O.
+                let lu = self.txns[&serial].spec.locks;
+                let start = self.lock_rr % npros;
+                self.lock_rr += lu.max(1);
+                let base = lu.checked_div(npros).unwrap_or(0);
+                let extra = lu % npros;
+                let lcpu = self.lcputime;
+                let lio = self.liotime;
+                let ops = |p: u64| -> u64 {
+                    let rel = (p + npros - start) % npros;
+                    base + u64::from(rel < extra)
+                };
+                let cpu = (0..npros).map(|p| lcpu.times(ops(p))).collect();
+                let io = (0..npros).map(|p| lio.times(ops(p))).collect();
+                (cpu, io)
+            }
+        }
+    }
+
+    fn lock_share_done(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+        let done = {
+            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            txn.lock_shares_outstanding -= 1;
+            txn.lock_shares_outstanding == 0
+        };
+        if done {
+            self.decide(now, serial, ex);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Structured event tracing.
+//!
+//! A [`Tracer`] observes the model's protocol-level transitions —
+//! arrivals, lock requests, grants, denials, wake-ups, sub-transaction
+//! stages, completions. Tracing is opt-in (the default [`NullTracer`]
+//! compiles to nothing) and is used by the protocol-order tests to verify
+//! the paper's lifecycle: *request → (denied → blocked → woken →
+//! request)* … *→ granted → I/O → CPU → complete*.
+
+use lockgran_sim::Time;
+
+/// One protocol-level transition of a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Entered the system (fresh transaction).
+    Arrived {
+        /// Transaction serial.
+        serial: u64,
+    },
+    /// Began a lock request attempt (overhead charging starts).
+    LockRequested {
+        /// Transaction serial.
+        serial: u64,
+        /// Attempt number (1 = first).
+        attempt: u32,
+    },
+    /// All locks granted; the transaction becomes active.
+    Granted {
+        /// Transaction serial.
+        serial: u64,
+    },
+    /// Request denied; blocked on `blocker`.
+    Denied {
+        /// Transaction serial.
+        serial: u64,
+        /// The active transaction it waits for.
+        blocker: u64,
+    },
+    /// Woken by its blocker's completion; will re-request.
+    Woken {
+        /// Transaction serial.
+        serial: u64,
+    },
+    /// A sub-transaction finished its I/O stage on `proc`.
+    SubIoDone {
+        /// Transaction serial.
+        serial: u64,
+        /// Processor index.
+        proc: u32,
+    },
+    /// A sub-transaction finished its CPU stage on `proc`.
+    SubCpuDone {
+        /// Transaction serial.
+        serial: u64,
+        /// Processor index.
+        proc: u32,
+    },
+    /// All sub-transactions joined; locks released.
+    Completed {
+        /// Transaction serial.
+        serial: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The transaction this event belongs to.
+    pub fn serial(&self) -> u64 {
+        match *self {
+            TraceEvent::Arrived { serial }
+            | TraceEvent::LockRequested { serial, .. }
+            | TraceEvent::Granted { serial }
+            | TraceEvent::Denied { serial, .. }
+            | TraceEvent::Woken { serial }
+            | TraceEvent::SubIoDone { serial, .. }
+            | TraceEvent::SubCpuDone { serial, .. }
+            | TraceEvent::Completed { serial } => serial,
+        }
+    }
+}
+
+/// Observer of protocol transitions.
+pub trait Tracer {
+    /// Record one event at simulated time `now`.
+    fn record(&mut self, now: Time, event: TraceEvent);
+}
+
+/// The default tracer: drops everything (zero cost after inlining).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline]
+    fn record(&mut self, _now: Time, _event: TraceEvent) {}
+}
+
+/// Keeps every event in memory (tests, debugging, timeline dumps).
+#[derive(Default, Debug)]
+pub struct VecTracer {
+    /// The recorded `(time, event)` stream, in simulation order.
+    pub events: Vec<(Time, TraceEvent)>,
+}
+
+impl Tracer for VecTracer {
+    fn record(&mut self, now: Time, event: TraceEvent) {
+        self.events.push((now, event));
+    }
+}
+
+impl VecTracer {
+    /// Events of one transaction, in order.
+    pub fn of(&self, serial: u64) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|(_, e)| e.serial() == serial)
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// Validate the lifecycle of every *completed* transaction in the
+    /// trace against the paper's protocol. Returns the first violation.
+    pub fn check_protocol(&self) -> Result<(), String> {
+        use TraceEvent::*;
+        let completed: Vec<u64> = self
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Completed { serial } => Some(*serial),
+                _ => None,
+            })
+            .collect();
+        for serial in completed {
+            let evs = self.of(serial);
+            // 1. Starts with arrival, ends with completion.
+            if !matches!(evs.first(), Some(Arrived { .. })) {
+                return Err(format!("txn {serial}: does not start with Arrived"));
+            }
+            if !matches!(evs.last(), Some(Completed { .. })) {
+                return Err(format!("txn {serial}: does not end with Completed"));
+            }
+            // 2. Exactly one grant; every denial is followed by a wake
+            //    then a new request; attempts number consecutively.
+            let mut granted = 0;
+            let mut expect_attempt = 1;
+            let mut last_was_denied = false;
+            for e in &evs {
+                match e {
+                    LockRequested { attempt, .. } => {
+                        if *attempt != expect_attempt {
+                            return Err(format!(
+                                "txn {serial}: attempt {attempt}, expected {expect_attempt}"
+                            ));
+                        }
+                        expect_attempt += 1;
+                    }
+                    Granted { .. } => {
+                        granted += 1;
+                        last_was_denied = false;
+                    }
+                    Denied { .. } => last_was_denied = true,
+                    Woken { .. } => {
+                        if !last_was_denied {
+                            return Err(format!("txn {serial}: woken without denial"));
+                        }
+                        last_was_denied = false;
+                    }
+                    _ => {}
+                }
+            }
+            if granted != 1 {
+                return Err(format!("txn {serial}: granted {granted} times"));
+            }
+            // 3. No sub-transaction work before the grant.
+            let grant_pos = evs
+                .iter()
+                .position(|e| matches!(e, Granted { .. }))
+                .expect("granted == 1");
+            if evs[..grant_pos]
+                .iter()
+                .any(|e| matches!(e, SubIoDone { .. } | SubCpuDone { .. }))
+            {
+                return Err(format!("txn {serial}: resource work before grant"));
+            }
+            // 4. Per processor: CPU stage strictly after the I/O stage.
+            let mut io_procs = Vec::new();
+            for e in &evs[grant_pos..] {
+                match e {
+                    SubIoDone { proc, .. } => io_procs.push(*proc),
+                    SubCpuDone { proc, .. }
+                        if !io_procs.contains(proc) => {
+                            return Err(format!(
+                                "txn {serial}: CPU stage on proc {proc} before its I/O stage"
+                            ));
+                        }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(units: f64) -> Time {
+        Time::from_units(units)
+    }
+
+    #[test]
+    fn vec_tracer_records_in_order() {
+        let mut tr = VecTracer::default();
+        tr.record(t(0.0), TraceEvent::Arrived { serial: 1 });
+        tr.record(t(1.0), TraceEvent::LockRequested { serial: 1, attempt: 1 });
+        assert_eq!(tr.events.len(), 2);
+        assert_eq!(tr.of(1).len(), 2);
+        assert_eq!(tr.of(2).len(), 0);
+    }
+
+    #[test]
+    fn protocol_accepts_clean_lifecycle() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        for (time, e) in [
+            (0.0, Arrived { serial: 1 }),
+            (0.0, LockRequested { serial: 1, attempt: 1 }),
+            (0.5, Denied { serial: 1, blocker: 9 }),
+            (2.0, Woken { serial: 1 }),
+            (2.0, LockRequested { serial: 1, attempt: 2 }),
+            (2.5, Granted { serial: 1 }),
+            (3.0, SubIoDone { serial: 1, proc: 0 }),
+            (3.5, SubCpuDone { serial: 1, proc: 0 }),
+            (3.5, Completed { serial: 1 }),
+        ] {
+            tr.record(t(time), e);
+        }
+        tr.check_protocol().unwrap();
+    }
+
+    #[test]
+    fn protocol_rejects_double_grant() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested { serial: 1, attempt: 1 },
+            Granted { serial: 1 },
+            Granted { serial: 1 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        assert!(tr.check_protocol().unwrap_err().contains("granted 2 times"));
+    }
+
+    #[test]
+    fn protocol_rejects_cpu_before_io() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested { serial: 1, attempt: 1 },
+            Granted { serial: 1 },
+            SubCpuDone { serial: 1, proc: 3 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        assert!(tr
+            .check_protocol()
+            .unwrap_err()
+            .contains("before its I/O stage"));
+    }
+
+    #[test]
+    fn protocol_rejects_work_before_grant() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested { serial: 1, attempt: 1 },
+            SubIoDone { serial: 1, proc: 0 },
+            Granted { serial: 1 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        assert!(tr
+            .check_protocol()
+            .unwrap_err()
+            .contains("resource work before grant"));
+    }
+
+    #[test]
+    fn protocol_rejects_wake_without_denial() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested { serial: 1, attempt: 1 },
+            Woken { serial: 1 },
+            Granted { serial: 1 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        assert!(tr.check_protocol().unwrap_err().contains("woken without denial"));
+    }
+
+    #[test]
+    fn incomplete_transactions_are_ignored() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        tr.record(t(0.0), Arrived { serial: 7 });
+        tr.record(t(0.0), LockRequested { serial: 7, attempt: 1 });
+        // Never completes: no protocol judgement is made.
+        tr.check_protocol().unwrap();
+    }
+}

@@ -1,0 +1,142 @@
+//! Protocol-order tests: trace full runs and verify every completed
+//! transaction followed the paper's lifecycle exactly.
+
+use lockgran_core::config::LockDistribution;
+use lockgran_core::sim::run_traced;
+use lockgran_core::{ConflictMode, ModelConfig, TraceEvent};
+use lockgran_workload::{Partitioning, Placement};
+
+fn base() -> ModelConfig {
+    ModelConfig::table1().with_tmax(400.0)
+}
+
+#[test]
+fn protocol_holds_at_baseline() {
+    let (m, trace) = run_traced(&base(), 1);
+    assert!(m.totcom > 0);
+    trace.check_protocol().unwrap();
+}
+
+#[test]
+fn protocol_holds_under_contention() {
+    // Single database lock: maximal blocking and retry traffic.
+    let (m, trace) = run_traced(&base().with_ltot(1), 2);
+    assert!(m.totcom > 0);
+    trace.check_protocol().unwrap();
+    // There must be real retry activity in the trace.
+    let denials = trace
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::Denied { .. }))
+        .count();
+    let wakes = trace
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::Woken { .. }))
+        .count();
+    assert!(denials > 0, "serial system produced no denials");
+    assert!(wakes > 0, "denials but no wake-ups");
+}
+
+#[test]
+fn protocol_holds_in_explicit_mode() {
+    let (m, trace) = run_traced(&base().with_conflict(ConflictMode::Explicit), 3);
+    assert!(m.totcom > 0);
+    trace.check_protocol().unwrap();
+}
+
+#[test]
+fn protocol_holds_across_knobs() {
+    for (i, cfg) in [
+        base().with_partitioning(Partitioning::Random),
+        base().with_placement(Placement::Worst).with_ltot(250),
+        base().with_lock_distribution(LockDistribution::EvenSplit),
+        base().with_lock_distribution(LockDistribution::SingleProcessor),
+        base().with_lock_preemption(false),
+        base().with_mpl_limit(Some(3)),
+        base().with_liotime(0.0),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (m, trace) = run_traced(&cfg, i as u64);
+        assert!(m.totcom > 0, "config #{i} completed nothing");
+        trace
+            .check_protocol()
+            .unwrap_or_else(|e| panic!("config #{i}: {e}"));
+    }
+}
+
+#[test]
+fn denied_transactions_block_on_live_blockers() {
+    // Every Denied{blocker} must name a transaction that was Granted
+    // earlier and not yet Completed at the denial instant.
+    let (_, trace) = run_traced(&base().with_ltot(5), 9);
+    let mut active: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for (_, e) in &trace.events {
+        match e {
+            TraceEvent::Granted { serial } => {
+                active.insert(*serial);
+            }
+            TraceEvent::Completed { serial } => {
+                active.remove(serial);
+            }
+            TraceEvent::Denied { blocker, .. } => {
+                assert!(
+                    active.contains(blocker),
+                    "denied on {blocker}, which is not active"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn fanout_matches_partitioning() {
+    // Horizontal: every completed transaction touches all processors.
+    let (_, trace) = run_traced(&base().with_npros(4), 5);
+    let completed: Vec<u64> = trace
+        .events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            TraceEvent::Completed { serial } => Some(*serial),
+            _ => None,
+        })
+        .collect();
+    assert!(!completed.is_empty());
+    for serial in completed {
+        let procs: std::collections::HashSet<u32> = trace
+            .of(serial)
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SubIoDone { proc, .. } => Some(*proc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(procs.len(), 4, "txn {serial} did not fan out to all processors");
+    }
+}
+
+#[test]
+fn mpl_limit_caps_concurrent_competitors() {
+    // With a cap of 2, at most 2 transactions may be between their first
+    // LockRequested and Completed at any time.
+    let (_, trace) = run_traced(&base().with_ntrans(8).with_mpl_limit(Some(2)), 7);
+    let mut in_flight: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for (_, e) in &trace.events {
+        match e {
+            TraceEvent::LockRequested { serial, attempt: 1 } => {
+                in_flight.insert(*serial);
+                assert!(
+                    in_flight.len() <= 2,
+                    "admission cap violated: {in_flight:?}"
+                );
+            }
+            TraceEvent::Completed { serial } => {
+                in_flight.remove(serial);
+            }
+            _ => {}
+        }
+    }
+}

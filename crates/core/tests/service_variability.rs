@@ -1,0 +1,95 @@
+//! Behavioural tests of the exponential service-time extension: random
+//! stage times create fork/join stragglers, which is exactly the
+//! mechanism behind the paper's sublinear useful-time scaling.
+
+use lockgran_core::{sim, ModelConfig, ServiceVariability};
+
+fn base() -> ModelConfig {
+    ModelConfig::table1().with_tmax(2_000.0)
+}
+
+#[test]
+fn exponential_service_runs_and_is_consistent() {
+    let m = sim::run(&base().with_service(ServiceVariability::Exponential), 1);
+    assert!(m.totcom > 0);
+    m.check_consistency(10).unwrap();
+}
+
+#[test]
+fn exponential_service_is_deterministic_per_seed() {
+    let cfg = base().with_service(ServiceVariability::Exponential);
+    let a = sim::run(&cfg, 7);
+    let b = sim::run(&cfg, 7);
+    assert_eq!(a.totcom, b.totcom);
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+}
+
+#[test]
+fn stragglers_cost_throughput_at_high_fanout() {
+    // With 30-way fork/join, waiting for the slowest of 30 exponential
+    // stages hurts; with a single processor there is no barrier, so the
+    // penalty must be markedly larger at npros = 30.
+    let penalty = |npros: u32| {
+        let det = sim::run(
+            &base().with_npros(npros).with_service(ServiceVariability::Deterministic),
+            3,
+        );
+        let exp = sim::run(
+            &base().with_npros(npros).with_service(ServiceVariability::Exponential),
+            3,
+        );
+        1.0 - exp.throughput / det.throughput
+    };
+    let p1 = penalty(1);
+    let p30 = penalty(30);
+    assert!(
+        p30 > p1 + 0.05,
+        "straggler penalty should grow with fan-out: npros=1 {p1:.3}, npros=30 {p30:.3}"
+    );
+}
+
+#[test]
+fn exponential_service_restores_fig3_ordering() {
+    // Under random service, per-processor useful I/O time decreases with
+    // npros at moderate granularity — the paper's Fig 3 ordering that
+    // deterministic symmetric service hides (see EXPERIMENTS.md).
+    let useful = |npros: u32| {
+        sim::run(
+            &base()
+                .with_ltot(100)
+                .with_npros(npros)
+                .with_service(ServiceVariability::Exponential),
+            5,
+        )
+        .usefulios
+    };
+    let one = useful(1);
+    let thirty = useful(30);
+    assert!(
+        thirty < one,
+        "useful I/O per processor: npros=30 {thirty} !< npros=1 {one}"
+    );
+}
+
+#[test]
+fn mean_demand_is_preserved() {
+    // The exponential draw has the same mean: completed work per
+    // transaction (useful I/O × npros / totcom) must agree within a few
+    // percent between the two modes.
+    let det = sim::run(&base(), 11);
+    let exp = sim::run(&base().with_service(ServiceVariability::Exponential), 11);
+    let work = |m: &lockgran_core::RunMetrics| m.usefulios * 10.0 / m.totcom as f64;
+    let ratio = work(&exp) / work(&det);
+    assert!(
+        (0.9..=1.15).contains(&ratio),
+        "per-transaction I/O work ratio {ratio}"
+    );
+}
+
+#[test]
+fn parsing_round_trip() {
+    for v in ServiceVariability::ALL {
+        assert_eq!(v.name().parse::<ServiceVariability>().unwrap(), v);
+    }
+    assert!("gamma".parse::<ServiceVariability>().is_err());
+}

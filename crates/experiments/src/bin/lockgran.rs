@@ -1,0 +1,355 @@
+//! `lockgran` — regenerate the paper's tables and figures from the
+//! command line.
+//!
+//! ```text
+//! lockgran list
+//! lockgran fig2 [--quick] [--chart] [--seed N] [--reps N] [--tmax T] [--out DIR]
+//! lockgran all  [--quick] [--out DIR]
+//! lockgran run  [--ltot N] [--npros N] [--ntrans N] [--maxtransize N]
+//!               [--placement P] [--partitioning P] [--conflict C]
+//!               [--liotime X] [--tmax T] [--seed N]
+//! ```
+//!
+//! Figure output is an aligned text table on stdout; `--out DIR` also
+//! writes `<id>.txt`, `<id>.csv` and `<id>.json` artifacts.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lockgran_core::{sim, ConflictMode, ModelConfig};
+use lockgran_experiments::figures::{run_by_id, ALL_IDS, EXT_IDS};
+use lockgran_experiments::{chart, emit, RunOptions};
+use lockgran_workload::{Partitioning, Placement};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  lockgran list
+  lockgran <table1|fig2..fig12|all|extA|extB|ext> [--quick] [--chart] [--seed N] [--reps N] [--tmax T] [--out DIR]
+  lockgran batch <configs.json> [--seed N] [--out FILE.csv]
+  lockgran timeline [run flags] [--interval X]
+  lockgran warmup [run flags] [--interval X] [--reps R]
+  lockgran run [--ltot N] [--npros N] [--ntrans N] [--maxtransize N]
+               [--placement best|random|worst] [--partitioning horizontal|random]
+               [--conflict probabilistic|explicit] [--liotime X] [--tmax T] [--seed N]";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("paper artifacts:");
+            for id in ALL_IDS {
+                println!("  {id}");
+            }
+            println!("extension experiments:");
+            for id in EXT_IDS {
+                println!("  {id}");
+            }
+            Ok(())
+        }
+        "run" => run_single(&args[1..]),
+        "batch" => run_batch(&args[1..]),
+        "timeline" => run_timeline_cmd(&args[1..]),
+        "warmup" => run_warmup_cmd(&args[1..]),
+        "all" => {
+            let (opts, out, show_chart) = parse_fig_flags(&args[1..])?;
+            for id in ALL_IDS {
+                run_figure(id, &opts, out.as_deref(), show_chart)?;
+            }
+            Ok(())
+        }
+        "ext" => {
+            let (opts, out, show_chart) = parse_fig_flags(&args[1..])?;
+            for id in EXT_IDS {
+                run_figure(id, &opts, out.as_deref(), show_chart)?;
+            }
+            Ok(())
+        }
+        id if ALL_IDS.contains(&id) || EXT_IDS.contains(&id) => {
+            let (opts, out, show_chart) = parse_fig_flags(&args[1..])?;
+            run_figure(id, &opts, out.as_deref(), show_chart)
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn run_figure(
+    id: &str,
+    opts: &RunOptions,
+    out: Option<&std::path::Path>,
+    show_chart: bool,
+) -> Result<(), String> {
+    eprintln!(
+        "running {id} ({} mode, {} replications)…",
+        if opts.quick { "quick" } else { "full" },
+        opts.effective_reps()
+    );
+    let fig = run_by_id(id, opts).ok_or_else(|| format!("unknown figure '{id}'"))?;
+    print!("{}", emit::render_table(&fig));
+    println!();
+    if show_chart {
+        for panel in &fig.panels {
+            println!("{}", chart::render_chart(panel, &chart::ChartOptions::default()));
+        }
+    }
+    if let Some(dir) = out {
+        emit::write_artifacts(&fig, dir).map_err(|e| format!("writing artifacts: {e}"))?;
+        eprintln!("wrote {}/{{{}.txt,{}.csv,{}.json}}", dir.display(), id, id, id);
+    }
+    Ok(())
+}
+
+fn parse_fig_flags(args: &[String]) -> Result<(RunOptions, Option<PathBuf>, bool), String> {
+    let mut opts = RunOptions::default();
+    let mut out = None;
+    let mut show_chart = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--chart" => show_chart = true,
+            "--seed" => opts.seed = next_val(&mut it, "--seed")?,
+            "--reps" => opts.reps = next_val(&mut it, "--reps")?,
+            "--tmax" => opts.tmax = Some(next_val(&mut it, "--tmax")?),
+            "--out" => out = Some(PathBuf::from(next_str(&mut it, "--out")?)),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok((opts, out, show_chart))
+}
+
+/// `lockgran timeline [run flags] [--interval X]` — windowed time series
+/// of one run, as a table plus an ASCII chart of throughput over time.
+fn run_timeline_cmd(args: &[String]) -> Result<(), String> {
+    let (cfg, seed, rest) = parse_run_flags(args)?;
+    let mut interval = cfg.tmax / 40.0;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval" => interval = next_val(&mut it, "--interval")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let (m, points) = sim::run_timeline(&cfg, seed, interval);
+    println!(
+        "{:>10} {:>8} {:>12} {:>8} {:>8} {:>9} {:>9}",
+        "t", "totcom", "throughput", "active", "blocked", "cpu util", "io util"
+    );
+    for p in &points {
+        println!(
+            "{:>10.1} {:>8} {:>12.4} {:>8} {:>8} {:>9.3} {:>9.3}",
+            p.t, p.completions, p.throughput, p.active, p.blocked,
+            p.cpu_utilization, p.io_utilization
+        );
+    }
+    println!();
+    println!("final: throughput {:.4}, response {:.2}", m.throughput, m.response_time);
+    // Throughput-over-time chart (linear x via index is fine here).
+    let panel = lockgran_experiments::Panel {
+        metric: "throughput over time".into(),
+        x_label: "t".into(),
+        series: vec![lockgran_experiments::Series {
+            label: "throughput".into(),
+            points: points
+                .iter()
+                .map(|p| lockgran_experiments::Point { x: p.t, mean: p.throughput, ci95: 0.0 })
+                .collect(),
+        }],
+    };
+    println!("{}", chart::render_chart(&panel, &chart::ChartOptions::default()));
+    Ok(())
+}
+
+/// `lockgran warmup [run flags] [--interval X] [--reps R]` — Welch
+/// warm-up suggestion for a configuration.
+fn run_warmup_cmd(args: &[String]) -> Result<(), String> {
+    let (cfg, seed, rest) = parse_run_flags(args)?;
+    let mut interval = cfg.tmax / 40.0;
+    let mut reps = 5u32;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval" => interval = next_val(&mut it, "--interval")?,
+            "--reps" => reps = next_val(&mut it, "--reps")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    match sim::suggest_warmup(&cfg, seed, reps, interval) {
+        Some(w) => println!(
+            "suggested warmup: {w:.0} time units ({}% of tmax {})",
+            (w / cfg.tmax * 100.0).round(),
+            cfg.tmax
+        ),
+        None => println!(
+            "no stable warm-up point found — lengthen tmax (currently {}) or widen --interval",
+            cfg.tmax
+        ),
+    }
+    Ok(())
+}
+
+/// Parse the shared `run`-style configuration flags, returning unparsed
+/// extras for the caller.
+fn parse_run_flags(args: &[String]) -> Result<(ModelConfig, u64, Vec<String>), String> {
+    let mut cfg = ModelConfig::table1();
+    let mut seed = 0u64;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ltot" => cfg.ltot = next_val(&mut it, "--ltot")?,
+            "--npros" => cfg.npros = next_val(&mut it, "--npros")?,
+            "--ntrans" => cfg.ntrans = next_val(&mut it, "--ntrans")?,
+            "--maxtransize" => {
+                let m: u64 = next_val(&mut it, "--maxtransize")?;
+                cfg = cfg.with_maxtransize(m);
+            }
+            "--placement" => {
+                cfg.placement = next_str(&mut it, "--placement")?.parse::<Placement>()?;
+            }
+            "--partitioning" => {
+                cfg.partitioning = next_str(&mut it, "--partitioning")?.parse::<Partitioning>()?;
+            }
+            "--conflict" => {
+                cfg.conflict = next_str(&mut it, "--conflict")?.parse::<ConflictMode>()?;
+            }
+            "--liotime" => cfg.liotime = next_val(&mut it, "--liotime")?,
+            "--tmax" => cfg.tmax = next_val(&mut it, "--tmax")?,
+            "--seed" => seed = next_val(&mut it, "--seed")?,
+            other => rest.push(other.to_string()),
+        }
+    }
+    cfg.validate()?;
+    Ok((cfg, seed, rest))
+}
+
+/// `lockgran batch <configs.json> [--seed N] [--out FILE.csv]`
+///
+/// The JSON file holds an array of [`ModelConfig`] values (see
+/// `ModelConfig::table1()` serialized for a template). Each config runs
+/// once; results are printed as CSV (and written to `--out` if given).
+fn run_batch(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let path = next_str(&mut it, "batch")?;
+    let mut seed = 0u64;
+    let mut out: Option<PathBuf> = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = next_val(&mut it, "--seed")?,
+            "--out" => out = Some(PathBuf::from(next_str(&mut it, "--out")?)),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let configs: Vec<ModelConfig> =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let mut csv = String::from(
+        "index,ltot,npros,ntrans,placement,partitioning,conflict,throughput,response_time,         usefulcpus,usefulios,lockcpus,lockios,denial_rate
+",
+    );
+    for (i, cfg) in configs.iter().enumerate() {
+        cfg.validate()
+            .map_err(|e| format!("config #{i} invalid: {e}"))?;
+        let m = sim::run(cfg, seed.wrapping_add(i as u64));
+        csv.push_str(&format!(
+            "{i},{},{},{},{},{},{},{},{},{},{},{},{},{}
+",
+            cfg.ltot,
+            cfg.npros,
+            cfg.ntrans,
+            cfg.placement,
+            cfg.partitioning,
+            cfg.conflict.name(),
+            m.throughput,
+            m.response_time,
+            m.usefulcpus,
+            m.usefulios,
+            m.lockcpus,
+            m.lockios,
+            m.denial_rate
+        ));
+    }
+    print!("{csv}");
+    if let Some(p) = out {
+        std::fs::write(&p, &csv).map_err(|e| format!("writing {}: {e}", p.display()))?;
+        eprintln!("wrote {}", p.display());
+    }
+    Ok(())
+}
+
+fn run_single(args: &[String]) -> Result<(), String> {
+    let mut cfg = ModelConfig::table1();
+    let mut seed = 0u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ltot" => cfg.ltot = next_val(&mut it, "--ltot")?,
+            "--npros" => cfg.npros = next_val(&mut it, "--npros")?,
+            "--ntrans" => cfg.ntrans = next_val(&mut it, "--ntrans")?,
+            "--maxtransize" => {
+                let m: u64 = next_val(&mut it, "--maxtransize")?;
+                cfg = cfg.with_maxtransize(m);
+            }
+            "--placement" => {
+                cfg.placement = next_str(&mut it, "--placement")?.parse::<Placement>()?;
+            }
+            "--partitioning" => {
+                cfg.partitioning = next_str(&mut it, "--partitioning")?.parse::<Partitioning>()?;
+            }
+            "--conflict" => {
+                cfg.conflict = next_str(&mut it, "--conflict")?.parse::<ConflictMode>()?;
+            }
+            "--liotime" => cfg.liotime = next_val(&mut it, "--liotime")?,
+            "--tmax" => cfg.tmax = next_val(&mut it, "--tmax")?,
+            "--seed" => seed = next_val(&mut it, "--seed")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    cfg.validate()?;
+    let m = sim::run(&cfg, seed);
+    println!("config : ltot={} npros={} ntrans={} placement={} partitioning={} conflict={}",
+        cfg.ltot, cfg.npros, cfg.ntrans, cfg.placement, cfg.partitioning, cfg.conflict.name());
+    println!("totcom      = {}", m.totcom);
+    println!("throughput  = {:.5}", m.throughput);
+    println!("response    = {:.2}", m.response_time);
+    println!("totcpus     = {:.1}", m.totcpus);
+    println!("totios      = {:.1}", m.totios);
+    println!("lockcpus    = {:.1}", m.lockcpus);
+    println!("lockios     = {:.1}", m.lockios);
+    println!("usefulcpus  = {:.2}", m.usefulcpus);
+    println!("usefulios   = {:.2}", m.usefulios);
+    println!("denial rate = {:.3}", m.denial_rate);
+    println!("mean active = {:.2}", m.mean_active);
+    println!("cpu util    = {:.3}", m.cpu_utilization);
+    println!("io util     = {:.3}", m.io_utilization);
+    Ok(())
+}
+
+fn next_str<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn next_val<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let s = next_str(it, flag)?;
+    s.parse()
+        .map_err(|_| format!("{flag}: cannot parse '{s}'"))
+}

@@ -1,0 +1,245 @@
+//! ASCII line charts.
+//!
+//! The paper's artifacts are *figures*; [`render_chart`] draws each panel
+//! as a terminal plot — log-scaled x (the lock-count sweep spans 1 …
+//! 5000) and linear or log y — so `lockgran fig2 --chart` shows the
+//! curve shapes directly, one glyph per series.
+
+use std::fmt::Write as _;
+
+use crate::series::Panel;
+
+/// Chart rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct ChartOptions {
+    /// Plot width in columns (data area, excluding the axis gutter).
+    pub width: usize,
+    /// Plot height in rows.
+    pub height: usize,
+    /// Log-scale the y axis (x is always log-scaled: the sweep is
+    /// geometric).
+    pub log_y: bool,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            width: 64,
+            height: 16,
+            log_y: false,
+        }
+    }
+}
+
+const GLYPHS: &[u8] = b"*o+x#@%&ABCDEF";
+
+fn scale_x(x: f64, lo: f64, hi: f64, width: usize) -> usize {
+    debug_assert!(x > 0.0 && lo > 0.0);
+    if hi <= lo {
+        return 0;
+    }
+    let t = (x.ln() - lo.ln()) / (hi.ln() - lo.ln());
+    ((t * (width - 1) as f64).round() as usize).min(width - 1)
+}
+
+fn scale_y(y: f64, lo: f64, hi: f64, height: usize, log: bool) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    let t = if log {
+        let floor = lo.max(1e-12);
+        ((y.max(floor)).ln() - floor.ln()) / (hi.ln() - floor.ln())
+    } else {
+        (y - lo) / (hi - lo)
+    };
+    let row = (t.clamp(0.0, 1.0) * (height - 1) as f64).round() as usize;
+    height - 1 - row // row 0 is the top
+}
+
+/// Render one panel as an ASCII chart with a legend.
+///
+/// Returns an empty string for panels with no positive x values (the x
+/// axis is logarithmic).
+pub fn render_chart(panel: &Panel, opts: &ChartOptions) -> String {
+    let xs: Vec<f64> = panel
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.x))
+        .filter(|&x| x > 0.0)
+        .collect();
+    let ys: Vec<f64> = panel
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.mean))
+        .collect();
+    let (Some(&x_lo), Some(&x_hi)) = (
+        xs.iter().min_by(|a, b| a.total_cmp(b)),
+        xs.iter().max_by(|a, b| a.total_cmp(b)),
+    ) else {
+        return String::new();
+    };
+    let y_lo = if opts.log_y {
+        ys.iter().copied().filter(|&y| y > 0.0).fold(f64::INFINITY, f64::min)
+    } else {
+        0.0f64.min(ys.iter().copied().fold(f64::INFINITY, f64::min))
+    };
+    let y_hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !y_hi.is_finite() || y_hi <= y_lo {
+        return String::new();
+    }
+
+    let mut grid = vec![vec![b' '; opts.width]; opts.height];
+    for (si, s) in panel.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Mark the points, connecting consecutive ones with interpolated
+        // marks so curves read as lines.
+        let pts: Vec<(usize, usize)> = s
+            .points
+            .iter()
+            .filter(|p| p.x > 0.0)
+            .map(|p| {
+                (
+                    scale_x(p.x, x_lo, x_hi, opts.width),
+                    scale_y(p.mean, y_lo, y_hi, opts.height, opts.log_y),
+                )
+            })
+            .collect();
+        for w in pts.windows(2) {
+            let (c0, r0) = w[0];
+            let (c1, r1) = w[1];
+            let steps = (c1.abs_diff(c0)).max(r1.abs_diff(r0)).max(1);
+            for k in 0..=steps {
+                let c = c0 as f64 + (c1 as f64 - c0 as f64) * k as f64 / steps as f64;
+                let r = r0 as f64 + (r1 as f64 - r0 as f64) * k as f64 / steps as f64;
+                grid[r.round() as usize][c.round() as usize] = glyph;
+            }
+        }
+        if let Some(&(c, r)) = pts.first() {
+            grid[r][c] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "[{}]  y: {:.4} … {:.4}{}", panel.metric, y_lo, y_hi,
+        if opts.log_y { " (log)" } else { "" });
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_hi:>9.3}")
+        } else if i == opts.height - 1 {
+            format!("{y_lo:>9.3}")
+        } else {
+            " ".repeat(9)
+        };
+        let _ = writeln!(out, "{label} |{}", String::from_utf8_lossy(row));
+    }
+    let _ = writeln!(
+        out,
+        "{} +{}",
+        " ".repeat(9),
+        "-".repeat(opts.width)
+    );
+    let _ = writeln!(
+        out,
+        "{}  {:<w$}{:>10}",
+        " ".repeat(9),
+        format!("{}={}", panel.x_label, x_lo),
+        format!("{}={} (log)", panel.x_label, x_hi),
+        w = opts.width.saturating_sub(10)
+    );
+    for (si, s) in panel.series.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}  {} {}",
+            " ".repeat(9),
+            GLYPHS[si % GLYPHS.len()] as char,
+            s.label
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Point, Series};
+
+    fn panel() -> Panel {
+        Panel {
+            metric: "throughput".into(),
+            x_label: "ltot".into(),
+            series: vec![
+                Series {
+                    label: "npros=1".into(),
+                    points: vec![
+                        Point { x: 1.0, mean: 0.015, ci95: 0.0 },
+                        Point { x: 100.0, mean: 0.019, ci95: 0.0 },
+                        Point { x: 5000.0, mean: 0.008, ci95: 0.0 },
+                    ],
+                },
+                Series {
+                    label: "npros=30".into(),
+                    points: vec![
+                        Point { x: 1.0, mean: 0.41, ci95: 0.0 },
+                        Point { x: 100.0, mean: 0.57, ci95: 0.0 },
+                        Point { x: 5000.0, mean: 0.23, ci95: 0.0 },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_with_legend_and_axes() {
+        let chart = render_chart(&panel(), &ChartOptions::default());
+        assert!(chart.contains("[throughput]"));
+        assert!(chart.contains("npros=1"));
+        assert!(chart.contains("npros=30"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("ltot=1"));
+        assert!(chart.contains("ltot=5000"));
+    }
+
+    #[test]
+    fn peak_row_is_above_trough_row() {
+        // The npros=30 optimum (0.57) must be drawn above its fine-end
+        // value (0.23): find the columns and compare first-glyph rows.
+        let opts = ChartOptions { width: 40, height: 12, log_y: false };
+        let chart = render_chart(&panel(), &opts);
+        let rows: Vec<&str> = chart.lines().collect();
+        // Row containing the maximum value ends up near the top border.
+        let first_o = rows.iter().position(|r| r.contains('o')).unwrap();
+        let last_o = rows.iter().rposition(|r| r.contains('o') && r.contains('|')).unwrap();
+        assert!(first_o < last_o, "curve has no vertical extent");
+    }
+
+    #[test]
+    fn log_y_handles_wide_ranges() {
+        let opts = ChartOptions { log_y: true, ..ChartOptions::default() };
+        let chart = render_chart(&panel(), &opts);
+        assert!(chart.contains("(log)"));
+    }
+
+    #[test]
+    fn empty_panel_renders_empty() {
+        let p = Panel {
+            metric: "m".into(),
+            x_label: "x".into(),
+            series: vec![],
+        };
+        assert!(render_chart(&p, &ChartOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn single_point_series_does_not_panic() {
+        let p = Panel {
+            metric: "m".into(),
+            x_label: "x".into(),
+            series: vec![Series {
+                label: "s".into(),
+                points: vec![Point { x: 10.0, mean: 1.0, ci95: 0.0 }],
+            }],
+        };
+        let _ = render_chart(&p, &ChartOptions::default());
+    }
+}

@@ -1,0 +1,116 @@
+//! Named output metrics.
+//!
+//! A [`Metric`] names one scalar of [`RunMetrics`] so that figure modules,
+//! the CLI and the emitters can refer to the paper's output parameters
+//! symbolically.
+
+use lockgran_core::RunMetrics;
+use serde::{Deserialize, Serialize};
+
+/// A scalar output of one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// `throughput = totcom / tmax`.
+    Throughput,
+    /// Mean response time.
+    ResponseTime,
+    /// `usefulcpus`: per-processor transaction CPU time.
+    UsefulCpu,
+    /// `usefulios`: per-processor transaction I/O time.
+    UsefulIo,
+    /// `lockcpus + lockios`: total lock overhead.
+    LockOverhead,
+    /// `lockcpus` only.
+    LockCpu,
+    /// `lockios` only.
+    LockIo,
+    /// Fraction of lock request attempts denied.
+    DenialRate,
+    /// Time-average number of active transactions.
+    MeanActive,
+    /// Mean CPU utilization.
+    CpuUtilization,
+    /// Mean I/O utilization.
+    IoUtilization,
+}
+
+impl Metric {
+    /// All metrics, for CLI listings.
+    pub const ALL: [Metric; 11] = [
+        Metric::Throughput,
+        Metric::ResponseTime,
+        Metric::UsefulCpu,
+        Metric::UsefulIo,
+        Metric::LockOverhead,
+        Metric::LockCpu,
+        Metric::LockIo,
+        Metric::DenialRate,
+        Metric::MeanActive,
+        Metric::CpuUtilization,
+        Metric::IoUtilization,
+    ];
+
+    /// Extract this metric from a run.
+    pub fn get(self, m: &RunMetrics) -> f64 {
+        match self {
+            Metric::Throughput => m.throughput,
+            Metric::ResponseTime => m.response_time,
+            Metric::UsefulCpu => m.usefulcpus,
+            Metric::UsefulIo => m.usefulios,
+            Metric::LockOverhead => m.lock_overhead(),
+            Metric::LockCpu => m.lockcpus,
+            Metric::LockIo => m.lockios,
+            Metric::DenialRate => m.denial_rate,
+            Metric::MeanActive => m.mean_active,
+            Metric::CpuUtilization => m.cpu_utilization,
+            Metric::IoUtilization => m.io_utilization,
+        }
+    }
+
+    /// Short identifier used in CSV/JSON columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Throughput => "throughput",
+            Metric::ResponseTime => "response_time",
+            Metric::UsefulCpu => "useful_cpu",
+            Metric::UsefulIo => "useful_io",
+            Metric::LockOverhead => "lock_overhead",
+            Metric::LockCpu => "lock_cpu",
+            Metric::LockIo => "lock_io",
+            Metric::DenialRate => "denial_rate",
+            Metric::MeanActive => "mean_active",
+            Metric::CpuUtilization => "cpu_utilization",
+            Metric::IoUtilization => "io_utilization",
+        }
+    }
+}
+
+impl std::str::FromStr for Metric {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Metric::ALL
+            .iter()
+            .copied()
+            .find(|m| m.name() == s.to_ascii_lowercase())
+            .ok_or_else(|| format!("unknown metric '{s}'"))
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_round_trip() {
+        for m in Metric::ALL {
+            assert_eq!(m.name().parse::<Metric>().unwrap(), m);
+        }
+        assert!("bogus".parse::<Metric>().is_err());
+    }
+}

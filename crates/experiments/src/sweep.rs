@@ -1,0 +1,190 @@
+//! Parameter-sweep machinery.
+//!
+//! Every figure in the paper sweeps the number of locks `ltot` from 1 to
+//! `dbsize` while varying one other dimension (processors, transaction
+//! size, lock I/O cost, partitioning, placement, multiprogramming level).
+//! [`sweep_ltot`] runs the base configuration at each `ltot` with `reps`
+//! independent replications; figure modules turn the results into
+//! [`crate::Series`] per secondary-dimension value.
+
+use lockgran_core::{sim, ModelConfig, RunMetrics};
+use lockgran_sim::{SimRng, Tally};
+
+use crate::metric::Metric;
+use crate::series::{Point, Series};
+
+/// The paper's log-spaced lock-count sweep, 1 … dbsize = 5000.
+pub const LTOT_SWEEP: [u64; 12] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
+
+/// Reduced sweep for tests / benches.
+pub const LTOT_SWEEP_QUICK: [u64; 5] = [1, 10, 100, 1000, 5000];
+
+/// How to run a figure.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Quick mode: reduced sweep, shorter horizon, fewer series — used by
+    /// unit tests and Criterion benches.
+    pub quick: bool,
+    /// Base RNG seed; replication seeds are derived from it.
+    pub seed: u64,
+    /// Replications per point (quick mode forces 1).
+    pub reps: u32,
+    /// Override the simulated horizon (time units).
+    pub tmax: Option<f64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            quick: false,
+            seed: 0x1991_0601, // ICDE 1991
+            reps: 3,
+            tmax: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Quick-mode options (for tests and benches).
+    pub fn quick() -> Self {
+        RunOptions {
+            quick: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// The lock-count sweep for this mode.
+    pub fn ltots(&self) -> &'static [u64] {
+        if self.quick {
+            &LTOT_SWEEP_QUICK
+        } else {
+            &LTOT_SWEEP
+        }
+    }
+
+    /// Replications per point for this mode.
+    pub fn effective_reps(&self) -> u32 {
+        if self.quick {
+            1
+        } else {
+            self.reps.max(1)
+        }
+    }
+
+    /// Simulated horizon for this mode.
+    pub fn effective_tmax(&self) -> f64 {
+        self.tmax.unwrap_or(if self.quick { 1_500.0 } else { 10_000.0 })
+    }
+
+    /// Apply mode-wide overrides (horizon) to a base configuration.
+    pub fn apply(&self, cfg: ModelConfig) -> ModelConfig {
+        cfg.with_tmax(self.effective_tmax())
+    }
+}
+
+/// Results at one sweep point.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The lock count.
+    pub ltot: u64,
+    /// One [`RunMetrics`] per replication.
+    pub runs: Vec<RunMetrics>,
+}
+
+impl SweepPoint {
+    /// Mean and 95% CI of a metric over this point's replications.
+    pub fn estimate(&self, metric: Metric) -> Point {
+        let mut t = Tally::new();
+        for m in &self.runs {
+            t.record(metric.get(m));
+        }
+        Point {
+            x: self.ltot as f64,
+            mean: t.mean(),
+            ci95: t.ci95_half_width(),
+        }
+    }
+}
+
+/// Run `base` at every `ltot` in `opts.ltots()` with
+/// `opts.effective_reps()` replications each.
+///
+/// Replication seeds derive from `opts.seed` only — not from `ltot` — so
+/// every sweep point sees the same transaction streams (common random
+/// numbers: curves differ by the system response, not by workload noise).
+pub fn sweep_ltot(base: &ModelConfig, opts: &RunOptions) -> Vec<SweepPoint> {
+    let root = SimRng::new(opts.seed);
+    opts.ltots()
+        .iter()
+        .map(|&ltot| {
+            let cfg = opts.apply(base.clone().with_ltot(ltot));
+            let runs = (0..opts.effective_reps())
+                .map(|r| sim::run(&cfg, root.split_index(u64::from(r)).seed()))
+                .collect();
+            SweepPoint { ltot, runs }
+        })
+        .collect()
+}
+
+/// Build one labelled series from a sweep.
+pub fn series_from(points: &[SweepPoint], metric: Metric, label: impl Into<String>) -> Series {
+    Series {
+        label: label.into(),
+        points: points.iter().map(|p| p.estimate(metric)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_all_points() {
+        let base = ModelConfig::table1();
+        let opts = RunOptions::quick();
+        let pts = sweep_ltot(&base, &opts);
+        assert_eq!(pts.len(), LTOT_SWEEP_QUICK.len());
+        for (p, &l) in pts.iter().zip(LTOT_SWEEP_QUICK.iter()) {
+            assert_eq!(p.ltot, l);
+            assert_eq!(p.runs.len(), 1);
+            assert!(p.runs[0].totcom > 0);
+        }
+    }
+
+    #[test]
+    fn series_extraction_orders_points() {
+        let base = ModelConfig::table1();
+        let opts = RunOptions::quick();
+        let pts = sweep_ltot(&base, &opts);
+        let s = series_from(&pts, Metric::Throughput, "base");
+        assert_eq!(s.label, "base");
+        let xs: Vec<f64> = s.points.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![1.0, 10.0, 100.0, 1000.0, 5000.0]);
+        assert!(s.points.iter().all(|p| p.mean > 0.0));
+        // One replication -> no CI.
+        assert!(s.points.iter().all(|p| p.ci95 == 0.0));
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let base = ModelConfig::table1();
+        let opts = RunOptions::quick();
+        let a = sweep_ltot(&base, &opts);
+        let b = sweep_ltot(&base, &opts);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.runs[0].throughput, y.runs[0].throughput);
+            assert_eq!(x.runs[0].response_time, y.runs[0].response_time);
+        }
+    }
+
+    #[test]
+    fn default_options_use_full_sweep() {
+        let opts = RunOptions::default();
+        assert_eq!(opts.ltots(), &LTOT_SWEEP);
+        assert_eq!(opts.effective_reps(), 3);
+        assert_eq!(opts.effective_tmax(), 10_000.0);
+        let quick = RunOptions::quick();
+        assert_eq!(quick.effective_reps(), 1);
+        assert_eq!(quick.effective_tmax(), 1_500.0);
+    }
+}

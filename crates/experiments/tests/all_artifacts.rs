@@ -1,0 +1,55 @@
+//! Smoke coverage: every registered artifact (paper + extensions) runs in
+//! quick mode and produces a structurally complete figure.
+
+use lockgran_experiments::figures::{run_by_id, ALL_IDS, EXT_IDS};
+use lockgran_experiments::{emit, render_chart, ChartOptions, RunOptions};
+
+fn opts() -> RunOptions {
+    let mut o = RunOptions::quick();
+    o.tmax = Some(300.0); // minimal horizon: structure, not statistics
+    o
+}
+
+#[test]
+fn every_artifact_runs_and_is_well_formed() {
+    for id in ALL_IDS.iter().chain(EXT_IDS.iter()) {
+        let fig = run_by_id(id, &opts()).unwrap_or_else(|| panic!("{id} not registered"));
+        assert_eq!(&fig.id, id);
+        assert!(!fig.title.is_empty(), "{id}: empty title");
+        assert!(!fig.panels.is_empty(), "{id}: no panels");
+        for panel in &fig.panels {
+            assert!(!panel.series.is_empty(), "{id}/{}: no series", panel.metric);
+            for s in &panel.series {
+                assert_eq!(
+                    s.points.len(),
+                    opts().ltots().len(),
+                    "{id}/{}/{}: wrong point count",
+                    panel.metric,
+                    s.label
+                );
+                assert!(
+                    s.points.iter().all(|p| p.mean.is_finite()),
+                    "{id}/{}/{}: non-finite point",
+                    panel.metric,
+                    s.label
+                );
+            }
+        }
+        // Every emitter must handle every artifact.
+        let table = emit::render_table(&fig);
+        assert!(table.contains(id.trim_start_matches("fig")), "{id}: table");
+        let csv = emit::to_csv(&fig);
+        assert!(csv.lines().count() > 1, "{id}: empty csv");
+        let json = emit::to_json(&fig);
+        assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
+        for panel in &fig.panels {
+            let chart = render_chart(panel, &ChartOptions::default());
+            assert!(!chart.is_empty(), "{id}/{}: empty chart", panel.metric);
+        }
+    }
+}
+
+#[test]
+fn unknown_artifact_is_none() {
+    assert!(run_by_id("fig99", &opts()).is_none());
+}

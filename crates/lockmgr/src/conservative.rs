@@ -1,0 +1,287 @@
+//! Conservative (static) locking — the protocol the paper simulates.
+//!
+//! "Transactions request all needed locks before using the I/O and CPU
+//! resources. Thus deadlock is impossible." (paper §2). A transaction
+//! presents its complete lock set; either every lock is granted
+//! atomically, or none is and the transaction blocks on the first
+//! conflicting holder. When a transaction finishes it releases everything,
+//! and every blocked transaction whose conflict involved it is woken to
+//! retry — exactly the paper's "a completed transaction releases all its
+//! locks and those transactions blocked by it".
+//!
+//! Retries are all-or-nothing as well, so the scheduler never holds a
+//! partial lock set and the no-deadlock guarantee is preserved.
+
+use std::collections::HashMap;
+
+use crate::mode::LockMode;
+use crate::table::{GranuleId, LockTable, TxnId};
+
+/// Outcome of an all-at-once lock request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConservativeOutcome {
+    /// Every lock in the set is now held.
+    Granted,
+    /// Nothing is held; the transaction is recorded as blocked by
+    /// `blocker` and will be returned by [`ConservativeScheduler::release`]
+    /// when `blocker` releases (to be retried by the caller).
+    Blocked {
+        /// The first conflicting lock holder, in granule order.
+        blocker: TxnId,
+    },
+}
+
+/// All-or-nothing lock acquisition over a [`LockTable`].
+#[derive(Default, Debug)]
+pub struct ConservativeScheduler {
+    table: LockTable,
+    /// Blocked transaction → the holder it waits for, plus its saved
+    /// request for inspection.
+    blocked: HashMap<TxnId, TxnId>,
+    /// Reverse index: holder → transactions blocked on it (FIFO).
+    blocks: HashMap<TxnId, Vec<TxnId>>,
+}
+
+impl ConservativeScheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically request the full lock set for `txn`. The set must be
+    /// duplicate-free per granule (duplicates are merged by supremum).
+    ///
+    /// On conflict nothing is acquired and `txn` is recorded as blocked by
+    /// the first conflicting holder (deterministic: smallest granule id
+    /// first, grant-group order within it).
+    ///
+    /// # Panics
+    /// Panics if `txn` already holds locks or is already blocked —
+    /// conservative transactions declare their set exactly once per
+    /// attempt.
+    pub fn request_all(
+        &mut self,
+        txn: TxnId,
+        locks: &[(GranuleId, LockMode)],
+    ) -> ConservativeOutcome {
+        assert!(
+            self.table.holdings(txn).is_empty(),
+            "{txn:?} already holds locks"
+        );
+        assert!(!self.blocked.contains_key(&txn), "{txn:?} is already blocked");
+
+        // Merge duplicates deterministically.
+        let mut merged: Vec<(GranuleId, LockMode)> = Vec::with_capacity(locks.len());
+        let mut sorted = locks.to_vec();
+        sorted.sort_by_key(|(g, _)| *g);
+        for (g, m) in sorted {
+            match merged.last_mut() {
+                Some((lg, lm)) if *lg == g => *lm = lm.supremum(m),
+                _ => merged.push((g, m)),
+            }
+        }
+
+        // Probe phase: find the first conflict without acquiring anything.
+        for (g, m) in &merged {
+            let conflicts = self.table.conflicts_with(txn, *g, *m);
+            if let Some(&blocker) = conflicts.first() {
+                self.blocked.insert(txn, blocker);
+                self.blocks.entry(blocker).or_default().push(txn);
+                return ConservativeOutcome::Blocked { blocker };
+            }
+        }
+
+        // Acquire phase: by construction every request is grantable, and
+        // single-threaded use means nothing changed since the probe.
+        for (g, m) in &merged {
+            let out = self.table.lock(txn, *g, *m);
+            debug_assert_eq!(
+                out,
+                crate::table::LockOutcome::Granted,
+                "probe said grantable but lock queued"
+            );
+        }
+        ConservativeOutcome::Granted
+    }
+
+    /// Release everything `txn` holds and return the transactions that
+    /// were blocked on it, in the order they blocked. The caller re-issues
+    /// [`ConservativeScheduler::request_all`] for each (they may block
+    /// again, possibly on a different holder).
+    pub fn release(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let promoted = self.table.release_all(txn);
+        debug_assert!(
+            promoted.is_empty(),
+            "conservative scheduler never leaves waiters inside the table"
+        );
+        let woken = self.blocks.remove(&txn).unwrap_or_default();
+        for t in &woken {
+            let removed = self.blocked.remove(t);
+            debug_assert_eq!(removed, Some(txn));
+        }
+        woken
+    }
+
+    /// The holder `txn` is currently blocked on, if any.
+    pub fn blocked_on(&self, txn: TxnId) -> Option<TxnId> {
+        self.blocked.get(&txn).copied()
+    }
+
+    /// Number of currently blocked transactions.
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Granules currently held by `txn`.
+    pub fn holdings(&self, txn: TxnId) -> &[GranuleId] {
+        self.table.holdings(txn)
+    }
+
+    /// Access the underlying table (diagnostics, invariant checks).
+    pub fn table(&self) -> &LockTable {
+        &self.table
+    }
+
+    /// Check scheduler + table invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.table.check_invariants()?;
+        for (waiter, holder) in &self.blocked {
+            if !self
+                .blocks
+                .get(holder)
+                .is_some_and(|v| v.contains(waiter))
+            {
+                return Err(format!("{waiter:?} blocked on {holder:?} but not indexed"));
+            }
+            if !self.table.holdings(*waiter).is_empty() {
+                return Err(format!("blocked {waiter:?} holds locks"));
+            }
+        }
+        for (holder, waiters) in &self.blocks {
+            for w in waiters {
+                if self.blocked.get(w) != Some(holder) {
+                    return Err(format!("index lists {w:?} under {holder:?} spuriously"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::X;
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+    fn g(n: u64) -> GranuleId {
+        GranuleId(n)
+    }
+    fn xs(ids: &[u64]) -> Vec<(GranuleId, LockMode)> {
+        ids.iter().map(|&i| (g(i), X)).collect()
+    }
+
+    #[test]
+    fn disjoint_sets_run_concurrently() {
+        let mut s = ConservativeScheduler::new();
+        assert_eq!(s.request_all(t(1), &xs(&[0, 1, 2])), ConservativeOutcome::Granted);
+        assert_eq!(s.request_all(t(2), &xs(&[3, 4])), ConservativeOutcome::Granted);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overlap_blocks_all_or_nothing() {
+        let mut s = ConservativeScheduler::new();
+        assert_eq!(s.request_all(t(1), &xs(&[0, 1, 2])), ConservativeOutcome::Granted);
+        let out = s.request_all(t(2), &xs(&[2, 3, 4]));
+        assert_eq!(out, ConservativeOutcome::Blocked { blocker: t(1) });
+        // Nothing partial: granules 3 and 4 are still free for others.
+        assert_eq!(s.request_all(t(3), &xs(&[3, 4])), ConservativeOutcome::Granted);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_wakes_blocked_in_fifo_order() {
+        let mut s = ConservativeScheduler::new();
+        assert_eq!(s.request_all(t(1), &xs(&[0])), ConservativeOutcome::Granted);
+        assert!(matches!(s.request_all(t(2), &xs(&[0])), ConservativeOutcome::Blocked { .. }));
+        assert!(matches!(s.request_all(t(3), &xs(&[0])), ConservativeOutcome::Blocked { .. }));
+        let woken = s.release(t(1));
+        assert_eq!(woken, vec![t(2), t(3)]);
+        assert_eq!(s.blocked_count(), 0);
+        // First retry wins; second blocks again, now on t2.
+        assert_eq!(s.request_all(t(2), &xs(&[0])), ConservativeOutcome::Granted);
+        assert_eq!(
+            s.request_all(t(3), &xs(&[0])),
+            ConservativeOutcome::Blocked { blocker: t(2) }
+        );
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn no_deadlock_under_conservative_protocol() {
+        // The classic 2PL deadlock: t1 wants {0,1}, t2 wants {1,0}.
+        // Conservatively, whoever asks second simply blocks; no cycle.
+        let mut s = ConservativeScheduler::new();
+        assert_eq!(s.request_all(t(1), &xs(&[0, 1])), ConservativeOutcome::Granted);
+        assert_eq!(
+            s.request_all(t(2), &xs(&[1, 0])),
+            ConservativeOutcome::Blocked { blocker: t(1) }
+        );
+        let woken = s.release(t(1));
+        assert_eq!(woken, vec![t(2)]);
+        assert_eq!(s.request_all(t(2), &xs(&[1, 0])), ConservativeOutcome::Granted);
+    }
+
+    #[test]
+    fn duplicate_granules_in_request_are_merged() {
+        let mut s = ConservativeScheduler::new();
+        let locks = vec![(g(0), LockMode::S), (g(0), LockMode::X), (g(1), X)];
+        assert_eq!(s.request_all(t(1), &locks), ConservativeOutcome::Granted);
+        assert_eq!(s.table().held_mode(t(1), g(0)), Some(X));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn blocker_is_deterministic_lowest_granule() {
+        let mut s = ConservativeScheduler::new();
+        assert_eq!(s.request_all(t(1), &xs(&[5])), ConservativeOutcome::Granted);
+        assert_eq!(s.request_all(t(2), &xs(&[9])), ConservativeOutcome::Granted);
+        // t3 conflicts on both 5 and 9; must block on the holder of 5.
+        assert_eq!(
+            s.request_all(t(3), &xs(&[9, 5])),
+            ConservativeOutcome::Blocked { blocker: t(1) }
+        );
+    }
+
+    #[test]
+    fn shared_sets_do_not_block_each_other() {
+        let mut s = ConservativeScheduler::new();
+        let reads: Vec<(GranuleId, LockMode)> = (0..5).map(|i| (g(i), LockMode::S)).collect();
+        assert_eq!(s.request_all(t(1), &reads), ConservativeOutcome::Granted);
+        assert_eq!(s.request_all(t(2), &reads), ConservativeOutcome::Granted);
+        // A writer on any of them blocks.
+        assert!(matches!(
+            s.request_all(t(3), &xs(&[2])),
+            ConservativeOutcome::Blocked { .. }
+        ));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_lock_set_is_trivially_granted() {
+        let mut s = ConservativeScheduler::new();
+        assert_eq!(s.request_all(t(1), &[]), ConservativeOutcome::Granted);
+        assert!(s.release(t(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds locks")]
+    fn double_request_panics() {
+        let mut s = ConservativeScheduler::new();
+        s.request_all(t(1), &xs(&[0]));
+        s.request_all(t(1), &xs(&[1]));
+    }
+}

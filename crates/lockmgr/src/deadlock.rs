@@ -1,0 +1,231 @@
+//! Waits-for graph and cycle detection.
+//!
+//! Incremental two-phase locking can deadlock; the standard detector keeps
+//! a graph with an edge `A → B` whenever transaction `A` waits for a lock
+//! held (or queued ahead) by `B`, and searches for cycles after each new
+//! edge. The conservative protocol the paper simulates never needs this —
+//! all locks are pre-declared — but the [`crate::twophase`] extension does.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::table::TxnId;
+
+/// A directed waits-for graph over transactions.
+#[derive(Default, Debug)]
+pub struct WaitsForGraph {
+    edges: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl WaitsForGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add the edge `waiter → holder`. Self-edges are ignored (a
+    /// transaction never waits on itself).
+    pub fn add_edge(&mut self, waiter: TxnId, holder: TxnId) {
+        if waiter != holder {
+            self.edges.entry(waiter).or_default().insert(holder);
+        }
+    }
+
+    /// Remove a specific edge.
+    pub fn remove_edge(&mut self, waiter: TxnId, holder: TxnId) {
+        if let Some(out) = self.edges.get_mut(&waiter) {
+            out.remove(&holder);
+            if out.is_empty() {
+                self.edges.remove(&waiter);
+            }
+        }
+    }
+
+    /// Remove every edge into or out of `txn` (it committed or aborted).
+    pub fn remove_txn(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+        self.edges.retain(|_, out| {
+            out.remove(&txn);
+            !out.is_empty()
+        });
+    }
+
+    /// Transactions `txn` currently waits on.
+    pub fn waits_on(&self, txn: TxnId) -> impl Iterator<Item = TxnId> + '_ {
+        self.edges.get(&txn).into_iter().flatten().copied()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(HashSet::len).sum()
+    }
+
+    /// Find a cycle reachable from `start`, returned as the list of
+    /// transactions on the cycle (in waits-for order, starting anywhere on
+    /// the cycle). `None` if `start` is not on/ahead of a cycle.
+    ///
+    /// Iterative DFS with an explicit stack — transaction chains can be
+    /// long under heavy contention and must not overflow the call stack.
+    pub fn find_cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<TxnId, Color> = HashMap::new();
+        let mut path: Vec<TxnId> = Vec::new();
+        // Stack holds (node, next-neighbor-iterator position).
+        let mut stack: Vec<(TxnId, Vec<TxnId>, usize)> = Vec::new();
+
+        let neighbors = |t: TxnId| -> Vec<TxnId> {
+            let mut v: Vec<TxnId> = self.edges.get(&t).into_iter().flatten().copied().collect();
+            v.sort(); // deterministic exploration order
+            v
+        };
+
+        color.insert(start, Color::Gray);
+        path.push(start);
+        stack.push((start, neighbors(start), 0));
+
+        while let Some((node, nbrs, idx)) = stack.last_mut() {
+            if *idx >= nbrs.len() {
+                color.insert(*node, Color::Black);
+                path.pop();
+                stack.pop();
+                continue;
+            }
+            let next = nbrs[*idx];
+            *idx += 1;
+            match color.get(&next) {
+                Some(Color::Gray) => {
+                    // Found a back edge: the cycle is the path suffix from
+                    // `next`.
+                    let pos = path
+                        .iter()
+                        .position(|&t| t == next)
+                        .expect("gray node must be on path");
+                    return Some(path[pos..].to_vec());
+                }
+                Some(Color::Black) => {}
+                None => {
+                    color.insert(next, Color::Gray);
+                    path.push(next);
+                    let n = neighbors(next);
+                    stack.push((next, n, 0));
+                }
+            }
+        }
+        None
+    }
+
+    /// Detect any cycle in the whole graph.
+    pub fn find_any_cycle(&self) -> Option<Vec<TxnId>> {
+        let mut starts: Vec<TxnId> = self.edges.keys().copied().collect();
+        starts.sort();
+        starts.into_iter().find_map(|s| self.find_cycle_from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+
+    #[test]
+    fn no_cycle_in_chain() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(3), t(4));
+        assert!(g.find_any_cycle().is_none());
+        assert!(g.find_cycle_from(t(1)).is_none());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(1));
+        let cycle = g.find_cycle_from(t(1)).expect("cycle");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&t(1)) && cycle.contains(&t(2)));
+    }
+
+    #[test]
+    fn long_cycle_detected_from_any_entry() {
+        let mut g = WaitsForGraph::new();
+        for i in 0..10 {
+            g.add_edge(t(i), t((i + 1) % 10));
+        }
+        for i in 0..10 {
+            let cycle = g.find_cycle_from(t(i)).expect("cycle");
+            assert_eq!(cycle.len(), 10);
+        }
+    }
+
+    #[test]
+    fn cycle_behind_a_tail_is_found() {
+        // 0 -> 1 -> 2 -> 3 -> 1 : start node not on the cycle itself.
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(0), t(1));
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(3), t(1));
+        let cycle = g.find_cycle_from(t(0)).expect("cycle");
+        assert_eq!(cycle.len(), 3);
+        assert!(!cycle.contains(&t(0)));
+    }
+
+    #[test]
+    fn removing_txn_breaks_cycle() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(3), t(1));
+        assert!(g.find_any_cycle().is_some());
+        g.remove_txn(t(2));
+        assert!(g.find_any_cycle().is_none());
+        assert_eq!(g.edge_count(), 1); // only 3 -> 1 remains
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(1));
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.find_any_cycle().is_none());
+    }
+
+    #[test]
+    fn diamond_without_cycle() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(1), t(3));
+        g.add_edge(t(2), t(4));
+        g.add_edge(t(3), t(4));
+        assert!(g.find_any_cycle().is_none());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut g = WaitsForGraph::new();
+        for i in 0..100_000u64 {
+            g.add_edge(t(i), t(i + 1));
+        }
+        assert!(g.find_cycle_from(t(0)).is_none());
+        g.add_edge(t(100_000), t(0));
+        assert_eq!(g.find_cycle_from(t(0)).unwrap().len(), 100_001);
+    }
+
+    #[test]
+    fn remove_edge_is_precise() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(1), t(3));
+        g.remove_edge(t(1), t(2));
+        let remaining: Vec<TxnId> = g.waits_on(t(1)).collect();
+        assert_eq!(remaining, vec![t(3)]);
+    }
+}

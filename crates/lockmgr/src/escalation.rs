@@ -1,0 +1,260 @@
+//! Lock escalation over the granule hierarchy.
+//!
+//! The paper studies *fixed* granule sizes; production systems resolve
+//! the same trade-off adaptively: a transaction starts with fine locks
+//! and, once it holds more than a threshold of them under one parent,
+//! trades them for a single coarse lock on the parent. This module
+//! implements that policy over [`crate::hierarchy::GranuleTree`] — the
+//! dynamic counterpart of the paper's static `ltot` sweep.
+//!
+//! Escalation is attempted, not forced: if the parent lock conflicts with
+//! other holders, the transaction keeps its fine locks (escalation must
+//! never introduce blocking the fine locks avoided).
+
+use std::collections::HashMap;
+
+use crate::hierarchy::{GranuleTree, NodeId};
+use crate::mode::LockMode;
+use crate::table::{GranuleId, LockTable, TxnId};
+
+/// Escalation policy: when a transaction holds at least `threshold`
+/// child locks under one parent, attempt to replace them with a single
+/// parent lock.
+#[derive(Clone, Copy, Debug)]
+pub struct EscalationPolicy {
+    /// Child-lock count that triggers escalation.
+    pub threshold: usize,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        // SQL Server's classic default magnitude.
+        EscalationPolicy { threshold: 64 }
+    }
+}
+
+/// Outcome of one escalation attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EscalationOutcome {
+    /// Children released, parent locked; count of child locks freed.
+    Escalated {
+        /// Parent node now locked.
+        parent: NodeId,
+        /// Number of child locks released.
+        freed: usize,
+    },
+    /// Below threshold — nothing to do.
+    BelowThreshold,
+    /// The parent lock would conflict; fine locks kept.
+    WouldBlock,
+}
+
+/// Tracks per-(transaction, parent) child-lock counts and performs
+/// escalation against a [`LockTable`].
+#[derive(Debug)]
+pub struct EscalationManager {
+    policy: EscalationPolicy,
+    /// (txn, parent flat id) → children currently locked.
+    children: HashMap<(TxnId, GranuleId), Vec<NodeId>>,
+}
+
+impl EscalationManager {
+    /// Create with a policy.
+    pub fn new(policy: EscalationPolicy) -> Self {
+        EscalationManager {
+            policy,
+            children: HashMap::new(),
+        }
+    }
+
+    /// Record that `txn` locked leaf/child `node` (call after a
+    /// successful fine-grained lock), and attempt escalation if the
+    /// threshold is reached. `mode` is the mode held on the children and
+    /// requested on the parent.
+    pub fn on_child_locked(
+        &mut self,
+        tree: &GranuleTree,
+        table: &mut LockTable,
+        txn: TxnId,
+        node: NodeId,
+        mode: LockMode,
+    ) -> EscalationOutcome {
+        let Some(parent) = tree.parent(node) else {
+            return EscalationOutcome::BelowThreshold; // root has no parent
+        };
+        let parent_flat = tree.flat_id(parent);
+        let children = self.children.entry((txn, parent_flat)).or_default();
+        if !children.contains(&node) {
+            children.push(node);
+        }
+        if children.len() < self.policy.threshold {
+            return EscalationOutcome::BelowThreshold;
+        }
+        // Attempt: the transaction already holds the intention mode on
+        // the parent; upgrading to the full mode must not conflict with
+        // other holders.
+        if !table.would_grant(txn, parent_flat, mode) {
+            return EscalationOutcome::WouldBlock;
+        }
+        let out = table.lock(txn, parent_flat, mode);
+        debug_assert_eq!(out, crate::table::LockOutcome::Granted);
+        let freed = children.len();
+        for child in self.children.remove(&(txn, parent_flat)).unwrap_or_default() {
+            table.unlock(txn, tree.flat_id(child));
+        }
+        EscalationOutcome::Escalated { parent, freed }
+    }
+
+    /// Forget a transaction (commit/abort).
+    pub fn forget(&mut self, txn: TxnId) {
+        self.children.retain(|(t, _), _| *t != txn);
+    }
+
+    /// Child locks currently tracked for a transaction (diagnostics).
+    pub fn tracked_children(&self, txn: TxnId) -> usize {
+        self.children
+            .iter()
+            .filter(|((t, _), _)| *t == txn)
+            .map(|(_, v)| v.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyLevel;
+    use LockMode::{S, X};
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+    fn node(level: usize, index: u64) -> NodeId {
+        NodeId {
+            level: HierarchyLevel(level),
+            index,
+        }
+    }
+    /// db -> 10 files -> 50 blocks each.
+    fn tree() -> GranuleTree {
+        GranuleTree::new(&[10, 50])
+    }
+
+    /// Lock blocks 0..n of file 0 for txn, tracking escalation.
+    fn lock_blocks(
+        mgr: &mut EscalationManager,
+        tree: &GranuleTree,
+        table: &mut LockTable,
+        txn: TxnId,
+        n: u64,
+        mode: LockMode,
+    ) -> Vec<EscalationOutcome> {
+        (0..n)
+            .map(|i| {
+                let b = node(2, i);
+                tree.lock_hierarchical(table, txn, b, mode).unwrap();
+                mgr.on_child_locked(tree, table, txn, b, mode)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn escalates_at_threshold() {
+        let tr = tree();
+        let mut table = LockTable::new();
+        let mut mgr = EscalationManager::new(EscalationPolicy { threshold: 5 });
+        let outcomes = lock_blocks(&mut mgr, &tr, &mut table, t(1), 5, X);
+        assert!(outcomes[..4]
+            .iter()
+            .all(|o| *o == EscalationOutcome::BelowThreshold));
+        assert_eq!(
+            outcomes[4],
+            EscalationOutcome::Escalated {
+                parent: node(1, 0),
+                freed: 5
+            }
+        );
+        // The file lock replaced the five block locks.
+        assert_eq!(table.held_mode(t(1), tr.flat_id(node(1, 0))), Some(X));
+        for i in 0..5 {
+            assert_eq!(table.held_mode(t(1), tr.flat_id(node(2, i))), None);
+        }
+        table.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn escalation_blocked_by_other_reader_keeps_fine_locks() {
+        let tr = tree();
+        let mut table = LockTable::new();
+        let mut mgr = EscalationManager::new(EscalationPolicy { threshold: 3 });
+        // t2 reads one block of file 0 — holds IS on the file.
+        tr.lock_hierarchical(&mut table, t(2), node(2, 40), S).unwrap();
+        // t1 writes blocks; at the threshold, escalating to X on the file
+        // would conflict with t2's IS, so it must keep fine locks.
+        let outcomes = lock_blocks(&mut mgr, &tr, &mut table, t(1), 3, X);
+        assert_eq!(outcomes[2], EscalationOutcome::WouldBlock);
+        for i in 0..3 {
+            assert_eq!(table.held_mode(t(1), tr.flat_id(node(2, i))), Some(X));
+        }
+        table.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shared_escalation_coexists_with_other_readers() {
+        let tr = tree();
+        let mut table = LockTable::new();
+        let mut mgr = EscalationManager::new(EscalationPolicy { threshold: 2 });
+        tr.lock_hierarchical(&mut table, t(2), node(2, 40), S).unwrap();
+        // S-escalation on the file is compatible with t2's IS.
+        let outcomes = lock_blocks(&mut mgr, &tr, &mut table, t(1), 2, S);
+        assert!(matches!(outcomes[1], EscalationOutcome::Escalated { .. }));
+        assert_eq!(table.held_mode(t(1), tr.flat_id(node(1, 0))), Some(S));
+        table.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn counts_are_per_parent() {
+        let tr = tree();
+        let mut table = LockTable::new();
+        let mut mgr = EscalationManager::new(EscalationPolicy { threshold: 3 });
+        // Two blocks in file 0, two in file 1: neither reaches 3.
+        for &(level, idx) in &[(2usize, 0u64), (2, 1), (2, 50), (2, 51)] {
+            let b = node(level, idx);
+            tr.lock_hierarchical(&mut table, t(1), b, X).unwrap();
+            assert_eq!(
+                mgr.on_child_locked(&tr, &mut table, t(1), b, X),
+                EscalationOutcome::BelowThreshold
+            );
+        }
+        assert_eq!(mgr.tracked_children(t(1)), 4);
+    }
+
+    #[test]
+    fn duplicate_child_locks_count_once() {
+        let tr = tree();
+        let mut table = LockTable::new();
+        let mut mgr = EscalationManager::new(EscalationPolicy { threshold: 2 });
+        let b = node(2, 7);
+        tr.lock_hierarchical(&mut table, t(1), b, X).unwrap();
+        assert_eq!(
+            mgr.on_child_locked(&tr, &mut table, t(1), b, X),
+            EscalationOutcome::BelowThreshold
+        );
+        assert_eq!(
+            mgr.on_child_locked(&tr, &mut table, t(1), b, X),
+            EscalationOutcome::BelowThreshold,
+            "re-locking the same child must not trigger escalation"
+        );
+    }
+
+    #[test]
+    fn forget_clears_tracking() {
+        let tr = tree();
+        let mut table = LockTable::new();
+        let mut mgr = EscalationManager::new(EscalationPolicy { threshold: 10 });
+        lock_blocks(&mut mgr, &tr, &mut table, t(1), 4, X);
+        assert_eq!(mgr.tracked_children(t(1)), 4);
+        mgr.forget(t(1));
+        assert_eq!(mgr.tracked_children(t(1)), 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Multi-granularity (hierarchical) locking.
+//!
+//! The paper's conclusion points at Gamma-style mixed granularity:
+//! "providing granularity at the block level and at the file level … may
+//! be adequate for practical purposes". This module implements Gray's
+//! multi-granularity protocol over a uniform granule tree
+//! (database → file → block → record or any subset of levels): to lock a
+//! node in mode `M`, a transaction first holds the matching intention mode
+//! (`IS` for reads, `IX` for writes) on every ancestor, root first.
+//!
+//! The tree is *implicit*: levels have fixed fan-outs, node ids are
+//! computed arithmetically, and ancestor chains never allocate. A node id
+//! is globally unique across levels so a single flat [`LockTable`] stores
+//! the whole hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mode::LockMode;
+use crate::table::{GranuleId, LockOutcome, LockTable, TxnId};
+
+/// A level in the granule hierarchy, 0 = root (whole database).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HierarchyLevel(pub usize);
+
+/// A node in the granule tree: `(level, index within level)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeId {
+    /// Depth, 0 = root.
+    pub level: HierarchyLevel,
+    /// 0-based index among nodes of this level.
+    pub index: u64,
+}
+
+/// An implicit granule tree with fixed per-level fan-outs.
+///
+/// `fanouts[k]` is the number of children each level-`k` node has; a tree
+/// with `fanouts = [10, 50]` has 1 root, 10 files, 500 blocks.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GranuleTree {
+    fanouts: Vec<u64>,
+    /// `level_sizes[k]` = number of nodes at level `k`.
+    level_sizes: Vec<u64>,
+    /// `level_offsets[k]` = flat id of the first node at level `k`.
+    level_offsets: Vec<u64>,
+}
+
+impl GranuleTree {
+    /// Build a tree from per-level fan-outs (root excluded; an empty slice
+    /// yields a single-node tree — whole-database locking).
+    ///
+    /// # Panics
+    /// Panics if any fan-out is zero.
+    pub fn new(fanouts: &[u64]) -> Self {
+        assert!(fanouts.iter().all(|&f| f > 0), "fan-outs must be positive");
+        let mut level_sizes = vec![1u64];
+        for &f in fanouts {
+            let last = *level_sizes.last().expect("non-empty");
+            level_sizes.push(last * f);
+        }
+        let mut level_offsets = Vec::with_capacity(level_sizes.len());
+        let mut acc = 0;
+        for &s in &level_sizes {
+            level_offsets.push(acc);
+            acc += s;
+        }
+        GranuleTree {
+            fanouts: fanouts.to_vec(),
+            level_sizes,
+            level_offsets,
+        }
+    }
+
+    /// Number of levels (≥ 1; level 0 is the root).
+    pub fn levels(&self) -> usize {
+        self.level_sizes.len()
+    }
+
+    /// Number of nodes at `level`.
+    pub fn level_size(&self, level: HierarchyLevel) -> u64 {
+        self.level_sizes[level.0]
+    }
+
+    /// Total nodes in the tree.
+    pub fn total_nodes(&self) -> u64 {
+        self.level_sizes.iter().sum()
+    }
+
+    /// Leaf level (finest granularity).
+    pub fn leaf_level(&self) -> HierarchyLevel {
+        HierarchyLevel(self.levels() - 1)
+    }
+
+    /// Flat, globally unique granule id for a node.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range.
+    pub fn flat_id(&self, node: NodeId) -> GranuleId {
+        assert!(node.level.0 < self.levels(), "level out of range");
+        assert!(
+            node.index < self.level_sizes[node.level.0],
+            "index {} out of range for level {}",
+            node.index,
+            node.level.0
+        );
+        GranuleId(self.level_offsets[node.level.0] + node.index)
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        if node.level.0 == 0 {
+            return None;
+        }
+        Some(NodeId {
+            level: HierarchyLevel(node.level.0 - 1),
+            index: node.index / self.fanouts[node.level.0 - 1],
+        })
+    }
+
+    /// Ancestors of a node, root first (excluding the node itself).
+    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut chain = Vec::with_capacity(node.level.0);
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Lock `node` in `mode` for `txn`, taking the required intention
+    /// locks on all ancestors (root first) beforehand.
+    ///
+    /// All-or-nothing: if any lock on the path conflicts, every lock
+    /// acquired by *this call* is rolled back and the blockers are
+    /// returned. (Locks the transaction already held are untouched.)
+    pub fn lock_hierarchical(
+        &self,
+        table: &mut LockTable,
+        txn: TxnId,
+        node: NodeId,
+        mode: LockMode,
+    ) -> Result<(), Vec<TxnId>> {
+        let intent = mode.required_ancestor_intent();
+        let mut path: Vec<(GranuleId, LockMode)> = self
+            .ancestors(node)
+            .into_iter()
+            .map(|a| (self.flat_id(a), intent))
+            .collect();
+        path.push((self.flat_id(node), mode));
+
+        let mut acquired: Vec<(GranuleId, Option<LockMode>)> = Vec::new();
+        for (g, m) in &path {
+            let prior = table.held_mode(txn, *g);
+            // Probe first so a conflict leaves no queued request behind.
+            if !table.would_grant(txn, *g, *m) {
+                let blockers = table.conflicts_with(txn, *g, *m);
+                // Roll back everything acquired by this call.
+                for (g, prior) in acquired.into_iter().rev() {
+                    match prior {
+                        None => {
+                            table.unlock(txn, g);
+                        }
+                        Some(_) => {
+                            // Downgrade is not supported by the flat table;
+                            // holding the stronger mode is safe (it only
+                            // over-locks), so leave it.
+                        }
+                    }
+                }
+                return Err(blockers);
+            }
+            let out = table.lock(txn, *g, *m);
+            debug_assert_eq!(out, LockOutcome::Granted);
+            if prior.is_none() || prior != table.held_mode(txn, *g) {
+                acquired.push((*g, prior));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::{IS, IX, S, X};
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+
+    fn node(level: usize, index: u64) -> NodeId {
+        NodeId {
+            level: HierarchyLevel(level),
+            index,
+        }
+    }
+
+    /// database -> 10 files -> 50 blocks each = 500 blocks.
+    fn tree() -> GranuleTree {
+        GranuleTree::new(&[10, 50])
+    }
+
+    #[test]
+    fn geometry() {
+        let tr = tree();
+        assert_eq!(tr.levels(), 3);
+        assert_eq!(tr.level_size(HierarchyLevel(0)), 1);
+        assert_eq!(tr.level_size(HierarchyLevel(1)), 10);
+        assert_eq!(tr.level_size(HierarchyLevel(2)), 500);
+        assert_eq!(tr.total_nodes(), 511);
+        assert_eq!(tr.leaf_level(), HierarchyLevel(2));
+    }
+
+    #[test]
+    fn flat_ids_are_unique_across_levels() {
+        let tr = tree();
+        let mut seen = std::collections::HashSet::new();
+        for level in 0..tr.levels() {
+            for index in 0..tr.level_size(HierarchyLevel(level)) {
+                assert!(seen.insert(tr.flat_id(node(level, index))), "collision");
+            }
+        }
+        assert_eq!(seen.len() as u64, tr.total_nodes());
+    }
+
+    #[test]
+    fn parent_chain() {
+        let tr = tree();
+        // Block 123 belongs to file 123 / 50 = 2; file 2's parent is root.
+        let b = node(2, 123);
+        assert_eq!(tr.parent(b), Some(node(1, 2)));
+        assert_eq!(tr.parent(node(1, 2)), Some(node(0, 0)));
+        assert_eq!(tr.parent(node(0, 0)), None);
+        assert_eq!(tr.ancestors(b), vec![node(0, 0), node(1, 2)]);
+    }
+
+    #[test]
+    fn read_and_write_different_files_coexist() {
+        let tr = tree();
+        let mut lt = LockTable::new();
+        // t1 writes a block in file 0; t2 reads a block in file 3.
+        tr.lock_hierarchical(&mut lt, t(1), node(2, 5), X).unwrap();
+        tr.lock_hierarchical(&mut lt, t(2), node(2, 170), S).unwrap();
+        // Root carries IX (t1) + IS (t2): compatible.
+        assert_eq!(lt.held_mode(t(1), tr.flat_id(node(0, 0))), Some(IX));
+        assert_eq!(lt.held_mode(t(2), tr.flat_id(node(0, 0))), Some(IS));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn file_lock_blocks_block_write_within_it() {
+        let tr = tree();
+        let mut lt = LockTable::new();
+        // t1 S-locks file 2 (covers blocks 100..149).
+        tr.lock_hierarchical(&mut lt, t(1), node(1, 2), S).unwrap();
+        // t2 writing block 120 needs IX on file 2 -> conflicts with S.
+        let err = tr
+            .lock_hierarchical(&mut lt, t(2), node(2, 120), X)
+            .unwrap_err();
+        assert_eq!(err, vec![t(1)]);
+        // Roll-back check: t2 holds nothing.
+        assert!(lt.holdings(t(2)).is_empty());
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn block_write_blocks_covering_file_read() {
+        let tr = tree();
+        let mut lt = LockTable::new();
+        tr.lock_hierarchical(&mut lt, t(1), node(2, 120), X).unwrap();
+        // t2 reading all of file 2 needs S on file 2, which conflicts with
+        // t1's IX there.
+        let err = tr
+            .lock_hierarchical(&mut lt, t(2), node(1, 2), S)
+            .unwrap_err();
+        assert_eq!(err, vec![t(1)]);
+        // But reading a *different* file is fine.
+        tr.lock_hierarchical(&mut lt, t(2), node(1, 3), S).unwrap();
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_lock_preserves_prior_holdings() {
+        let tr = tree();
+        let mut lt = LockTable::new();
+        // t2 already reads file 3.
+        tr.lock_hierarchical(&mut lt, t(2), node(1, 3), S).unwrap();
+        let before = lt.holdings(t(2)).len();
+        // t1 X-locks the whole database; t2's next request fails...
+        tr.lock_hierarchical(&mut lt, t(1), node(1, 5), X).unwrap();
+        let err = tr.lock_hierarchical(&mut lt, t(2), node(1, 5), S);
+        assert!(err.is_err());
+        // ...but its earlier locks are intact.
+        assert_eq!(lt.holdings(t(2)).len(), before);
+        assert_eq!(lt.held_mode(t(2), tr.flat_id(node(1, 3))), Some(S));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn single_level_tree_degenerates_to_flat_locking() {
+        let tr = GranuleTree::new(&[]);
+        let mut lt = LockTable::new();
+        tr.lock_hierarchical(&mut lt, t(1), node(0, 0), X).unwrap();
+        let err = tr.lock_hierarchical(&mut lt, t(2), node(0, 0), S).unwrap_err();
+        assert_eq!(err, vec![t(1)]);
+    }
+
+    #[test]
+    fn repeated_lock_by_same_txn_is_idempotent() {
+        let tr = tree();
+        let mut lt = LockTable::new();
+        tr.lock_hierarchical(&mut lt, t(1), node(2, 7), X).unwrap();
+        tr.lock_hierarchical(&mut lt, t(1), node(2, 7), X).unwrap();
+        tr.lock_hierarchical(&mut lt, t(1), node(2, 8), X).unwrap();
+        lt.check_invariants().unwrap();
+    }
+}

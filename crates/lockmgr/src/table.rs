@@ -1,0 +1,568 @@
+//! The lock table.
+//!
+//! A hashed map from granule id to a lock entry holding the **granted
+//! group** (transactions currently holding the granule, with their modes)
+//! and a **FIFO wait queue**. Grant policy:
+//!
+//! * A request is granted iff its mode is compatible with every granted
+//!   holder *and* no earlier waiter exists (strict FIFO — prevents
+//!   starvation of X requests behind a stream of S requests).
+//! * The same transaction re-requesting a granule it holds is treated as
+//!   an upgrade to the supremum of old and new modes; upgrades jump the
+//!   queue (standard practice — the holder cannot wait behind itself) but
+//!   must still be compatible with the *other* holders.
+//! * On release, the queue head is granted greedily: consecutive
+//!   compatible waiters are admitted together (e.g. a run of S requests).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::mode::LockMode;
+
+/// Transaction identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TxnId(pub u64);
+
+/// Lockable granule identifier (0-based, `< ltot`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GranuleId(pub u64);
+
+/// Result of a lock request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock is held (possibly upgraded).
+    Granted,
+    /// The request was queued; `blockers` are the transactions it waits
+    /// behind (granted holders plus incompatible earlier waiters).
+    Queued {
+        /// Transactions this request is waiting on, deduplicated, in
+        /// grant-group-then-queue order.
+        blockers: Vec<TxnId>,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+}
+
+#[derive(Default, Debug)]
+struct LockEntry {
+    granted: Vec<(TxnId, LockMode)>,
+    waiting: VecDeque<Waiter>,
+}
+
+impl LockEntry {
+    fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.granted.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+    }
+
+    fn compatible_with_granted(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.granted
+            .iter()
+            .filter(|(t, _)| *t != txn)
+            .all(|(_, held)| mode.compatible(*held))
+    }
+}
+
+/// A lock table (see module docs).
+#[derive(Default, Debug)]
+pub struct LockTable {
+    entries: HashMap<GranuleId, LockEntry>,
+    /// Granules held per transaction, for O(holdings) release.
+    holdings: HashMap<TxnId, Vec<GranuleId>>,
+    grants: u64,
+    waits: u64,
+}
+
+impl LockTable {
+    /// An empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_holding(holdings: &mut HashMap<TxnId, Vec<GranuleId>>, txn: TxnId, granule: GranuleId) {
+        let v = holdings.entry(txn).or_default();
+        if !v.contains(&granule) {
+            v.push(granule);
+        }
+    }
+
+    /// Request `granule` in `mode` for `txn`.
+    ///
+    /// Re-requests by a holder upgrade to the supremum mode. A request by
+    /// a transaction that is *already waiting* on this granule is a
+    /// protocol error and panics in debug builds.
+    pub fn lock(&mut self, txn: TxnId, granule: GranuleId, mode: LockMode) -> LockOutcome {
+        let entry = self.entries.entry(granule).or_default();
+        debug_assert!(
+            !entry.waiting.iter().any(|w| w.txn == txn),
+            "{txn:?} requested {granule:?} while already waiting on it"
+        );
+
+        if let Some(held) = entry.holder_mode(txn) {
+            // Upgrade path: jumps the queue but must respect other holders.
+            let target = held.supremum(mode);
+            if target == held {
+                return LockOutcome::Granted;
+            }
+            if entry.compatible_with_granted(txn, target) {
+                for (t, m) in &mut entry.granted {
+                    if *t == txn {
+                        *m = target;
+                    }
+                }
+                self.grants += 1;
+                return LockOutcome::Granted;
+            }
+            let blockers = Self::collect_blockers(entry, txn, target);
+            entry.waiting.push_back(Waiter { txn, mode: target });
+            self.waits += 1;
+            return LockOutcome::Queued { blockers };
+        }
+
+        if entry.waiting.is_empty() && entry.compatible_with_granted(txn, mode) {
+            entry.granted.push((txn, mode));
+            self.holdings.entry(txn).or_default().push(granule);
+            self.grants += 1;
+            LockOutcome::Granted
+        } else {
+            let blockers = Self::collect_blockers(entry, txn, mode);
+            entry.waiting.push_back(Waiter { txn, mode });
+            self.waits += 1;
+            LockOutcome::Queued { blockers }
+        }
+    }
+
+    /// Non-mutating conflict probe: would `txn` get `granule` in `mode`
+    /// right now?
+    pub fn would_grant(&self, txn: TxnId, granule: GranuleId, mode: LockMode) -> bool {
+        match self.entries.get(&granule) {
+            None => true,
+            Some(entry) => {
+                if let Some(held) = entry.holder_mode(txn) {
+                    let target = held.supremum(mode);
+                    target == held || entry.compatible_with_granted(txn, target)
+                } else {
+                    entry.waiting.is_empty() && entry.compatible_with_granted(txn, mode)
+                }
+            }
+        }
+    }
+
+    /// The transactions `txn` would wait on if it requested `granule` in
+    /// `mode` now (empty if it would be granted).
+    pub fn conflicts_with(&self, txn: TxnId, granule: GranuleId, mode: LockMode) -> Vec<TxnId> {
+        match self.entries.get(&granule) {
+            None => Vec::new(),
+            Some(entry) => {
+                if self.would_grant(txn, granule, mode) {
+                    Vec::new()
+                } else {
+                    Self::collect_blockers(entry, txn, mode)
+                }
+            }
+        }
+    }
+
+    fn collect_blockers(entry: &LockEntry, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        let mut blockers: Vec<TxnId> = Vec::new();
+        for (t, held) in &entry.granted {
+            if *t != txn && !mode.compatible(*held) && !blockers.contains(t) {
+                blockers.push(*t);
+            }
+        }
+        for w in &entry.waiting {
+            if w.txn != txn && !mode.compatible(w.mode) && !blockers.contains(&w.txn) {
+                blockers.push(w.txn);
+            }
+        }
+        // FIFO order alone can block (compatible request behind an
+        // incompatible waiter): fall back to the queue head.
+        if blockers.is_empty() {
+            if let Some(w) = entry.waiting.front() {
+                blockers.push(w.txn);
+            }
+        }
+        blockers
+    }
+
+    /// Release `granule` for `txn`. Returns the waiters granted as a
+    /// result, in grant order. Releasing a granule not held is a no-op
+    /// (idempotent release simplifies callers).
+    pub fn unlock(&mut self, txn: TxnId, granule: GranuleId) -> Vec<(TxnId, LockMode)> {
+        let Some(entry) = self.entries.get_mut(&granule) else {
+            return Vec::new();
+        };
+        let before = entry.granted.len();
+        entry.granted.retain(|(t, _)| *t != txn);
+        if entry.granted.len() == before {
+            return Vec::new();
+        }
+        if let Some(h) = self.holdings.get_mut(&txn) {
+            h.retain(|g| *g != granule);
+        }
+        let granted = Self::promote(entry, &mut self.grants);
+        for (t, _) in &granted {
+            Self::add_holding(&mut self.holdings, *t, granule);
+        }
+        if entry.granted.is_empty() && entry.waiting.is_empty() {
+            self.entries.remove(&granule);
+        }
+        granted
+    }
+
+    /// Release every granule held by `txn` and remove it from any wait
+    /// queues. Returns all waiters granted as a result.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, GranuleId, LockMode)> {
+        let held = self.holdings.remove(&txn).unwrap_or_default();
+        let mut promoted = Vec::new();
+        for granule in held {
+            let Some(entry) = self.entries.get_mut(&granule) else {
+                continue;
+            };
+            entry.granted.retain(|(t, _)| *t != txn);
+            for (t, m) in Self::promote(entry, &mut self.grants) {
+                Self::add_holding(&mut self.holdings, t, granule);
+                promoted.push((t, granule, m));
+            }
+            if entry.granted.is_empty() && entry.waiting.is_empty() {
+                self.entries.remove(&granule);
+            }
+        }
+        // Drop any wait-queue entries (aborted / departing transaction).
+        self.cancel_waits(txn, &mut promoted);
+        promoted
+    }
+
+    /// Remove `txn` from every wait queue (abort while blocked). Any
+    /// waiters unblocked by the removal are granted and appended to `out`.
+    fn cancel_waits(&mut self, txn: TxnId, out: &mut Vec<(TxnId, GranuleId, LockMode)>) {
+        let granules: Vec<GranuleId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.waiting.iter().any(|w| w.txn == txn))
+            .map(|(g, _)| *g)
+            .collect();
+        for granule in granules {
+            let entry = self.entries.get_mut(&granule).expect("entry exists");
+            entry.waiting.retain(|w| w.txn != txn);
+            for (t, m) in Self::promote(entry, &mut self.grants) {
+                Self::add_holding(&mut self.holdings, t, granule);
+                out.push((t, granule, m));
+            }
+            if entry.granted.is_empty() && entry.waiting.is_empty() {
+                self.entries.remove(&granule);
+            }
+        }
+    }
+
+    /// Grant the longest compatible prefix of the wait queue.
+    fn promote(entry: &mut LockEntry, grants: &mut u64) -> Vec<(TxnId, LockMode)> {
+        let mut granted = Vec::new();
+        while let Some(w) = entry.waiting.front() {
+            let ok = entry
+                .granted
+                .iter()
+                .filter(|(t, _)| *t != w.txn)
+                .all(|(_, held)| w.mode.compatible(*held));
+            if !ok {
+                break;
+            }
+            let w = entry.waiting.pop_front().expect("front exists");
+            // An upgrading waiter replaces its old entry.
+            entry.granted.retain(|(t, _)| *t != w.txn);
+            entry.granted.push((w.txn, w.mode));
+            *grants += 1;
+            granted.push((w.txn, w.mode));
+        }
+        granted
+    }
+
+    /// Mode in which `txn` holds `granule`, if any.
+    pub fn held_mode(&self, txn: TxnId, granule: GranuleId) -> Option<LockMode> {
+        self.entries.get(&granule).and_then(|e| e.holder_mode(txn))
+    }
+
+    /// Granules currently held by `txn`.
+    pub fn holdings(&self, txn: TxnId) -> &[GranuleId] {
+        self.holdings.get(&txn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of granules with at least one holder or waiter.
+    pub fn active_granules(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total grants performed (including upgrades and promotions).
+    pub fn grant_count(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total requests that had to queue.
+    pub fn wait_count(&self) -> u64 {
+        self.waits
+    }
+
+    /// Check internal invariants; returns a description of the first
+    /// violation. Used by property tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (g, e) in &self.entries {
+            // 1. All granted holders pairwise compatible.
+            for i in 0..e.granted.len() {
+                for j in (i + 1)..e.granted.len() {
+                    let (t1, m1) = e.granted[i];
+                    let (t2, m2) = e.granted[j];
+                    if t1 == t2 {
+                        return Err(format!("{t1:?} granted twice on {g:?}"));
+                    }
+                    if !m1.compatible(m2) {
+                        return Err(format!(
+                            "incompatible holders on {g:?}: {t1:?}:{m1} vs {t2:?}:{m2}"
+                        ));
+                    }
+                }
+            }
+            // 2. Queue head must actually conflict (no lost wakeup).
+            if let Some(w) = e.waiting.front() {
+                let ok = e
+                    .granted
+                    .iter()
+                    .filter(|(t, _)| *t != w.txn)
+                    .all(|(_, held)| w.mode.compatible(*held));
+                if ok {
+                    return Err(format!(
+                        "queue head {:?} on {g:?} is compatible but not granted",
+                        w.txn
+                    ));
+                }
+            }
+            // 3. No empty entries are retained.
+            if e.granted.is_empty() && e.waiting.is_empty() {
+                return Err(format!("empty entry retained for {g:?}"));
+            }
+            // 4. holdings index consistent with granted groups.
+            for (t, _) in &e.granted {
+                if !self.holdings.get(t).is_some_and(|h| h.contains(g)) {
+                    return Err(format!("{t:?} granted on {g:?} but missing from holdings"));
+                }
+            }
+        }
+        for (t, hs) in &self.holdings {
+            let mut sorted = hs.clone();
+            sorted.sort();
+            sorted.dedup();
+            if sorted.len() != hs.len() {
+                return Err(format!("duplicate holdings entries for {t:?}"));
+            }
+            for g in hs {
+                let ok = self
+                    .entries
+                    .get(g)
+                    .is_some_and(|e| e.holder_mode(*t).is_some());
+                if !ok {
+                    return Err(format!("{t:?} holdings list {g:?} but not granted"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+    fn g(n: u64) -> GranuleId {
+        GranuleId(n)
+    }
+
+    #[test]
+    fn exclusive_conflict_queues_fifo() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.lock(t(1), g(0), X), LockOutcome::Granted);
+        let out = lt.lock(t(2), g(0), X);
+        assert_eq!(out, LockOutcome::Queued { blockers: vec![t(1)] });
+        let out = lt.lock(t(3), g(0), X);
+        assert!(matches!(out, LockOutcome::Queued { .. }));
+        lt.check_invariants().unwrap();
+
+        let granted = lt.unlock(t(1), g(0));
+        assert_eq!(granted, vec![(t(2), X)]);
+        let granted = lt.unlock(t(2), g(0));
+        assert_eq!(granted, vec![(t(3), X)]);
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lt = LockTable::new();
+        for i in 1..=5 {
+            assert_eq!(lt.lock(t(i), g(0), S), LockOutcome::Granted);
+        }
+        lt.check_invariants().unwrap();
+        // An X request queues behind all of them.
+        let out = lt.lock(t(9), g(0), X);
+        match out {
+            LockOutcome::Queued { blockers } => assert_eq!(blockers.len(), 5),
+            other => panic!("expected queue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_prevents_reader_starvation_of_writers() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.lock(t(1), g(0), S), LockOutcome::Granted);
+        assert!(matches!(lt.lock(t(2), g(0), X), LockOutcome::Queued { .. }));
+        // A later S must queue behind the X even though it is compatible
+        // with the granted group.
+        let out = lt.lock(t(3), g(0), S);
+        match out {
+            LockOutcome::Queued { blockers } => assert_eq!(blockers, vec![t(2)]),
+            other => panic!("expected queue, got {other:?}"),
+        }
+        // Release the reader: X is granted alone; S still waits.
+        let granted = lt.unlock(t(1), g(0));
+        assert_eq!(granted, vec![(t(2), X)]);
+        assert!(lt.held_mode(t(3), g(0)).is_none());
+        // Release the writer: S finally granted.
+        let granted = lt.unlock(t(2), g(0));
+        assert_eq!(granted, vec![(t(3), S)]);
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_promotion_of_compatible_prefix() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.lock(t(1), g(0), X), LockOutcome::Granted);
+        for i in 2..=4 {
+            assert!(matches!(lt.lock(t(i), g(0), S), LockOutcome::Queued { .. }));
+        }
+        assert!(matches!(lt.lock(t(5), g(0), X), LockOutcome::Queued { .. }));
+        let granted = lt.unlock(t(1), g(0));
+        // The three S waiters are admitted together; the X stays queued.
+        assert_eq!(granted, vec![(t(2), S), (t(3), S), (t(4), S)]);
+        assert!(lt.held_mode(t(5), g(0)).is_none());
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rerequest_same_mode_is_granted() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.lock(t(1), g(0), S), LockOutcome::Granted);
+        assert_eq!(lt.lock(t(1), g(0), S), LockOutcome::Granted);
+        assert_eq!(lt.holdings(t(1)), &[g(0)]);
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn upgrade_succeeds_when_alone() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.lock(t(1), g(0), S), LockOutcome::Granted);
+        assert_eq!(lt.lock(t(1), g(0), X), LockOutcome::Granted);
+        assert_eq!(lt.held_mode(t(1), g(0)), Some(X));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn upgrade_blocks_on_other_reader() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.lock(t(1), g(0), S), LockOutcome::Granted);
+        assert_eq!(lt.lock(t(2), g(0), S), LockOutcome::Granted);
+        let out = lt.lock(t(1), g(0), X);
+        assert_eq!(out, LockOutcome::Queued { blockers: vec![t(2)] });
+        // When the other reader leaves, the upgrade is granted as X.
+        let granted = lt.unlock(t(2), g(0));
+        assert_eq!(granted, vec![(t(1), X)]);
+        assert_eq!(lt.held_mode(t(1), g(0)), Some(X));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_all_frees_everything_and_promotes() {
+        let mut lt = LockTable::new();
+        for i in 0..10 {
+            assert_eq!(lt.lock(t(1), g(i), X), LockOutcome::Granted);
+        }
+        assert!(matches!(lt.lock(t(2), g(3), X), LockOutcome::Queued { .. }));
+        assert!(matches!(lt.lock(t(3), g(7), S), LockOutcome::Queued { .. }));
+        let promoted = lt.release_all(t(1));
+        let mut promoted_txns: Vec<TxnId> = promoted.iter().map(|(t, _, _)| *t).collect();
+        promoted_txns.sort();
+        assert_eq!(promoted_txns, vec![t(2), t(3)]);
+        assert!(lt.holdings(t(1)).is_empty());
+        assert_eq!(lt.held_mode(t(2), g(3)), Some(X));
+        assert_eq!(lt.held_mode(t(3), g(7)), Some(S));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_all_cancels_pending_waits() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.lock(t(1), g(0), X), LockOutcome::Granted);
+        assert!(matches!(lt.lock(t(2), g(0), X), LockOutcome::Queued { .. }));
+        assert!(matches!(lt.lock(t(3), g(0), X), LockOutcome::Queued { .. }));
+        // t2 aborts while waiting; t3 must not be lost behind it.
+        let promoted = lt.release_all(t(2));
+        assert!(promoted.is_empty());
+        let granted = lt.unlock(t(1), g(0));
+        assert_eq!(granted, vec![(t(3), X)]);
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unlock_unheld_is_noop() {
+        let mut lt = LockTable::new();
+        assert!(lt.unlock(t(1), g(0)).is_empty());
+        assert_eq!(lt.lock(t(1), g(0), S), LockOutcome::Granted);
+        assert!(lt.unlock(t(2), g(0)).is_empty());
+        assert_eq!(lt.held_mode(t(1), g(0)), Some(S));
+    }
+
+    #[test]
+    fn intention_modes_follow_matrix() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.lock(t(1), g(0), IX), LockOutcome::Granted);
+        assert_eq!(lt.lock(t(2), g(0), IX), LockOutcome::Granted);
+        assert_eq!(lt.lock(t(3), g(0), IS), LockOutcome::Granted);
+        assert!(matches!(lt.lock(t(4), g(0), S), LockOutcome::Queued { .. }));
+        lt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut lt = LockTable::new();
+        lt.lock(t(1), g(0), X);
+        lt.lock(t(2), g(0), X);
+        assert_eq!(lt.grant_count(), 1);
+        assert_eq!(lt.wait_count(), 1);
+        lt.unlock(t(1), g(0));
+        assert_eq!(lt.grant_count(), 2); // promotion counts as a grant
+    }
+
+    #[test]
+    fn entries_are_garbage_collected() {
+        let mut lt = LockTable::new();
+        lt.lock(t(1), g(0), X);
+        assert_eq!(lt.active_granules(), 1);
+        lt.unlock(t(1), g(0));
+        assert_eq!(lt.active_granules(), 0);
+    }
+
+    #[test]
+    fn would_grant_probe_matches_lock() {
+        let mut lt = LockTable::new();
+        assert!(lt.would_grant(t(1), g(0), X));
+        lt.lock(t(1), g(0), S);
+        assert!(lt.would_grant(t(2), g(0), S));
+        assert!(!lt.would_grant(t(2), g(0), X));
+        assert!(lt.would_grant(t(1), g(0), X)); // upgrade when alone
+        lt.lock(t(2), g(0), S);
+        assert!(!lt.would_grant(t(1), g(0), X)); // upgrade blocked by t2
+        assert_eq!(lt.conflicts_with(t(3), g(0), X), vec![t(1), t(2)]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Incremental two-phase locking with deadlock detection (extension).
+//!
+//! The paper restricts itself to conservative locking (and cites Ries &
+//! Stonebraker's finding that "claim as needed" did not change the
+//! conclusions). This module implements the claim-as-needed protocol so
+//! that claim can be re-examined: locks are acquired one at a time as the
+//! transaction touches granules, conflicts enqueue in the lock table, a
+//! waits-for graph is maintained, and any cycle is broken by aborting the
+//! **youngest** transaction on it (fewest locks invested is a common
+//! alternative; youngest-aborts gives deterministic, starvation-resistant
+//! behaviour with monotone transaction ids).
+
+use std::collections::HashMap;
+
+use crate::deadlock::WaitsForGraph;
+use crate::mode::LockMode;
+use crate::table::{GranuleId, LockOutcome, LockTable, TxnId};
+
+/// Outcome of an incremental lock acquisition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// Lock held; proceed.
+    Granted,
+    /// Queued behind the returned blockers; the transaction must wait for
+    /// a [`TwoPhaseScheduler::release`] that grants it.
+    Waiting {
+        /// Transactions waited on.
+        blockers: Vec<TxnId>,
+    },
+    /// Granting would deadlock; `victim` was chosen and forcibly aborted
+    /// (all its locks released, its waits cancelled). If the victim is the
+    /// requester itself the caller must restart it; otherwise the request
+    /// is re-evaluated and this variant reports the post-abort outcome in
+    /// `retry`.
+    Deadlock {
+        /// The aborted transaction (youngest on the cycle).
+        victim: TxnId,
+        /// Transactions granted locks as a side effect of the abort.
+        granted: Vec<TxnId>,
+    },
+}
+
+/// Claim-as-needed two-phase locking scheduler.
+#[derive(Default, Debug)]
+pub struct TwoPhaseScheduler {
+    table: LockTable,
+    graph: WaitsForGraph,
+    /// Requests currently queued in the table: txn → (granule, mode).
+    waiting: HashMap<TxnId, (GranuleId, LockMode)>,
+    aborts: u64,
+}
+
+impl TwoPhaseScheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire one lock for `txn`. If a deadlock would result, the
+    /// youngest (largest-id) transaction on the cycle is aborted.
+    ///
+    /// # Panics
+    /// Panics if `txn` is already waiting for a lock (a transaction is a
+    /// single thread of control: it cannot issue a second request while
+    /// blocked).
+    pub fn acquire(&mut self, txn: TxnId, granule: GranuleId, mode: LockMode) -> AcquireOutcome {
+        assert!(
+            !self.waiting.contains_key(&txn),
+            "{txn:?} issued a request while already waiting"
+        );
+        match self.table.lock(txn, granule, mode) {
+            LockOutcome::Granted => AcquireOutcome::Granted,
+            LockOutcome::Queued { blockers } => {
+                self.waiting.insert(txn, (granule, mode));
+                for b in &blockers {
+                    self.graph.add_edge(txn, *b);
+                }
+                if let Some(cycle) = self.graph.find_cycle_from(txn) {
+                    let victim = *cycle.iter().max().expect("cycle is non-empty");
+                    let granted = self.abort(victim);
+                    self.aborts += 1;
+                    AcquireOutcome::Deadlock { victim, granted }
+                } else {
+                    AcquireOutcome::Waiting { blockers }
+                }
+            }
+        }
+    }
+
+    /// Abort `victim`: drop its locks and queued request, grant whatever
+    /// becomes available. Returns the transactions granted as a result.
+    pub fn abort(&mut self, victim: TxnId) -> Vec<TxnId> {
+        self.waiting.remove(&victim);
+        self.graph.remove_txn(victim);
+        let promoted = self.table.release_all(victim);
+        self.note_grants(&promoted)
+    }
+
+    /// Commit `txn`: release all its locks. Returns the transactions
+    /// granted as a result (their `acquire` has now succeeded; callers
+    /// resume them).
+    pub fn release(&mut self, txn: TxnId) -> Vec<TxnId> {
+        debug_assert!(
+            !self.waiting.contains_key(&txn),
+            "{txn:?} released while waiting"
+        );
+        self.graph.remove_txn(txn);
+        let promoted = self.table.release_all(txn);
+        self.note_grants(&promoted)
+    }
+
+    fn note_grants(&mut self, promoted: &[(TxnId, GranuleId, LockMode)]) -> Vec<TxnId> {
+        let mut granted = Vec::new();
+        for (t, g, m) in promoted {
+            if let Some(&(wg, wm)) = self.waiting.get(t) {
+                debug_assert_eq!((wg, wm.supremum(*m)), (*g, wm.supremum(*m)));
+                self.waiting.remove(t);
+                self.graph.remove_txn(*t);
+                granted.push(*t);
+            }
+        }
+        granted
+    }
+
+    /// Is `txn` currently queued for a lock?
+    pub fn is_waiting(&self, txn: TxnId) -> bool {
+        self.waiting.contains_key(&txn)
+    }
+
+    /// Total deadlock aborts performed.
+    pub fn abort_count(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Access the underlying lock table.
+    pub fn table(&self) -> &LockTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::{S, X};
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+    fn g(n: u64) -> GranuleId {
+        GranuleId(n)
+    }
+
+    #[test]
+    fn grant_wait_release_cycle() {
+        let mut s = TwoPhaseScheduler::new();
+        assert_eq!(s.acquire(t(1), g(0), X), AcquireOutcome::Granted);
+        let out = s.acquire(t(2), g(0), X);
+        assert_eq!(out, AcquireOutcome::Waiting { blockers: vec![t(1)] });
+        assert!(s.is_waiting(t(2)));
+        let granted = s.release(t(1));
+        assert_eq!(granted, vec![t(2)]);
+        assert!(!s.is_waiting(t(2)));
+        assert_eq!(s.table().held_mode(t(2), g(0)), Some(X));
+    }
+
+    #[test]
+    fn classic_two_transaction_deadlock_aborts_youngest() {
+        let mut s = TwoPhaseScheduler::new();
+        assert_eq!(s.acquire(t(1), g(0), X), AcquireOutcome::Granted);
+        assert_eq!(s.acquire(t(2), g(1), X), AcquireOutcome::Granted);
+        assert!(matches!(s.acquire(t(1), g(1), X), AcquireOutcome::Waiting { .. }));
+        // t2 closing the cycle: youngest (t2) is the victim.
+        match s.acquire(t(2), g(0), X) {
+            AcquireOutcome::Deadlock { victim, granted } => {
+                assert_eq!(victim, t(2));
+                // Aborting t2 frees g1, granting t1's queued request.
+                assert_eq!(granted, vec![t(1)]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert_eq!(s.abort_count(), 1);
+        assert_eq!(s.table().held_mode(t(1), g(1)), Some(X));
+        assert!(s.table().holdings(t(2)).is_empty());
+    }
+
+    #[test]
+    fn three_way_deadlock_detected() {
+        let mut s = TwoPhaseScheduler::new();
+        for i in 0..3u64 {
+            assert_eq!(s.acquire(t(i + 1), g(i), X), AcquireOutcome::Granted);
+        }
+        assert!(matches!(s.acquire(t(1), g(1), X), AcquireOutcome::Waiting { .. }));
+        assert!(matches!(s.acquire(t(2), g(2), X), AcquireOutcome::Waiting { .. }));
+        match s.acquire(t(3), g(0), X) {
+            AcquireOutcome::Deadlock { victim, .. } => assert_eq!(victim, t(3)),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn readers_do_not_deadlock() {
+        let mut s = TwoPhaseScheduler::new();
+        assert_eq!(s.acquire(t(1), g(0), S), AcquireOutcome::Granted);
+        assert_eq!(s.acquire(t(2), g(1), S), AcquireOutcome::Granted);
+        assert_eq!(s.acquire(t(1), g(1), S), AcquireOutcome::Granted);
+        assert_eq!(s.acquire(t(2), g(0), S), AcquireOutcome::Granted);
+        assert_eq!(s.abort_count(), 0);
+    }
+
+    #[test]
+    fn upgrade_deadlock_is_broken() {
+        // Both read the same granule, both try to upgrade: a classic
+        // conversion deadlock.
+        let mut s = TwoPhaseScheduler::new();
+        assert_eq!(s.acquire(t(1), g(0), S), AcquireOutcome::Granted);
+        assert_eq!(s.acquire(t(2), g(0), S), AcquireOutcome::Granted);
+        assert!(matches!(s.acquire(t(1), g(0), X), AcquireOutcome::Waiting { .. }));
+        match s.acquire(t(2), g(0), X) {
+            AcquireOutcome::Deadlock { victim, granted } => {
+                assert_eq!(victim, t(2));
+                assert_eq!(granted, vec![t(1)]);
+                assert_eq!(s.table().held_mode(t(1), g(0)), Some(X));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_grants_batch_of_readers() {
+        let mut s = TwoPhaseScheduler::new();
+        assert_eq!(s.acquire(t(1), g(0), X), AcquireOutcome::Granted);
+        assert!(matches!(s.acquire(t(2), g(0), S), AcquireOutcome::Waiting { .. }));
+        assert!(matches!(s.acquire(t(3), g(0), S), AcquireOutcome::Waiting { .. }));
+        let granted = s.release(t(1));
+        assert_eq!(granted, vec![t(2), t(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already waiting")]
+    fn request_while_waiting_panics() {
+        let mut s = TwoPhaseScheduler::new();
+        s.acquire(t(1), g(0), X);
+        let _ = s.acquire(t(2), g(0), X);
+        let _ = s.acquire(t(2), g(1), X);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests for the lock manager: random operation sequences must
+//! preserve the table invariants, the conservative protocol must stay
+//! all-or-nothing, and incremental 2PL must never leave a waits-for
+//! cycle standing.
+
+use proptest::prelude::*;
+
+use lockgran_lockmgr::{
+    AcquireOutcome, ConservativeOutcome, ConservativeScheduler, GranuleId, LockMode, LockTable,
+    TwoPhaseScheduler, TxnId,
+};
+
+fn arb_mode() -> impl Strategy<Value = LockMode> {
+    prop_oneof![
+        Just(LockMode::IS),
+        Just(LockMode::IX),
+        Just(LockMode::S),
+        Just(LockMode::SIX),
+        Just(LockMode::X),
+    ]
+}
+
+/// An operation against the raw lock table.
+#[derive(Debug, Clone)]
+enum Op {
+    Lock(u64, u64, LockMode),
+    Unlock(u64, u64),
+    ReleaseAll(u64),
+}
+
+fn arb_op(txns: u64, granules: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..txns, 0..granules, arb_mode()).prop_map(|(t, g, m)| Op::Lock(t, g, m)),
+        (0..txns, 0..granules).prop_map(|(t, g)| Op::Unlock(t, g)),
+        (0..txns).prop_map(Op::ReleaseAll),
+    ]
+}
+
+proptest! {
+    /// Invariants hold after every step of any operation sequence.
+    /// Requests by waiting transactions are skipped (the table forbids
+    /// them by contract), mirroring how the schedulers drive it.
+    #[test]
+    fn table_invariants_hold(ops in proptest::collection::vec(arb_op(6, 8), 1..200)) {
+        let mut table = LockTable::new();
+        let mut waiting: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for op in ops {
+            match op {
+                Op::Lock(t, g, m) => {
+                    if waiting.contains(&t) {
+                        continue; // a blocked transaction cannot issue requests
+                    }
+                    match table.lock(TxnId(t), GranuleId(g), m) {
+                        lockgran_lockmgr::LockOutcome::Granted => {}
+                        lockgran_lockmgr::LockOutcome::Queued { blockers } => {
+                            prop_assert!(!blockers.is_empty());
+                            prop_assert!(!blockers.contains(&TxnId(t)));
+                            waiting.insert(t);
+                        }
+                    }
+                }
+                Op::Unlock(t, g) => {
+                    if waiting.contains(&t) {
+                        continue;
+                    }
+                    for (granted, _) in table.unlock(TxnId(t), GranuleId(g)) {
+                        waiting.remove(&granted.0);
+                    }
+                }
+                Op::ReleaseAll(t) => {
+                    for (granted, _, _) in table.release_all(TxnId(t)) {
+                        waiting.remove(&granted.0);
+                    }
+                    waiting.remove(&t);
+                }
+            }
+            if let Err(e) = table.check_invariants() {
+                prop_assert!(false, "invariant violated: {e}");
+            }
+        }
+    }
+
+    /// Conservative protocol: after any sequence of request/release
+    /// rounds, a blocked transaction holds nothing and granted
+    /// transactions hold exactly their requested set.
+    #[test]
+    fn conservative_all_or_nothing(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(0u64..12, 1..6), // lock sets per txn
+            1..20
+        )
+    ) {
+        let mut s = ConservativeScheduler::new();
+        let mut granted: Vec<(u64, Vec<u64>)> = Vec::new();
+        for (serial, set) in rounds.into_iter().enumerate() {
+            let serial = serial as u64;
+            let mut dedup = set.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            let req: Vec<(GranuleId, LockMode)> =
+                dedup.iter().map(|&g| (GranuleId(g), LockMode::X)).collect();
+            match s.request_all(TxnId(serial), &req) {
+                ConservativeOutcome::Granted => {
+                    let mut holdings: Vec<u64> =
+                        s.holdings(TxnId(serial)).iter().map(|g| g.0).collect();
+                    holdings.sort_unstable();
+                    prop_assert_eq!(&holdings, &dedup, "granted set mismatch");
+                    granted.push((serial, dedup));
+                    // Occasionally complete the *oldest* granted txn.
+                    if granted.len() > 2 {
+                        let (done, _) = granted.remove(0);
+                        let woken = s.release(TxnId(done));
+                        // Woken transactions are dropped (not retried) in
+                        // this property — they must hold nothing.
+                        for w in woken {
+                            prop_assert!(s.holdings(w).is_empty());
+                        }
+                    }
+                }
+                ConservativeOutcome::Blocked { blocker } => {
+                    prop_assert!(s.holdings(TxnId(serial)).is_empty());
+                    prop_assert_ne!(blocker, TxnId(serial));
+                }
+            }
+            s.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("scheduler invariant: {e}"))
+            })?;
+        }
+    }
+
+    /// Incremental 2PL: acquire() never returns with a waits-for cycle
+    /// still present (every deadlock is broken on detection), and the
+    /// table invariants survive arbitrary interleavings.
+    #[test]
+    fn two_phase_breaks_every_cycle(
+        ops in proptest::collection::vec((0u64..5, 0u64..6, prop::bool::ANY), 1..150)
+    ) {
+        let mut s = TwoPhaseScheduler::new();
+        let mut waiting: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let alive: std::collections::HashSet<u64> = (0..5).collect();
+        for (t, g, release) in ops {
+            if !alive.contains(&t) || waiting.contains(&t) {
+                continue;
+            }
+            if release {
+                for w in s.release(TxnId(t)) {
+                    waiting.remove(&w.0);
+                }
+                // The transaction id is reused as a fresh incarnation.
+            } else {
+                match s.acquire(TxnId(t), GranuleId(g), LockMode::X) {
+                    AcquireOutcome::Granted => {}
+                    AcquireOutcome::Waiting { .. } => {
+                        waiting.insert(t);
+                    }
+                    AcquireOutcome::Deadlock { victim, granted } => {
+                        if victim.0 != t {
+                            // The requester survived and is still queued
+                            // unless the abort granted its request.
+                            waiting.insert(t);
+                        }
+                        waiting.remove(&victim.0);
+                        for w in granted {
+                            waiting.remove(&w.0);
+                        }
+                        prop_assert!(s.table().holdings(victim).is_empty());
+                    }
+                }
+            }
+            s.table().check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("table invariant: {e}"))
+            })?;
+        }
+    }
+}
+
+/// Mode algebra: supremum is a least upper bound w.r.t. the conflict
+/// preorder (checked exhaustively, not randomly — the domain is tiny).
+#[test]
+fn supremum_is_least_upper_bound() {
+    for &a in &LockMode::ALL {
+        for &b in &LockMode::ALL {
+            let s = a.supremum(b);
+            // Upper bound: s conflicts with everything a or b conflicts with.
+            for &c in &LockMode::ALL {
+                if !a.compatible(c) || !b.compatible(c) {
+                    assert!(!s.compatible(c), "sup({a},{b})={s} too weak vs {c}");
+                }
+            }
+            // Least: no strictly weaker mode (smaller conflict set) is
+            // also an upper bound.
+            for &w in &LockMode::ALL {
+                if w == s {
+                    continue;
+                }
+                let w_upper = LockMode::ALL.iter().all(|&c| {
+                    (a.compatible(c) && b.compatible(c)) || !w.compatible(c)
+                });
+                let w_strictly_weaker_conflicts = LockMode::ALL
+                    .iter()
+                    .filter(|&&c| !w.compatible(c))
+                    .count()
+                    < LockMode::ALL.iter().filter(|&&c| !s.compatible(c)).count();
+                assert!(
+                    !(w_upper && w_strictly_weaker_conflicts),
+                    "sup({a},{b})={s} is not least: {w} also works"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Seedable, splittable random-number streams.
+//!
+//! [`SimRng`] wraps [`rand::rngs::SmallRng`] behind the handful of sampling
+//! primitives the model needs. Two design points matter:
+//!
+//! * **Determinism** — every stream is created from an explicit 64-bit
+//!   seed; the same seed always yields the same run on every platform.
+//! * **Stream splitting** — [`SimRng::split`] derives an independent child
+//!   stream by hashing the parent seed with a label. This lets the
+//!   workload generator, the conflict model, and the partitioner consume
+//!   randomness without perturbing each other: changing how many draws one
+//!   component makes cannot shift the sequence another component sees.
+//!   (Common-random-numbers variance reduction across sweep points falls
+//!   out for free.)
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+/// SplitMix64 finalizer — used to decorrelate derived seeds. A single
+/// multiply-xor-shift chain is enough to turn related seeds (seed, seed+1,
+/// seed ^ label) into statistically independent SmallRng seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream identified by `label`.
+    /// Deterministic: the same (seed, label) pair always yields the same
+    /// child, regardless of how much the parent has been used.
+    pub fn split(&self, label: &str) -> SimRng {
+        let mut h = self.seed;
+        for &b in label.as_bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        SimRng::new(h)
+    }
+
+    /// Derive an independent child stream identified by an index (e.g. a
+    /// replication number).
+    pub fn split_index(&self, index: u64) -> SimRng {
+        SimRng::new(splitmix64(self.seed ^ splitmix64(index)))
+    }
+
+    /// Uniform draw from the closed integer range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform draw from the half-open real interval `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform01() < p.clamp(0.0, 1.0)
+    }
+
+    /// Sample `k` *distinct* values from `0..n` using Floyd's algorithm
+    /// (O(k) expected work, independent of `n`). The result order is the
+    /// insertion order of Floyd's algorithm, which is deterministic for a
+    /// given stream state.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: u64, k: u64) -> Vec<u64> {
+        assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+        let mut chosen: Vec<u64> = Vec::with_capacity(k as usize);
+        for j in (n - k)..n {
+            let t = self.uniform_inclusive(0, j);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.uniform_inclusive(0, 1_000_000), b.uniform_inclusive(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100)
+            .filter(|_| a.uniform_inclusive(0, u64::MAX - 1) == b.uniform_inclusive(0, u64::MAX - 1))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_independent_of_parent_consumption() {
+        let parent1 = SimRng::new(7);
+        let mut parent2 = SimRng::new(7);
+        // Burn draws on parent2 — children must still agree.
+        for _ in 0..50 {
+            parent2.uniform01();
+        }
+        let mut c1 = parent1.split("workload");
+        let mut c2 = parent2.split("workload");
+        for _ in 0..100 {
+            assert_eq!(c1.uniform_inclusive(0, 999), c2.uniform_inclusive(0, 999));
+        }
+    }
+
+    #[test]
+    fn split_labels_decorrelate() {
+        let parent = SimRng::new(7);
+        let mut a = parent.split("workload");
+        let mut b = parent.split("conflict");
+        let matches = (0..100)
+            .filter(|_| a.uniform_inclusive(0, u64::MAX - 1) == b.uniform_inclusive(0, u64::MAX - 1))
+            .count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_endpoints() {
+        let mut rng = SimRng::new(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match rng.uniform_inclusive(1, 5) {
+                1 => saw_lo = true,
+                5 => saw_hi = true,
+                v => assert!((1..=5).contains(&v)),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn uniform_inclusive_mean_is_centered() {
+        // The paper's NU_i ~ U(1, maxtransize) has mean (1+max)/2.
+        let mut rng = SimRng::new(11);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| rng.uniform_inclusive(1, 500)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 250.5).abs() < 2.0, "mean {mean} too far from 250.5");
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..200 {
+            let v = rng.sample_distinct(30, 13);
+            assert_eq!(v.len(), 13);
+            let mut s = v.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 13, "duplicates in {v:?}");
+            assert!(v.iter().all(|&x| x < 30));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_population() {
+        let mut rng = SimRng::new(5);
+        let mut v = rng.sample_distinct(8, 8);
+        v.sort_unstable();
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SimRng::new(1);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(rng.bernoulli(2.0)); // clamped
+    }
+}

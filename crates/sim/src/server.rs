@@ -1,0 +1,581 @@
+//! Single-server resource with two priority classes and preemptive-resume
+//! scheduling.
+//!
+//! Each processor in the shared-nothing machine owns one CPU server and one
+//! I/O (disk) server. Two job classes exist:
+//!
+//! * [`Class::Lock`] — lock request/set/release processing. Per the paper,
+//!   "the locking mechanism has preemptive power over running transactions
+//!   for I/O and CPU resources": a Lock job preempts an in-service
+//!   Transaction job, which resumes afterwards with its remaining demand
+//!   (preemptive-resume).
+//! * [`Class::Transaction`] — sub-transaction I/O or CPU work, served FCFS
+//!   within the class.
+//!
+//! The server is a passive state machine driven by the model: `submit`
+//! hands over a job, `on_completion` reports that a previously returned
+//! [`Completion`] fired. Because a binary-heap future-event list cannot
+//! cheaply delete events, preempted completions are invalidated by a
+//! monotone [`Token`]: a stale token is simply ignored when it fires.
+//!
+//! Busy time is accounted per class as service segments close, which gives
+//! the paper's `lockcpus` / `lockios` (Lock-class busy time) and
+//! `totcpus` / `totios` (all-class busy time) directly.
+
+use std::collections::VecDeque;
+
+use crate::stats::TimeWeighted;
+use crate::time::{Dur, Time};
+
+/// Order in which queued Transaction-class jobs are served. Lock-class
+/// work is always FCFS among itself (and ahead of transactions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Discipline {
+    /// First come, first served (the paper's model).
+    #[default]
+    Fcfs,
+    /// Shortest job first among *queued* jobs (non-preemptive): at each
+    /// service completion the shortest waiting transaction job starts.
+    /// Used to test the paper's §4 remark that sub-transaction-level
+    /// scheduling "has only marginal effect" on locking granularity.
+    Sjf,
+}
+
+/// Identifies the logical owner of a job (e.g. a transaction id plus a
+/// sub-transaction index, packed by the model).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct JobId(pub u64);
+
+/// Service priority class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Class {
+    /// Lock management work; preempts `Transaction` work.
+    Lock,
+    /// Ordinary sub-transaction work; FCFS among itself.
+    Transaction,
+}
+
+impl Class {
+    fn index(self) -> usize {
+        match self {
+            Class::Lock => 0,
+            Class::Transaction => 1,
+        }
+    }
+}
+
+/// A unit of work offered to a server.
+#[derive(Clone, Copy, Debug)]
+pub struct Job {
+    /// Model-level identity, returned unchanged on completion.
+    pub id: JobId,
+    /// Remaining service demand.
+    pub demand: Dur,
+    /// Priority class.
+    pub class: Class,
+}
+
+/// Opaque handle tying a scheduled completion event to a service segment.
+/// Stale tokens (from preempted segments) are ignored.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Token(u64);
+
+/// Instruction to the model: schedule a completion event for this server at
+/// `at`, carrying `token`.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// Absolute completion time.
+    pub at: Time,
+    /// Token to present back via [`Server::on_completion`].
+    pub token: Token,
+}
+
+/// Result of presenting a completion token.
+#[derive(Debug)]
+pub enum CompletionOutcome {
+    /// The token belonged to a preempted segment; nothing happened.
+    Stale,
+    /// The job finished. If another job started service, its completion
+    /// must be scheduled.
+    Finished {
+        /// The job that completed.
+        job: Job,
+        /// Completion of the next job now in service, if any.
+        next: Option<Completion>,
+    },
+}
+
+struct InService {
+    job: Job,
+    segment_start: Time,
+    ends_at: Time,
+    token: Token,
+}
+
+/// Single-server queueing resource (see module docs).
+pub struct Server {
+    lock_queue: VecDeque<Job>,
+    txn_queue: VecDeque<Job>,
+    current: Option<InService>,
+    next_token: u64,
+    /// Busy time per class: `[Lock, Transaction]`.
+    busy: [Dur; 2],
+    /// Completed job count per class.
+    completed: [u64; 2],
+    /// Time-weighted number of jobs present (queued + in service).
+    population: TimeWeighted,
+    /// Whether Lock-class work preempts an in-service Transaction job.
+    preemptive: bool,
+    /// Queued-transaction service order.
+    discipline: Discipline,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Server {
+    /// A fresh, idle server with preemptive lock priority (the paper's
+    /// semantics).
+    pub fn new() -> Self {
+        Server {
+            lock_queue: VecDeque::new(),
+            txn_queue: VecDeque::new(),
+            current: None,
+            next_token: 0,
+            busy: [Dur::ZERO; 2],
+            completed: [0; 2],
+            population: TimeWeighted::new(),
+            preemptive: true,
+            discipline: Discipline::Fcfs,
+        }
+    }
+
+    /// Set the queued-transaction service discipline.
+    #[must_use]
+    pub fn with_discipline(mut self, discipline: Discipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// A server where Lock-class work has *non-preemptive* (head-of-line)
+    /// priority: it still overtakes every queued Transaction job, but the
+    /// job in service finishes first. Ablation of the paper's
+    /// "preemptive power" assumption.
+    pub fn non_preemptive() -> Self {
+        Server {
+            preemptive: false,
+            ..Server::new()
+        }
+    }
+
+    /// Dequeue the next transaction job per the discipline.
+    fn pop_txn(&mut self) -> Option<Job> {
+        match self.discipline {
+            Discipline::Fcfs => self.txn_queue.pop_front(),
+            Discipline::Sjf => {
+                let idx = self
+                    .txn_queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, j)| (j.demand, *i))? // stable on ties
+                    .0;
+                self.txn_queue.remove(idx)
+            }
+        }
+    }
+
+    fn fresh_token(&mut self) -> Token {
+        let t = Token(self.next_token);
+        self.next_token += 1;
+        t
+    }
+
+    fn start(&mut self, now: Time, job: Job) -> Completion {
+        let token = self.fresh_token();
+        let ends_at = now + job.demand;
+        self.current = Some(InService {
+            job,
+            segment_start: now,
+            ends_at,
+            token,
+        });
+        Completion { at: ends_at, token }
+    }
+
+    /// Close the current service segment at `now`, accounting its busy
+    /// time, and return the job with its demand reduced to the unserved
+    /// remainder.
+    fn close_segment(&mut self, now: Time) -> Job {
+        let cur = self.current.take().expect("close_segment with idle server");
+        let served = now.since(cur.segment_start);
+        self.busy[cur.job.class.index()] += served;
+        let mut job = cur.job;
+        job.demand = cur.ends_at.since(now); // remaining demand
+        job
+    }
+
+    /// Offer a job for service. Returns a [`Completion`] to schedule when
+    /// the job (or, after a preemption, the new head-of-line job) enters
+    /// service; `None` if the job merely queued.
+    ///
+    /// Zero-demand jobs are legal (the paper's `liotime = 0` case) and
+    /// complete at their service start instant.
+    pub fn submit(&mut self, now: Time, job: Job) -> Option<Completion> {
+        self.population.record(now, self.jobs_present() as f64 + 1.0);
+        match (&self.current, job.class) {
+            (None, _) => Some(self.start(now, job)),
+            (Some(cur), Class::Lock) if self.preemptive && cur.job.class == Class::Transaction => {
+                // Preemptive-resume: park the transaction job at the head
+                // of its queue with only its remaining demand.
+                let preempted = self.close_segment(now);
+                self.txn_queue.push_front(preempted);
+                Some(self.start(now, job))
+            }
+            (Some(_), Class::Lock) => {
+                // Lock work does not preempt lock work: FCFS within class.
+                self.lock_queue.push_back(job);
+                None
+            }
+            (Some(_), Class::Transaction) => {
+                self.txn_queue.push_back(job);
+                None
+            }
+        }
+    }
+
+    /// Present a fired completion token.
+    pub fn on_completion(&mut self, now: Time, token: Token) -> CompletionOutcome {
+        match &self.current {
+            Some(cur) if cur.token == token => {
+                debug_assert_eq!(cur.ends_at, now, "completion fired at the wrong time");
+                let finished = self.close_segment(now);
+                debug_assert!(finished.demand.is_zero());
+                self.completed[finished.class.index()] += 1;
+                let next = self
+                    .lock_queue
+                    .pop_front()
+                    .or_else(|| self.pop_txn())
+                    .map(|j| self.start(now, j));
+                self.population.record(now, self.jobs_present() as f64);
+                CompletionOutcome::Finished { job: finished, next }
+            }
+            _ => CompletionOutcome::Stale,
+        }
+    }
+
+    /// Jobs present (in service + queued).
+    pub fn jobs_present(&self) -> usize {
+        usize::from(self.current.is_some()) + self.lock_queue.len() + self.txn_queue.len()
+    }
+
+    /// True if no job is in service or queued.
+    pub fn is_idle(&self) -> bool {
+        self.jobs_present() == 0
+    }
+
+    /// Busy time accumulated for a class in *closed* segments. Call
+    /// [`Server::flush`] first to include the open segment.
+    pub fn busy_time(&self, class: Class) -> Dur {
+        self.busy[class.index()]
+    }
+
+    /// Total busy time across both classes (closed segments).
+    pub fn total_busy(&self) -> Dur {
+        self.busy[0] + self.busy[1]
+    }
+
+    /// Completed job count for a class.
+    pub fn completed(&self, class: Class) -> u64 {
+        self.completed[class.index()]
+    }
+
+    /// Time-weighted mean number of jobs present up to the last recorded
+    /// change (diagnostic).
+    pub fn mean_population(&self, now: Time) -> f64 {
+        self.population.mean_at(now)
+    }
+
+    /// Account the open service segment up to `now` (without completing
+    /// the job). Used at the measurement horizon so that busy-time
+    /// counters cover work in flight. The in-service job, its token and
+    /// its completion time are untouched; only the accounting segment is
+    /// closed and reopened at `now`.
+    pub fn flush(&mut self, now: Time) {
+        if let Some(cur) = &mut self.current {
+            debug_assert!(cur.segment_start <= now);
+            let served = now.since(cur.segment_start);
+            self.busy[cur.job.class.index()] += served;
+            cur.segment_start = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, ticks: u64, class: Class) -> Job {
+        Job {
+            id: JobId(id),
+            demand: Dur::from_ticks(ticks),
+            class,
+        }
+    }
+
+    /// Drive a server through a scripted sequence, emulating the event
+    /// queue with a sorted list of (time, token).
+    struct Harness {
+        server: Server,
+        pending: Vec<Completion>,
+        finished: Vec<(u64, JobId, Class)>,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                server: Server::new(),
+                pending: Vec::new(),
+                finished: Vec::new(),
+            }
+        }
+
+        fn submit(&mut self, now: u64, j: Job) {
+            if let Some(c) = self.server.submit(Time::from_ticks(now), j) {
+                self.pending.push(c);
+            }
+        }
+
+        /// Fire all pending completions up to `until`, in time order.
+        fn drain(&mut self, until: u64) {
+            loop {
+                self.pending.sort_by_key(|c| (c.at, c.token.0));
+                let Some(idx) = self
+                    .pending
+                    .iter()
+                    .position(|c| c.at <= Time::from_ticks(until))
+                else {
+                    break;
+                };
+                let c = self.pending.remove(idx);
+                match self.server.on_completion(c.at, c.token) {
+                    CompletionOutcome::Stale => {}
+                    CompletionOutcome::Finished { job, next } => {
+                        self.finished.push((c.at.ticks(), job.id, job.class));
+                        if let Some(n) = next {
+                            self.pending.push(n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fcfs_single_class() {
+        let mut h = Harness::new();
+        h.submit(0, job(1, 10, Class::Transaction));
+        h.submit(0, job(2, 5, Class::Transaction));
+        h.submit(0, job(3, 1, Class::Transaction));
+        h.drain(100);
+        assert_eq!(
+            h.finished,
+            vec![
+                (10, JobId(1), Class::Transaction),
+                (15, JobId(2), Class::Transaction),
+                (16, JobId(3), Class::Transaction),
+            ]
+        );
+        assert_eq!(h.server.busy_time(Class::Transaction), Dur::from_ticks(16));
+        assert!(h.server.is_idle());
+    }
+
+    #[test]
+    fn lock_preempts_transaction_and_resumes() {
+        let mut h = Harness::new();
+        h.submit(0, job(1, 10, Class::Transaction));
+        // At t=4, a lock job of 3 ticks arrives: it runs 4..7, then the
+        // transaction resumes with 6 remaining and finishes at 13.
+        h.drain(3); // nothing finishes before t=4
+        h.submit(4, job(2, 3, Class::Lock));
+        h.drain(100);
+        assert_eq!(
+            h.finished,
+            vec![(7, JobId(2), Class::Lock), (13, JobId(1), Class::Transaction)]
+        );
+        assert_eq!(h.server.busy_time(Class::Lock), Dur::from_ticks(3));
+        assert_eq!(h.server.busy_time(Class::Transaction), Dur::from_ticks(10));
+    }
+
+    #[test]
+    fn stale_token_after_preemption_is_ignored() {
+        let mut server = Server::new();
+        let c1 = server
+            .submit(Time::from_ticks(0), job(1, 10, Class::Transaction))
+            .unwrap();
+        let _c2 = server
+            .submit(Time::from_ticks(4), job(2, 3, Class::Lock))
+            .unwrap();
+        // The original completion (t=10) fires but its segment was
+        // preempted — must be reported stale, not double-complete.
+        match server.on_completion(Time::from_ticks(10), c1.token) {
+            CompletionOutcome::Stale => {}
+            other => panic!("expected Stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lock_does_not_preempt_lock() {
+        let mut h = Harness::new();
+        h.submit(0, job(1, 10, Class::Lock));
+        h.submit(2, job(2, 5, Class::Lock));
+        h.drain(100);
+        assert_eq!(
+            h.finished,
+            vec![(10, JobId(1), Class::Lock), (15, JobId(2), Class::Lock)]
+        );
+    }
+
+    #[test]
+    fn queued_lock_work_runs_before_queued_transactions() {
+        let mut h = Harness::new();
+        h.submit(0, job(1, 10, Class::Transaction));
+        h.submit(1, job(2, 4, Class::Transaction)); // queued
+        h.submit(2, job(3, 2, Class::Lock)); // preempts job 1
+        h.submit(3, job(4, 2, Class::Lock)); // queues behind job 3
+        h.drain(100);
+        // Timeline: txn1 0..2, lock3 2..4, lock4 4..6, txn1 resumes 6..14,
+        // txn2 14..18.
+        assert_eq!(
+            h.finished,
+            vec![
+                (4, JobId(3), Class::Lock),
+                (6, JobId(4), Class::Lock),
+                (14, JobId(1), Class::Transaction),
+                (18, JobId(2), Class::Transaction),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_demand_job_completes_at_start_instant() {
+        let mut h = Harness::new();
+        h.submit(5, job(1, 0, Class::Lock));
+        h.drain(5);
+        assert_eq!(h.finished, vec![(5, JobId(1), Class::Lock)]);
+        assert!(h.server.is_idle());
+    }
+
+    #[test]
+    fn multiple_preemptions_preserve_total_demand() {
+        let mut h = Harness::new();
+        h.submit(0, job(1, 100, Class::Transaction));
+        for k in 0..5u64 {
+            h.drain(10 * k + 5 - 1);
+            h.submit(10 * k + 5, job(100 + k, 2, Class::Lock));
+        }
+        h.drain(10_000);
+        let txn_end = h
+            .finished
+            .iter()
+            .find(|(_, id, _)| *id == JobId(1))
+            .map(|(t, _, _)| *t)
+            .unwrap();
+        // 100 ticks of transaction demand + 5 * 2 ticks of preempting lock
+        // work: finishes exactly at 110.
+        assert_eq!(txn_end, 110);
+        assert_eq!(h.server.busy_time(Class::Transaction), Dur::from_ticks(100));
+        assert_eq!(h.server.busy_time(Class::Lock), Dur::from_ticks(10));
+        assert_eq!(h.server.completed(Class::Lock), 5);
+    }
+
+    #[test]
+    fn sjf_serves_shortest_queued_job_first() {
+        let mut h = Harness::new();
+        h.server = Server::new().with_discipline(Discipline::Sjf);
+        h.submit(0, job(1, 10, Class::Transaction)); // in service
+        h.submit(1, job(2, 8, Class::Transaction));
+        h.submit(2, job(3, 2, Class::Transaction));
+        h.submit(3, job(4, 5, Class::Transaction));
+        h.drain(100);
+        // After job 1 (0..10): SJF order 3 (2), 4 (5), 2 (8).
+        assert_eq!(
+            h.finished,
+            vec![
+                (10, JobId(1), Class::Transaction),
+                (12, JobId(3), Class::Transaction),
+                (17, JobId(4), Class::Transaction),
+                (25, JobId(2), Class::Transaction),
+            ]
+        );
+    }
+
+    #[test]
+    fn sjf_ties_break_by_arrival_order() {
+        let mut h = Harness::new();
+        h.server = Server::new().with_discipline(Discipline::Sjf);
+        h.submit(0, job(1, 4, Class::Transaction));
+        h.submit(1, job(2, 3, Class::Transaction));
+        h.submit(2, job(3, 3, Class::Transaction));
+        h.drain(100);
+        assert_eq!(
+            h.finished.iter().map(|(_, id, _)| id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn sjf_still_conserves_work() {
+        let mut h = Harness::new();
+        h.server = Server::new().with_discipline(Discipline::Sjf);
+        for i in 0..10u64 {
+            h.submit(0, job(i, (i % 4) * 3 + 1, Class::Transaction));
+        }
+        h.drain(10_000);
+        assert_eq!(h.finished.len(), 10);
+        let total: u64 = (0..10u64).map(|i| (i % 4) * 3 + 1).sum();
+        assert_eq!(h.server.busy_time(Class::Transaction), Dur::from_ticks(total));
+    }
+
+    #[test]
+    fn non_preemptive_server_finishes_in_service_job_first() {
+        let mut h = Harness::new();
+        h.server = Server::non_preemptive();
+        h.submit(0, job(1, 10, Class::Transaction));
+        h.submit(2, job(2, 20, Class::Transaction)); // queued
+        h.drain(3); // nothing done yet
+        h.submit(4, job(3, 3, Class::Lock));
+        h.drain(100);
+        // Lock job waits for job 1 (ends t=10), then runs 10..13, then the
+        // queued transaction 13..33.
+        assert_eq!(
+            h.finished,
+            vec![
+                (10, JobId(1), Class::Transaction),
+                (13, JobId(3), Class::Lock),
+                (33, JobId(2), Class::Transaction),
+            ]
+        );
+    }
+
+    #[test]
+    fn flush_accounts_open_segment_without_completing() {
+        let mut server = Server::new();
+        let c = server
+            .submit(Time::from_ticks(0), job(1, 10, Class::Transaction))
+            .unwrap();
+        server.flush(Time::from_ticks(6));
+        assert_eq!(server.busy_time(Class::Transaction), Dur::from_ticks(6));
+        // The original completion must still be honoured.
+        match server.on_completion(Time::from_ticks(10), c.token) {
+            CompletionOutcome::Finished { job, next } => {
+                assert_eq!(job.id, JobId(1));
+                assert!(next.is_none());
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+        assert_eq!(server.busy_time(Class::Transaction), Dur::from_ticks(10));
+    }
+}

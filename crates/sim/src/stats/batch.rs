@@ -1,0 +1,111 @@
+//! Batch-means estimation.
+//!
+//! A single long simulation run produces autocorrelated observations
+//! (successive response times share queue state). The batch-means method
+//! groups consecutive observations into fixed-size batches and treats the
+//! batch averages as approximately independent samples, giving an honest
+//! confidence interval for the steady-state mean from one run.
+
+use super::tally::Tally;
+
+/// Groups a stream of observations into fixed-size batches and summarizes
+/// batch means.
+#[derive(Clone, Debug)]
+pub struct BatchMeans {
+    batch_size: u64,
+    in_batch: u64,
+    batch_sum: f64,
+    batches: Tally,
+}
+
+impl BatchMeans {
+    /// Create with the given batch size.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            in_batch: 0,
+            batch_sum: 0.0,
+            batches: Tally::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.batch_sum += x;
+        self.in_batch += 1;
+        if self.in_batch == self.batch_size {
+            self.batches.record(self.batch_sum / self.batch_size as f64);
+            self.batch_sum = 0.0;
+            self.in_batch = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Grand mean over completed batches (the partial batch is excluded so
+    /// every batch mean has equal weight).
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// 95% confidence half-width for the steady-state mean, based on the
+    /// completed batch means. Returns 0 with fewer than two batches.
+    pub fn ci95_half_width(&self) -> f64 {
+        self.batches.ci95_half_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grand_mean_matches_observation_mean_for_full_batches() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..100 {
+            bm.record(i as f64);
+        }
+        assert_eq!(bm.batches(), 10);
+        assert!((bm.mean() - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_batch_is_excluded() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..10 {
+            bm.record(1.0);
+        }
+        for _ in 0..5 {
+            bm.record(1000.0); // incomplete batch — must not pollute mean
+        }
+        assert_eq!(bm.batches(), 1);
+        assert_eq!(bm.mean(), 1.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_batches() {
+        let mut narrow = BatchMeans::new(5);
+        let mut wide = BatchMeans::new(5);
+        let noise = |i: u64| ((i * 2_654_435_761) % 100) as f64;
+        for i in 0..50 {
+            wide.record(noise(i));
+        }
+        for i in 0..5_000 {
+            narrow.record(noise(i));
+        }
+        assert!(narrow.ci95_half_width() < wide.ci95_half_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Fixed-boundary histogram with percentile queries.
+//!
+//! Used for response-time distributions: the paper reports only means, but
+//! distribution tails are where granularity effects (blocking of large
+//! transactions) show up, so the harness records them as an extension.
+
+/// Histogram over `[0, upper)` with `buckets` equal-width buckets plus an
+/// overflow bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    width: f64,
+    upper: f64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram covering `[0, upper)` with `buckets` buckets.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `upper <= 0`.
+    pub fn new(upper: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(upper > 0.0, "upper bound must be positive");
+        Histogram {
+            counts: vec![0; buckets],
+            width: upper / buckets as f64,
+            upper,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation (negative values clamp to bucket 0).
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x >= self.upper {
+            self.overflow += 1;
+        } else {
+            let idx = ((x.max(0.0)) / self.width) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Upper edge of the bucket containing the `q`-quantile
+    /// (`0 <= q <= 1`). Returns `None` if empty; returns `upper` if the
+    /// quantile falls in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some((i as f64 + 1.0) * self.width);
+            }
+        }
+        Some(self.upper)
+    }
+
+    /// Iterate `(bucket_upper_edge, count)` pairs, excluding overflow.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((i as f64 + 1.0) * self.width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_right_buckets() {
+        let mut h = Histogram::new(10.0, 10);
+        h.record(0.5);
+        h.record(9.9);
+        h.record(10.0); // overflow
+        h.record(-1.0); // clamps to bucket 0
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.overflow(), 1);
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[9], 1);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_fill() {
+        let mut h = Histogram::new(100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() <= 1.0, "median bucket edge {median}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 99.0).abs() <= 1.0, "p99 bucket edge {p99}");
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_upper() {
+        let mut h = Histogram::new(1.0, 4);
+        for _ in 0..10 {
+            h.record(5.0);
+        }
+        assert_eq!(h.quantile(0.5), Some(1.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Observation tally: count / mean / variance / extrema via Welford's
+//! online algorithm (numerically stable; no stored samples).
+
+/// Streaming summary of scalar observations.
+#[derive(Clone, Debug, Default)]
+pub struct Tally {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Tally {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 if empty (a convention convenient for reports).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Approximate half-width of a 95% confidence interval for the mean
+    /// (normal approximation; adequate for the replication counts used by
+    /// the harness).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Smallest observation; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another tally into this one (parallel-friendly combine).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tally_is_zeroed() {
+        let t = Tally::new();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn known_moments() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4.0; sample variance = 32/7.
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(9.0));
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut t = Tally::new();
+        t.record(3.5);
+        assert_eq!(t.mean(), 3.5);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Tally::new();
+        a.record(1.0);
+        a.record(2.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&Tally::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+
+        let mut empty = Tally::new();
+        let mut b = Tally::new();
+        b.record(5.0);
+        empty.merge(&b);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 5.0);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let mut t = Tally::new();
+        for x in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            t.record(x);
+        }
+        assert!((t.variance() - 30.0).abs() < 1e-6, "variance {}", t.variance());
+    }
+}

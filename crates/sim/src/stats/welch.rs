@@ -1,0 +1,146 @@
+//! Welch's graphical warm-up detection.
+//!
+//! A closed simulation starts empty-ish and takes time to reach steady
+//! state; measuring from t = 0 biases every mean. Welch's classical
+//! procedure averages the observation series across replications, smooths
+//! it with a centred moving average, and picks the truncation point where
+//! the smoothed curve settles near its long-run level. The experiment
+//! harness uses it to justify (or skip) a warm-up for a given
+//! configuration.
+
+/// Average `series[r][t]` across replications `r` at each index `t`,
+/// truncating to the shortest replication.
+pub fn cross_replication_mean(series: &[Vec<f64>]) -> Vec<f64> {
+    let Some(len) = series.iter().map(Vec::len).min() else {
+        return Vec::new();
+    };
+    (0..len)
+        .map(|t| series.iter().map(|s| s[t]).sum::<f64>() / series.len() as f64)
+        .collect()
+}
+
+/// Centred moving average with window half-width `w` (window size
+/// `2w + 1`, shrinking symmetrically near the edges, as Welch specifies).
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    (0..xs.len())
+        .map(|t| {
+            let k = w.min(t).min(xs.len() - 1 - t);
+            let lo = t - k;
+            let hi = t + k;
+            xs[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+        })
+        .collect()
+}
+
+/// Suggest a truncation index: the first `t` (in the first three
+/// quarters of the series) at which the smoothed curve is within
+/// `tolerance` (relative) of the mean of the final quarter **and** at
+/// least 90% of the points from `t` onward stay within it. The 90%
+/// allowance makes the rule robust to residual window noise — a strict
+/// "every later point" rule rejects perfectly stationary but noisy
+/// series. Returns `None` if the series never settles.
+///
+/// # Panics
+/// Panics if `tolerance` is not positive.
+pub fn suggest_truncation(smoothed: &[f64], tolerance: f64) -> Option<usize> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    if smoothed.len() < 8 {
+        return None;
+    }
+    let tail = &smoothed[smoothed.len() - smoothed.len() / 4..];
+    let level = tail.iter().sum::<f64>() / tail.len() as f64;
+    if level == 0.0 {
+        return None;
+    }
+    let within = |x: f64| ((x - level) / level).abs() <= tolerance;
+    // Suffix counts of out-of-tolerance points.
+    let mut bad_suffix = vec![0usize; smoothed.len() + 1];
+    for (t, &x) in smoothed.iter().enumerate().rev() {
+        bad_suffix[t] = bad_suffix[t + 1] + usize::from(!within(x));
+    }
+    let limit = smoothed.len() - smoothed.len() / 4;
+    (0..limit).find(|&t| {
+        let remaining = smoothed.len() - t;
+        within(smoothed[t]) && bad_suffix[t] * 10 <= remaining
+    })
+}
+
+/// One-call Welch procedure: replication series → suggested truncation
+/// index (in observation units), or `None` if undecidable.
+pub fn welch_warmup(series: &[Vec<f64>], window: usize, tolerance: f64) -> Option<usize> {
+    let mean = cross_replication_mean(series);
+    if mean.is_empty() {
+        return None;
+    }
+    let smooth = moving_average(&mean, window);
+    suggest_truncation(&smooth, tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A series with an exponential transient settling at `level`.
+    fn transient(level: f64, warm: usize, len: usize, phase: f64) -> Vec<f64> {
+        (0..len)
+            .map(|t| {
+                let decay = (-(t as f64) / warm as f64).exp();
+                level * (1.0 - decay) + 0.05 * level * ((t as f64 + phase) * 0.7).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cross_replication_mean_truncates_and_averages() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![3.0, 4.0, 5.0];
+        let m = cross_replication_mean(&[a, b]);
+        assert_eq!(m, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn moving_average_shrinks_at_edges() {
+        let xs = vec![0.0, 10.0, 20.0, 30.0, 40.0];
+        let m = moving_average(&xs, 2);
+        assert_eq!(m[0], 0.0); // window of 1 at the left edge
+        assert_eq!(m[2], 20.0); // full window
+        assert_eq!(m[4], 40.0); // window of 1 at the right edge
+        assert!((m[1] - 10.0).abs() < 1e-12); // symmetric 3-window
+    }
+
+    #[test]
+    fn detects_transient_end() {
+        let reps: Vec<Vec<f64>> = (0..5)
+            .map(|r| transient(100.0, 20, 400, r as f64 * 13.0))
+            .collect();
+        let cut = welch_warmup(&reps, 5, 0.03).expect("must settle");
+        // The transient has effectively died by ~4 time constants.
+        assert!(
+            (40..=160).contains(&cut),
+            "truncation at {cut}, expected near 80"
+        );
+    }
+
+    #[test]
+    fn stationary_series_truncates_immediately() {
+        let reps: Vec<Vec<f64>> = (0..3)
+            .map(|r| (0..100).map(|t| 50.0 + ((t + r) as f64 * 0.9).sin()).collect())
+            .collect();
+        let cut = welch_warmup(&reps, 10, 0.05).expect("stationary settles");
+        assert!(cut <= 10, "stationary series truncated at {cut}");
+    }
+
+    #[test]
+    fn unsettled_series_returns_none() {
+        // Monotone ramp: never within tolerance of its final level early.
+        let reps = vec![(0..100).map(|t| t as f64).collect::<Vec<_>>()];
+        assert_eq!(welch_warmup(&reps, 3, 0.01), None);
+    }
+
+    #[test]
+    fn too_short_series_returns_none() {
+        let reps = vec![vec![1.0, 2.0, 3.0]];
+        assert_eq!(welch_warmup(&reps, 1, 0.05), None);
+        assert_eq!(welch_warmup(&[], 1, 0.05), None);
+    }
+}

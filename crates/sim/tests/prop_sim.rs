@@ -1,0 +1,157 @@
+//! Property tests for the simulation kernel: the event queues against a
+//! reference sort, the server against conservation laws, and the
+//! statistics against naive recomputation.
+
+use proptest::prelude::*;
+
+use lockgran_sim::{
+    CalendarQueue, Class, CompletionOutcome, Dur, EventQueue, Job, JobId, Server, Tally, Time,
+    TimeWeighted,
+};
+
+proptest! {
+    /// The heap-based queue pops exactly the stable sort of its input.
+    #[test]
+    fn event_queue_is_stable_sort(times in proptest::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_ticks(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, i)| (t, i)); // stable by construction
+        let popped: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.ticks(), e))).collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// The calendar queue agrees with the heap queue under an arbitrary
+    /// interleaving of pushes and pops (the simulation access pattern:
+    /// never push into the past).
+    #[test]
+    fn calendar_matches_heap(
+        script in proptest::collection::vec((0u64..400, prop::bool::ANY), 1..300)
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let mut clock = 0u64;
+        for (id, (delay, do_pop)) in script.into_iter().enumerate() {
+            let id = id as u64;
+            cal.push(Time::from_ticks(clock + delay), id);
+            heap.push(Time::from_ticks(clock + delay), id);
+            if do_pop {
+                let a = cal.pop();
+                let b = heap.pop();
+                prop_assert_eq!(&a, &b);
+                if let Some((t, _)) = a {
+                    clock = t.ticks();
+                }
+            }
+        }
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Server conservation: for any job mix, total busy time equals total
+    /// demand, every job completes exactly once, and per-class busy time
+    /// equals per-class demand — regardless of preemptions.
+    #[test]
+    fn server_conserves_work(
+        jobs in proptest::collection::vec((1u64..50, 0u64..30, prop::bool::ANY), 1..60)
+    ) {
+        let mut server = Server::new();
+        let mut pending: Vec<lockgran_sim::Completion> = Vec::new();
+        let mut finished = 0usize;
+        let mut now = Time::ZERO;
+        let mut demand = [Dur::ZERO; 2];
+
+        let drain_until = |server: &mut Server,
+                               pending: &mut Vec<lockgran_sim::Completion>,
+                               finished: &mut usize,
+                               horizon: Time|
+         -> Time {
+            let mut now = Time::ZERO;
+            loop {
+                pending.sort_by_key(|c| c.at);
+                let Some(idx) = pending.iter().position(|c| c.at <= horizon) else {
+                    return now;
+                };
+                let c = pending.remove(idx);
+                now = c.at;
+                match server.on_completion(c.at, c.token) {
+                    CompletionOutcome::Stale => {}
+                    CompletionOutcome::Finished { next, .. } => {
+                        *finished += 1;
+                        if let Some(n) = next {
+                            pending.push(n);
+                        }
+                    }
+                }
+            }
+        };
+
+        for (i, (dur, gap, is_lock)) in jobs.iter().enumerate() {
+            now += Dur::from_ticks(*gap);
+            // Fire everything due before this submission.
+            drain_until(&mut server, &mut pending, &mut finished, now);
+            let class = if *is_lock { Class::Lock } else { Class::Transaction };
+            demand[if *is_lock { 0 } else { 1 }] += Dur::from_ticks(*dur);
+            if let Some(c) = server.submit(
+                now,
+                Job { id: JobId(i as u64), demand: Dur::from_ticks(*dur), class },
+            ) {
+                pending.push(c);
+            }
+        }
+        drain_until(&mut server, &mut pending, &mut finished, Time::from_ticks(u64::MAX / 2));
+
+        prop_assert_eq!(finished, jobs.len(), "every job completes exactly once");
+        prop_assert_eq!(server.busy_time(Class::Lock), demand[0]);
+        prop_assert_eq!(server.busy_time(Class::Transaction), demand[1]);
+        prop_assert!(server.is_idle());
+    }
+
+    /// Tally matches a naive two-pass mean/variance computation.
+    #[test]
+    fn tally_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut t = Tally::new();
+        for &x in &xs {
+            t.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((t.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((t.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        prop_assert_eq!(t.min().unwrap(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(t.max().unwrap(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// TimeWeighted matches a naive piecewise integration.
+    #[test]
+    fn timeweighted_matches_naive(
+        steps in proptest::collection::vec((1u64..100, 0.0f64..50.0), 1..100)
+    ) {
+        let mut tw = TimeWeighted::new();
+        let mut now = Time::ZERO;
+        let mut area = 0.0;
+        let mut level = 0.0;
+        for (gap, new_level) in steps {
+            let next = now + Dur::from_ticks(gap);
+            area += level * Dur::from_ticks(gap).units();
+            tw.record(next, new_level);
+            level = new_level;
+            now = next;
+        }
+        let horizon = now + Dur::from_ticks(10);
+        area += level * Dur::from_ticks(10).units();
+        let expected = area / horizon.units();
+        prop_assert!((tw.mean_at(horizon) - expected).abs() < 1e-9);
+    }
+}

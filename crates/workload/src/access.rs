@@ -1,0 +1,317 @@
+//! Explicit granule-set sampling.
+//!
+//! The paper never materializes which granules a transaction locks — it
+//! works with lock *counts* and a probabilistic conflict draw. To validate
+//! that approximation against a real lock table (see
+//! `lockgran-core::explicit`), we need concrete granule sets whose
+//! statistics match each placement model:
+//!
+//! * [`AccessPattern::Sequential`] — a contiguous run of granules starting
+//!   at a random offset (wrapping), matching **best placement**: `NU`
+//!   consecutive entities occupy `ceil(NU · ltot / dbsize)` (± 1 for
+//!   alignment) consecutive granules.
+//! * [`AccessPattern::Scattered`] — `k` granules sampled uniformly without
+//!   replacement, matching **random placement** (the realized granule
+//!   count of a uniform entity sample, rather than Yao's mean).
+//! * Worst placement is `Scattered` with `k = min(NU, ltot)`.
+
+use lockgran_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::placement::Placement;
+
+/// Hot-spot access skew (the classic "b–c rule": fraction `c` of the
+/// database receives fraction `b` of the accesses, e.g. 80% of accesses
+/// to 20% of the granules).
+///
+/// The paper assumes uniform access; real reference strings are skewed
+/// (Rodriguez-Rosell 1976, which the paper itself cites for sequential
+/// behaviour). Skew only affects the *explicit* conflict model — the
+/// probabilistic partition draw has no notion of which granules are hot,
+/// which is precisely why this extension is interesting.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HotSpot {
+    /// Fraction of the granule space that is hot (0 < fraction < 1).
+    pub fraction: f64,
+    /// Fraction of accesses that go to the hot region
+    /// (`fraction < weight < 1` for actual skew).
+    pub weight: f64,
+}
+
+impl HotSpot {
+    /// The classic 80/20 rule.
+    pub fn eighty_twenty() -> Self {
+        HotSpot {
+            fraction: 0.2,
+            weight: 0.8,
+        }
+    }
+
+    /// Validate the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.fraction > 0.0 && self.fraction < 1.0) {
+            return Err("hot-spot fraction must be in (0, 1)".into());
+        }
+        if !(self.weight > 0.0 && self.weight < 1.0) {
+            return Err("hot-spot weight must be in (0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// How a transaction's entity accesses map onto concrete granule ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Contiguous granule run (sequential scan).
+    Sequential,
+    /// Uniform scatter without replacement.
+    Scattered,
+}
+
+impl AccessPattern {
+    /// The access pattern that realizes a placement model.
+    pub fn for_placement(p: Placement) -> AccessPattern {
+        match p {
+            Placement::Best => AccessPattern::Sequential,
+            Placement::Worst | Placement::Random => AccessPattern::Scattered,
+        }
+    }
+}
+
+/// Sample the concrete set of granule ids (each in `0..ltot`) locked by a
+/// transaction that accesses `nu` entities under placement model
+/// `placement`. The set size equals
+/// [`Placement::locks_required`]`(nu, ltot, dbsize)` so that the explicit
+/// and probabilistic conflict models see identical lock counts.
+///
+/// # Panics
+/// Panics if `ltot == 0`, `dbsize == 0` or `ltot > dbsize`.
+pub fn sample_granules(
+    rng: &mut SimRng,
+    placement: Placement,
+    nu: u64,
+    ltot: u64,
+    dbsize: u64,
+) -> Vec<u64> {
+    let count = placement.locks_required(nu, ltot, dbsize);
+    if count == 0 {
+        return Vec::new();
+    }
+    match AccessPattern::for_placement(placement) {
+        AccessPattern::Sequential => {
+            let start = rng.uniform_inclusive(0, ltot - 1);
+            (0..count).map(|i| (start + i) % ltot).collect()
+        }
+        AccessPattern::Scattered => rng.sample_distinct(ltot, count),
+    }
+}
+
+/// Sample a scattered granule set under hot-spot skew: each pick lands in
+/// the hot region (granules `0..ceil(fraction · ltot)`) with probability
+/// `weight`, uniformly within the chosen region, retrying duplicates.
+/// Degenerates gracefully when the requested count exceeds either
+/// region's capacity. Set size matches [`Placement::locks_required`] like
+/// the uniform sampler.
+///
+/// # Panics
+/// Panics if `skew.validate()` fails, `ltot == 0`, `dbsize == 0` or
+/// `ltot > dbsize`.
+pub fn sample_granules_hot(
+    rng: &mut SimRng,
+    placement: Placement,
+    nu: u64,
+    ltot: u64,
+    dbsize: u64,
+    skew: HotSpot,
+) -> Vec<u64> {
+    if let Err(e) = skew.validate() {
+        panic!("invalid hot spot: {e}");
+    }
+    let count = placement.locks_required(nu, ltot, dbsize);
+    if count == 0 {
+        return Vec::new();
+    }
+    if AccessPattern::for_placement(placement) == AccessPattern::Sequential {
+        // Sequential runs: skew biases the *start* of the run into the
+        // hot region with probability `weight`.
+        let hot = ((skew.fraction * ltot as f64).ceil() as u64).clamp(1, ltot);
+        let start = if rng.bernoulli(skew.weight) {
+            rng.uniform_inclusive(0, hot - 1)
+        } else if hot < ltot {
+            rng.uniform_inclusive(hot, ltot - 1)
+        } else {
+            rng.uniform_inclusive(0, ltot - 1)
+        };
+        return (0..count).map(|i| (start + i) % ltot).collect();
+    }
+
+    let hot = ((skew.fraction * ltot as f64).ceil() as u64).clamp(1, ltot);
+    let cold = ltot - hot;
+    let mut set = std::collections::HashSet::with_capacity(count as usize);
+    let mut out = Vec::with_capacity(count as usize);
+    // Rejection sampling with a bounded number of tries per element;
+    // afterwards fill deterministically so the contract (exact count)
+    // always holds.
+    let mut budget = count * 64;
+    while (out.len() as u64) < count && budget > 0 {
+        budget -= 1;
+        let g = if cold == 0 || rng.bernoulli(skew.weight) {
+            rng.uniform_inclusive(0, hot - 1)
+        } else {
+            rng.uniform_inclusive(hot, ltot - 1)
+        };
+        if set.insert(g) {
+            out.push(g);
+        }
+    }
+    let mut next = 0;
+    while (out.len() as u64) < count {
+        if set.insert(next) {
+            out.push(next);
+        }
+        next += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DB: u64 = 5000;
+
+    fn assert_valid(set: &[u64], ltot: u64) {
+        let mut s = set.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), set.len(), "duplicate granules");
+        assert!(set.iter().all(|&g| g < ltot), "granule out of range");
+    }
+
+    #[test]
+    fn set_size_matches_placement_formula() {
+        let mut rng = SimRng::new(1);
+        for p in Placement::ALL {
+            for &(nu, ltot) in &[(250u64, 100u64), (25, 100), (500, DB), (1, 1)] {
+                let set = sample_granules(&mut rng, p, nu, ltot, DB);
+                assert_eq!(
+                    set.len() as u64,
+                    p.locks_required(nu, ltot, DB),
+                    "{p:?} nu={nu} ltot={ltot}"
+                );
+                assert_valid(&set, ltot);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_sets_are_contiguous_runs() {
+        let mut rng = SimRng::new(2);
+        for _ in 0..100 {
+            let set = sample_granules(&mut rng, Placement::Best, 500, 100, DB);
+            // 500 entities over 100 granules of 50 -> 10 consecutive ids.
+            assert_eq!(set.len(), 10);
+            for w in set.windows(2) {
+                assert_eq!(w[1], (w[0] + 1) % 100, "not contiguous: {set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_wraps_around() {
+        let mut rng = SimRng::new(3);
+        let mut saw_wrap = false;
+        for _ in 0..1000 {
+            let set = sample_granules(&mut rng, Placement::Best, 500, 100, DB);
+            if set.windows(2).any(|w| w[1] < w[0]) {
+                saw_wrap = true;
+                break;
+            }
+        }
+        assert!(saw_wrap, "wrap-around never observed in 1000 draws");
+    }
+
+    #[test]
+    fn scattered_sets_cover_range() {
+        let mut rng = SimRng::new(4);
+        let mut seen = [false; 100];
+        for _ in 0..500 {
+            for &g in &sample_granules(&mut rng, Placement::Random, 50, 100, DB) {
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some granules never sampled");
+    }
+
+    #[test]
+    fn worst_placement_locks_everything_when_ltot_small() {
+        let mut rng = SimRng::new(5);
+        let set = sample_granules(&mut rng, Placement::Worst, 250, 100, DB);
+        assert_eq!(set.len(), 100);
+        assert_valid(&set, 100);
+    }
+
+    #[test]
+    fn zero_entities_empty_set() {
+        let mut rng = SimRng::new(6);
+        assert!(sample_granules(&mut rng, Placement::Best, 0, 100, DB).is_empty());
+    }
+
+    #[test]
+    fn hot_spot_sets_are_valid_and_skewed() {
+        let mut rng = SimRng::new(7);
+        let skew = HotSpot::eighty_twenty();
+        let mut hot_hits = 0u64;
+        let mut total = 0u64;
+        for _ in 0..500 {
+            let set = sample_granules_hot(&mut rng, Placement::Random, 50, 100, DB, skew);
+            assert_eq!(
+                set.len() as u64,
+                Placement::Random.locks_required(50, 100, DB)
+            );
+            assert_valid(&set, 100);
+            hot_hits += set.iter().filter(|&&g| g < 20).count() as u64;
+            total += set.len() as u64;
+        }
+        // 80% of accesses target the 20 hot granules; with distinctness
+        // the realized share is lower but must far exceed uniform (20%).
+        let share = hot_hits as f64 / total as f64;
+        assert!(share > 0.4, "hot share {share} not skewed");
+    }
+
+    #[test]
+    fn hot_spot_sequential_biases_run_start() {
+        let mut rng = SimRng::new(8);
+        let skew = HotSpot::eighty_twenty();
+        let mut hot_starts = 0;
+        for _ in 0..1000 {
+            let set = sample_granules_hot(&mut rng, Placement::Best, 50, 100, DB, skew);
+            assert_eq!(set.len(), 1);
+            if set[0] < 20 {
+                hot_starts += 1;
+            }
+        }
+        assert!(
+            (700..=900).contains(&hot_starts),
+            "hot starts {hot_starts}/1000, expected ~800"
+        );
+    }
+
+    #[test]
+    fn hot_spot_fills_even_when_count_exceeds_hot_region() {
+        let mut rng = SimRng::new(9);
+        // weight ~1: nearly all draws go to a 2-granule hot region, but a
+        // 50-granule set must still materialize.
+        let skew = HotSpot { fraction: 0.02, weight: 0.99 };
+        let set = sample_granules_hot(&mut rng, Placement::Worst, 50, 100, DB, skew);
+        assert_eq!(set.len(), 50);
+        assert_valid(&set, 100);
+    }
+
+    #[test]
+    fn hot_spot_validation() {
+        assert!(HotSpot { fraction: 0.0, weight: 0.5 }.validate().is_err());
+        assert!(HotSpot { fraction: 0.5, weight: 1.0 }.validate().is_err());
+        assert!(HotSpot::eighty_twenty().validate().is_ok());
+    }
+}

@@ -1,0 +1,37 @@
+//! # lockgran-workload — workload generation
+//!
+//! Everything stochastic about a transaction before it enters the system:
+//!
+//! * [`size`] — how many database entities it reads/writes (`NU_i`):
+//!   uniform over `[1, maxtransize]` as in the paper, plus fixed sizes and
+//!   the paper's §3.6 80/20 small/large mixture.
+//! * [`placement`] — how many **locks** those entities cost (`LU_i`) under
+//!   the three granule-placement models of Ries & Stonebraker adopted by
+//!   the paper: best (sequential packing), worst (every entity its own
+//!   granule), and random (Yao's approximation).
+//! * [`yao`] — Yao's formula itself, with an exact hypergeometric
+//!   reference implementation used to validate the approximation.
+//! * [`partitioning`] — how the transaction fans out over processors
+//!   (`PU_i`): horizontal round-robin declustering (all processors) or
+//!   random partitioning (a uniform random subset).
+//! * [`access`] — explicit granule-set sampling. The paper computes
+//!   conflicts probabilistically and never materializes lock sets; the
+//!   explicit sets generated here feed the real lock-table conflict model
+//!   used to validate that approximation.
+//! * [`spec`] — the [`TransactionSpec`] produced for each new transaction,
+//!   plus the [`WorkloadGenerator`] that draws them.
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod partitioning;
+pub mod placement;
+pub mod size;
+pub mod spec;
+pub mod yao;
+
+pub use access::{AccessPattern, HotSpot};
+pub use partitioning::Partitioning;
+pub use placement::Placement;
+pub use size::SizeDistribution;
+pub use spec::{TransactionSpec, WorkloadGenerator, WorkloadParams};

@@ -1,0 +1,139 @@
+//! Data partitioning: sub-transaction fan-out (`PU_i`).
+//!
+//! In the shared-nothing architecture the database is declustered over the
+//! processors' private disks, and a transaction splits into one
+//! sub-transaction per processor that holds relevant data (paper §2):
+//!
+//! * [`Partitioning::Horizontal`] — relations are round-robin partitioned
+//!   over *all* disks, so every transaction splits into `npros`
+//!   sub-transactions (`PU_i = npros`).
+//! * [`Partitioning::Random`] — relations are randomly partitioned over a
+//!   subset of disks; the paper models this as `PU_i ~ U(1, npros)` with
+//!   the sub-transactions landing on distinct random processors.
+
+use lockgran_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Declustering strategy (determines `PU_i` and processor assignment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Partitioning {
+    /// Round-robin over all disks: full fan-out.
+    Horizontal,
+    /// Random subset of disks: fan-out uniform on `[1, npros]`.
+    Random,
+}
+
+impl Partitioning {
+    /// Both strategies.
+    pub const ALL: [Partitioning; 2] = [Partitioning::Horizontal, Partitioning::Random];
+
+    /// Draw the processors a transaction's sub-transactions run on. The
+    /// result has between 1 and `npros` *distinct* processor indices in
+    /// `0..npros` ("no two sub-transactions are assigned to the same
+    /// processor", paper §2).
+    ///
+    /// # Panics
+    /// Panics if `npros == 0`.
+    pub fn assign_processors(self, rng: &mut SimRng, npros: u32) -> Vec<u32> {
+        assert!(npros > 0, "need at least one processor");
+        match self {
+            Partitioning::Horizontal => (0..npros).collect(),
+            Partitioning::Random => {
+                let fanout = rng.uniform_inclusive(1, u64::from(npros)) as u32;
+                rng.sample_distinct(u64::from(npros), u64::from(fanout))
+                    .into_iter()
+                    .map(|p| p as u32)
+                    .collect()
+            }
+        }
+    }
+
+    /// Expected fan-out for a system of `npros` processors.
+    pub fn mean_fanout(self, npros: u32) -> f64 {
+        match self {
+            Partitioning::Horizontal => f64::from(npros),
+            Partitioning::Random => (1.0 + f64::from(npros)) / 2.0,
+        }
+    }
+
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Partitioning::Horizontal => "horizontal",
+            Partitioning::Random => "random",
+        }
+    }
+}
+
+impl std::str::FromStr for Partitioning {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "horizontal" => Ok(Partitioning::Horizontal),
+            "random" => Ok(Partitioning::Random),
+            other => Err(format!("unknown partitioning '{other}' (horizontal|random)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizontal_uses_every_processor() {
+        let mut rng = SimRng::new(1);
+        let procs = Partitioning::Horizontal.assign_processors(&mut rng, 10);
+        assert_eq!(procs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_fanout_is_distinct_and_in_range() {
+        let mut rng = SimRng::new(2);
+        for _ in 0..500 {
+            let procs = Partitioning::Random.assign_processors(&mut rng, 10);
+            assert!(!procs.is_empty() && procs.len() <= 10);
+            let mut sorted = procs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), procs.len(), "duplicate processors in {procs:?}");
+            assert!(procs.iter().all(|&p| p < 10));
+        }
+    }
+
+    #[test]
+    fn random_fanout_mean_matches() {
+        let mut rng = SimRng::new(3);
+        let n = 20_000;
+        let total: usize = (0..n)
+            .map(|_| Partitioning::Random.assign_processors(&mut rng, 10).len())
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 5.5).abs() < 0.1, "mean fan-out {mean}");
+        assert_eq!(Partitioning::Random.mean_fanout(10), 5.5);
+    }
+
+    #[test]
+    fn uniprocessor_degenerates_to_single_subtransaction() {
+        let mut rng = SimRng::new(4);
+        for p in Partitioning::ALL {
+            let procs = p.assign_processors(&mut rng, 1);
+            assert_eq!(procs, vec![0]);
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for p in Partitioning::ALL {
+            let parsed: Partitioning = p.name().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert!("vertical".parse::<Partitioning>().is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Granule placement models: how many locks a transaction needs (`LU_i`).
+//!
+//! The number of locks a transaction must set depends on how its `NU_i`
+//! entities are laid out over the `ltot` granules (paper §2 and §3.5,
+//! following Ries & Stonebraker):
+//!
+//! * [`Placement::Best`] — entities are packed into as few granules as
+//!   possible (pure sequential access, e.g. a range scan):
+//!   `LU = ceil(NU · ltot / dbsize)`.
+//! * [`Placement::Worst`] — every accessed entity lies in a distinct
+//!   granule: `LU = min(NU, ltot)`.
+//! * [`Placement::Random`] — entities are scattered uniformly; the
+//!   expected granule count is Yao's formula (see [`crate::yao`]),
+//!   rounded to the nearest whole lock.
+//!
+//! All three return at least 1 lock for a non-empty transaction and never
+//! more than `ltot`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::yao::yao_expected_granules;
+
+/// Granule placement strategy (determines `LU_i`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Sequential packing: fewest possible granules.
+    Best,
+    /// Adversarial scatter: one granule per entity (capped at `ltot`).
+    Worst,
+    /// Uniform random scatter: Yao's mean-value estimate.
+    Random,
+}
+
+impl Placement {
+    /// All placement strategies, in the order the paper presents them.
+    pub const ALL: [Placement; 3] = [Placement::Best, Placement::Random, Placement::Worst];
+
+    /// Number of locks (`LU_i`) required by a transaction accessing `nu`
+    /// entities of a `dbsize`-entity database guarded by `ltot` granule
+    /// locks.
+    ///
+    /// Returns 0 iff `nu == 0`; otherwise a value in `[1, min(nu, ltot)]`
+    /// for `Best`/`Worst`, and `[1, ltot]` for `Random` (Yao's estimate
+    /// also never exceeds `min(nu, ltot)`).
+    ///
+    /// # Panics
+    /// Panics if `ltot == 0`, `dbsize == 0` or `ltot > dbsize`.
+    pub fn locks_required(self, nu: u64, ltot: u64, dbsize: u64) -> u64 {
+        assert!(dbsize > 0, "dbsize must be positive");
+        assert!(ltot > 0, "ltot must be positive");
+        assert!(ltot <= dbsize, "ltot cannot exceed dbsize");
+        if nu == 0 {
+            return 0;
+        }
+        let nu = nu.min(dbsize);
+        match self {
+            // ceil(nu * ltot / dbsize), in integer arithmetic.
+            Placement::Best => (nu * ltot).div_ceil(dbsize).max(1),
+            Placement::Worst => nu.min(ltot),
+            Placement::Random => {
+                let e = yao_expected_granules(dbsize, ltot, nu);
+                // Round to nearest lock; a transaction always needs >= 1.
+                (e.round() as u64).clamp(1, ltot)
+            }
+        }
+    }
+
+    /// Short lowercase name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::Best => "best",
+            Placement::Worst => "worst",
+            Placement::Random => "random",
+        }
+    }
+}
+
+impl std::str::FromStr for Placement {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "best" => Ok(Placement::Best),
+            "worst" => Ok(Placement::Worst),
+            "random" => Ok(Placement::Random),
+            other => Err(format!("unknown placement '{other}' (best|random|worst)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DB: u64 = 5000;
+
+    #[test]
+    fn best_placement_matches_paper_formula() {
+        // LU = ceil(NU * ltot / dbsize); e.g. 10% of the database needs
+        // 10% of the locks.
+        assert_eq!(Placement::Best.locks_required(500, 100, DB), 10);
+        assert_eq!(Placement::Best.locks_required(250, 100, DB), 5);
+        assert_eq!(Placement::Best.locks_required(1, 1, DB), 1);
+        assert_eq!(Placement::Best.locks_required(1, DB, DB), 1);
+        assert_eq!(Placement::Best.locks_required(DB, DB, DB), DB);
+        // Rounds *up*: 251 entities at ltot = 100 -> ceil(5.02) = 6.
+        assert_eq!(Placement::Best.locks_required(251, 100, DB), 6);
+    }
+
+    #[test]
+    fn worst_placement_is_min() {
+        assert_eq!(Placement::Worst.locks_required(250, 100, DB), 100);
+        assert_eq!(Placement::Worst.locks_required(250, 500, DB), 250);
+        assert_eq!(Placement::Worst.locks_required(250, DB, DB), 250);
+        assert_eq!(Placement::Worst.locks_required(1, 1, DB), 1);
+    }
+
+    #[test]
+    fn random_placement_between_best_and_worst() {
+        for &ltot in &[1u64, 2, 10, 100, 500, 1000, DB] {
+            for &nu in &[1u64, 25, 250, 500, 2500] {
+                let best = Placement::Best.locks_required(nu, ltot, DB);
+                let worst = Placement::Worst.locks_required(nu, ltot, DB);
+                let random = Placement::Random.locks_required(nu, ltot, DB);
+                assert!(
+                    best <= random + 1 && random <= worst,
+                    "ltot={ltot} nu={nu}: best={best} random={random} worst={worst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_placement_near_worst_when_few_locks() {
+        // For large transactions and ltot << NU, random placement touches
+        // essentially all granules (paper: throughput dips until ltot
+        // reaches the mean transaction size).
+        let lu = Placement::Random.locks_required(250, 50, DB);
+        assert!(lu >= 49, "expected nearly all 50 granules, got {lu}");
+    }
+
+    #[test]
+    fn random_placement_near_nu_when_fine_granularity() {
+        let lu = Placement::Random.locks_required(250, DB, DB);
+        assert!((lu as i64 - 250).unsigned_abs() <= 7, "got {lu}");
+    }
+
+    #[test]
+    fn zero_entities_need_zero_locks() {
+        for p in Placement::ALL {
+            assert_eq!(p.locks_required(0, 100, DB), 0);
+        }
+    }
+
+    #[test]
+    fn nonzero_entities_need_at_least_one_lock() {
+        for p in Placement::ALL {
+            for &ltot in &[1u64, 7, 100, DB] {
+                assert!(p.locks_required(1, ltot, DB) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn never_exceeds_ltot() {
+        for p in Placement::ALL {
+            for &ltot in &[1u64, 3, 77, 100, DB] {
+                for &nu in &[1u64, 100, 5000, 9999] {
+                    assert!(p.locks_required(nu, ltot, DB) <= ltot);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_database_lock_serializes_everything() {
+        // ltot = 1: every strategy requires exactly the single lock.
+        for p in Placement::ALL {
+            assert_eq!(p.locks_required(250, 1, DB), 1);
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for p in Placement::ALL {
+            let parsed: Placement = p.name().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert!("other".parse::<Placement>().is_err());
+    }
+}

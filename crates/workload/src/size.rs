@@ -1,0 +1,261 @@
+//! Transaction size distributions (`NU_i`).
+//!
+//! The paper draws each transaction's entity count uniformly over
+//! `[1, maxtransize]` (§2), and §3.6 studies a mixture of 80% small
+//! (`maxtransize = 50`) and 20% large (`maxtransize = 500`) transactions.
+//! [`SizeDistribution`] covers both plus a fixed size used in tests and
+//! ablations.
+
+use lockgran_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of the number of database entities a transaction accesses.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// `NU_i ~ U(1, max)` — the paper's default. Mean ≈ `max / 2`.
+    Uniform {
+        /// `maxtransize`: the largest possible transaction.
+        max: u64,
+    },
+    /// Every transaction accesses exactly `size` entities.
+    Fixed {
+        /// The constant transaction size.
+        size: u64,
+    },
+    /// A finite mixture: with probability `weight_k / Σ weights`, draw
+    /// `U(1, max_k)`. The paper's §3.6 uses
+    /// `[(0.8, 50), (0.2, 500)]`.
+    Mixture {
+        /// `(weight, maxtransize)` components; weights need not sum to 1.
+        components: Vec<(f64, u64)>,
+    },
+    /// Empirical distribution: sample (with replacement) from recorded
+    /// transaction sizes — trace-driven workloads from a production
+    /// system or a benchmark log.
+    Trace {
+        /// Observed transaction sizes (entities per transaction).
+        sizes: Vec<u64>,
+    },
+}
+
+impl SizeDistribution {
+    /// The paper's §3.6 mix: 80% small (max 50), 20% large (max 500).
+    pub fn eighty_twenty() -> Self {
+        SizeDistribution::Mixture {
+            components: vec![(0.8, 50), (0.2, 500)],
+        }
+    }
+
+    /// Draw one transaction size. Always ≥ 1.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match self {
+            SizeDistribution::Uniform { max } => rng.uniform_inclusive(1, (*max).max(1)),
+            SizeDistribution::Fixed { size } => (*size).max(1),
+            SizeDistribution::Mixture { components } => {
+                let total: f64 = components.iter().map(|(w, _)| *w).sum();
+                debug_assert!(total > 0.0, "mixture weights must be positive");
+                let mut p = rng.uniform01() * total;
+                for (w, max) in components {
+                    p -= w;
+                    if p < 0.0 {
+                        return rng.uniform_inclusive(1, (*max).max(1));
+                    }
+                }
+                // Floating-point slack: fall back to the last component.
+                let (_, max) = components.last().expect("mixture must be non-empty");
+                rng.uniform_inclusive(1, (*max).max(1))
+            }
+            SizeDistribution::Trace { sizes } => {
+                debug_assert!(!sizes.is_empty(), "trace must be non-empty");
+                let idx = rng.uniform_inclusive(0, sizes.len() as u64 - 1) as usize;
+                sizes[idx].max(1)
+            }
+        }
+    }
+
+    /// Expected transaction size.
+    pub fn mean(&self) -> f64 {
+        match self {
+            SizeDistribution::Uniform { max } => (1.0 + (*max).max(1) as f64) / 2.0,
+            SizeDistribution::Fixed { size } => (*size).max(1) as f64,
+            SizeDistribution::Mixture { components } => {
+                let total: f64 = components.iter().map(|(w, _)| *w).sum();
+                components
+                    .iter()
+                    .map(|(w, max)| w / total * (1.0 + (*max).max(1) as f64) / 2.0)
+                    .sum()
+            }
+            SizeDistribution::Trace { sizes } => {
+                if sizes.is_empty() {
+                    1.0
+                } else {
+                    sizes.iter().map(|&s| s.max(1) as f64).sum::<f64>() / sizes.len() as f64
+                }
+            }
+        }
+    }
+
+    /// Largest size this distribution can produce.
+    pub fn max(&self) -> u64 {
+        match self {
+            SizeDistribution::Uniform { max } => (*max).max(1),
+            SizeDistribution::Fixed { size } => (*size).max(1),
+            SizeDistribution::Mixture { components } => components
+                .iter()
+                .map(|(_, m)| (*m).max(1))
+                .max()
+                .unwrap_or(1),
+            SizeDistribution::Trace { sizes } => {
+                sizes.iter().copied().max().unwrap_or(1).max(1)
+            }
+        }
+    }
+
+    /// Validate invariants, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            SizeDistribution::Uniform { max } | SizeDistribution::Fixed { size: max } => {
+                if *max == 0 {
+                    return Err("transaction size bound must be at least 1".into());
+                }
+            }
+            SizeDistribution::Mixture { components } => {
+                if components.is_empty() {
+                    return Err("mixture must have at least one component".into());
+                }
+                if components.iter().any(|(w, _)| *w <= 0.0 || !w.is_finite()) {
+                    return Err("mixture weights must be positive and finite".into());
+                }
+                if components.iter().any(|(_, m)| *m == 0) {
+                    return Err("mixture component sizes must be at least 1".into());
+                }
+            }
+            SizeDistribution::Trace { sizes } => {
+                if sizes.is_empty() {
+                    return Err("trace must contain at least one size".into());
+                }
+                if sizes.contains(&0) {
+                    return Err("trace sizes must be at least 1".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn uniform_range_and_mean() {
+        let d = SizeDistribution::Uniform { max: 500 };
+        let mut r = rng();
+        let n = 50_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!((1..=500).contains(&x));
+            sum += x;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - d.mean()).abs() < 2.0, "empirical mean {mean} vs {}", d.mean());
+        assert_eq!(d.mean(), 250.5);
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let d = SizeDistribution::Fixed { size: 42 };
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 42);
+        }
+        assert_eq!(d.mean(), 42.0);
+        assert_eq!(d.max(), 42);
+    }
+
+    #[test]
+    fn eighty_twenty_mix_proportions() {
+        let d = SizeDistribution::eighty_twenty();
+        let mut r = rng();
+        let n = 100_000;
+        // Sizes in (50, 500] can only come from the large component.
+        let large = (0..n).filter(|_| d.sample(&mut r) > 50).count();
+        // P(large drawn AND size > 50) = 0.2 * 450/500 = 0.18.
+        let frac = large as f64 / n as f64;
+        assert!((frac - 0.18).abs() < 0.01, "large fraction {frac}");
+        // Mean = 0.8 * 25.5 + 0.2 * 250.5 = 70.5.
+        assert!((d.mean() - 70.5).abs() < 1e-12);
+        assert_eq!(d.max(), 500);
+    }
+
+    #[test]
+    fn samples_never_zero() {
+        let dists = [
+            SizeDistribution::Uniform { max: 1 },
+            SizeDistribution::Fixed { size: 1 },
+            SizeDistribution::Mixture {
+                components: vec![(1.0, 1), (1.0, 2)],
+            },
+        ];
+        let mut r = rng();
+        for d in &dists {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut r) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_samples_only_recorded_sizes() {
+        let d = SizeDistribution::Trace {
+            sizes: vec![3, 17, 250],
+        };
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(d.sample(&mut r));
+        }
+        assert_eq!(
+            seen,
+            [3u64, 17, 250].into_iter().collect::<std::collections::HashSet<_>>()
+        );
+        assert_eq!(d.mean(), 90.0);
+        assert_eq!(d.max(), 250);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn trace_respects_empirical_frequencies() {
+        // A size appearing twice is drawn twice as often.
+        let d = SizeDistribution::Trace { sizes: vec![1, 1, 100] };
+        let mut r = rng();
+        let n = 30_000;
+        let ones = (0..n).filter(|_| d.sample(&mut r) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.02, "fraction of 1s {frac}");
+    }
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        assert!(SizeDistribution::Uniform { max: 0 }.validate().is_err());
+        assert!(SizeDistribution::Mixture { components: vec![] }.validate().is_err());
+        assert!(SizeDistribution::Mixture {
+            components: vec![(0.0, 5)]
+        }
+        .validate()
+        .is_err());
+        assert!(SizeDistribution::Mixture {
+            components: vec![(1.0, 0)]
+        }
+        .validate()
+        .is_err());
+        assert!(SizeDistribution::eighty_twenty().validate().is_ok());
+        assert!(SizeDistribution::Trace { sizes: vec![] }.validate().is_err());
+        assert!(SizeDistribution::Trace { sizes: vec![0] }.validate().is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Transaction specifications and the workload generator.
+//!
+//! A [`TransactionSpec`] is the complete stochastic description of one
+//! transaction as the paper's model sees it — the realized values of
+//! `NU_i`, `LU_i` and `PU_i` — drawn by a [`WorkloadGenerator`] from a
+//! [`WorkloadParams`] description.
+
+use lockgran_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::partitioning::Partitioning;
+use crate::placement::Placement;
+use crate::size::SizeDistribution;
+
+/// Static parameters of the workload (paper §2 input parameters that
+/// concern transaction generation).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// `dbsize`: number of accessible entities in the database.
+    pub dbsize: u64,
+    /// `ltot`: number of locks (granules).
+    pub ltot: u64,
+    /// Distribution of `NU_i`.
+    pub size: SizeDistribution,
+    /// Granule placement model (determines `LU_i`).
+    pub placement: Placement,
+    /// Declustering strategy (determines `PU_i`).
+    pub partitioning: Partitioning,
+    /// `npros`: number of processors.
+    pub npros: u32,
+}
+
+impl WorkloadParams {
+    /// Validate mutual consistency of the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dbsize == 0 {
+            return Err("dbsize must be positive".into());
+        }
+        if self.ltot == 0 {
+            return Err("ltot must be positive (1 = single database lock)".into());
+        }
+        if self.ltot > self.dbsize {
+            return Err(format!(
+                "ltot ({}) cannot exceed dbsize ({}): a granule holds at least one entity",
+                self.ltot, self.dbsize
+            ));
+        }
+        if self.npros == 0 {
+            return Err("npros must be positive".into());
+        }
+        self.size.validate()?;
+        if self.size.max() > self.dbsize {
+            return Err(format!(
+                "maximum transaction size ({}) exceeds dbsize ({})",
+                self.size.max(),
+                self.dbsize
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The realized stochastic attributes of one transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransactionSpec {
+    /// `NU_i`: database entities accessed.
+    pub entities: u64,
+    /// `LU_i`: locks required per request attempt.
+    pub locks: u64,
+    /// Distinct processors hosting this transaction's sub-transactions
+    /// (`PU_i = processors.len()`).
+    pub processors: Vec<u32>,
+}
+
+impl TransactionSpec {
+    /// `PU_i`: the sub-transaction fan-out.
+    pub fn fanout(&self) -> u32 {
+        self.processors.len() as u32
+    }
+}
+
+/// Draws [`TransactionSpec`]s from independent size / placement /
+/// partitioning random streams.
+#[derive(Clone, Debug)]
+pub struct WorkloadGenerator {
+    params: WorkloadParams,
+    size_rng: SimRng,
+    part_rng: SimRng,
+    generated: u64,
+}
+
+impl WorkloadGenerator {
+    /// Create a generator; `rng` is split into independent sub-streams so
+    /// the size sequence does not depend on how partitioning consumes
+    /// randomness (and vice versa).
+    ///
+    /// # Panics
+    /// Panics if `params.validate()` fails — construct from validated
+    /// parameters.
+    pub fn new(params: WorkloadParams, rng: &SimRng) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid workload parameters: {e}");
+        }
+        WorkloadGenerator {
+            size_rng: rng.split("workload.size"),
+            part_rng: rng.split("workload.partitioning"),
+            params,
+            generated: 0,
+        }
+    }
+
+    /// The parameters this generator draws from.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Number of specs generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Draw the next transaction.
+    pub fn next_spec(&mut self) -> TransactionSpec {
+        self.generated += 1;
+        let entities = self.params.size.sample(&mut self.size_rng);
+        let locks = self
+            .params
+            .placement
+            .locks_required(entities, self.params.ltot, self.params.dbsize);
+        let processors = self
+            .params
+            .partitioning
+            .assign_processors(&mut self.part_rng, self.params.npros);
+        TransactionSpec {
+            entities,
+            locks,
+            processors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams {
+            dbsize: 5000,
+            ltot: 100,
+            size: SizeDistribution::Uniform { max: 500 },
+            placement: Placement::Best,
+            partitioning: Partitioning::Horizontal,
+            npros: 10,
+        }
+    }
+
+    #[test]
+    fn generates_consistent_specs() {
+        let rng = SimRng::new(7);
+        let mut g = WorkloadGenerator::new(params(), &rng);
+        for _ in 0..1000 {
+            let s = g.next_spec();
+            assert!((1..=500).contains(&s.entities));
+            assert_eq!(
+                s.locks,
+                Placement::Best.locks_required(s.entities, 100, 5000)
+            );
+            assert_eq!(s.processors, (0..10).collect::<Vec<_>>());
+            assert_eq!(s.fanout(), 10);
+        }
+        assert_eq!(g.generated(), 1000);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let rng = SimRng::new(99);
+        let mut a = WorkloadGenerator::new(params(), &rng);
+        let mut b = WorkloadGenerator::new(params(), &rng);
+        for _ in 0..200 {
+            assert_eq!(a.next_spec(), b.next_spec());
+        }
+    }
+
+    #[test]
+    fn size_stream_independent_of_partitioning() {
+        // Same seed, different partitioning: the NU_i sequence must be
+        // identical (common random numbers across sweep points).
+        let rng = SimRng::new(5);
+        let mut horizontal = WorkloadGenerator::new(params(), &rng);
+        let mut random = WorkloadGenerator::new(
+            WorkloadParams {
+                partitioning: Partitioning::Random,
+                ..params()
+            },
+            &rng,
+        );
+        for _ in 0..500 {
+            assert_eq!(horizontal.next_spec().entities, random.next_spec().entities);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_params() {
+        let mut p = params();
+        p.ltot = 10_000; // more locks than entities
+        assert!(p.validate().is_err());
+
+        let mut p = params();
+        p.size = SizeDistribution::Uniform { max: 10_000 }; // txn bigger than db
+        assert!(p.validate().is_err());
+
+        let mut p = params();
+        p.npros = 0;
+        assert!(p.validate().is_err());
+
+        assert!(params().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload parameters")]
+    fn generator_rejects_invalid_params() {
+        let mut p = params();
+        p.dbsize = 0;
+        let _ = WorkloadGenerator::new(p, &SimRng::new(1));
+    }
+}

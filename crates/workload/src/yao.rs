@@ -1,0 +1,194 @@
+//! Yao's block-access estimate.
+//!
+//! Yao's classical formula [CACM 1977] gives the expected number of
+//! granules touched when `k` entities are chosen at random without
+//! replacement from a database of `d` entities packed into `g` granules of
+//! `d / g` entities each:
+//!
+//! ```text
+//! E[granules] = g * (1 - C(d - d/g, k) / C(d, k))
+//! ```
+//!
+//! The paper (§3.5, citing Ries & Stonebraker [TODS 1979]) uses exactly
+//! this expression to model **random placement** of the lock count
+//! `LU_i`. Binomial coefficients at `d = 5000` overflow everything, so the
+//! ratio is evaluated as a running product
+//! `Π_{i=0}^{k-1} (m - i) / (d - i)` with `m = d - d/g`, which is exact in
+//! real arithmetic and numerically benign (every factor is in `[0, 1]`).
+
+/// Expected number of granules touched: `d` entities, `g` granules, `k`
+/// entities accessed. Returns a real number in `[0, g]`.
+///
+/// Edge cases follow the combinatorics: `k = 0` touches nothing; `k > m`
+/// (more accesses than entities *outside* any one granule) forces every
+/// granule to be touched with probability 1 only when `k > d - d/g`.
+///
+/// # Panics
+/// Panics if `g == 0`, `d == 0`, or `g > d`.
+pub fn yao_expected_granules(d: u64, g: u64, k: u64) -> f64 {
+    assert!(d > 0, "database must be non-empty");
+    assert!(g > 0, "granule count must be positive");
+    assert!(g <= d, "cannot have more granules than entities");
+    if k == 0 {
+        return 0.0;
+    }
+    if k >= d {
+        return g as f64;
+    }
+    // Entities not in a fixed granule. Granule size is d/g entities; the
+    // formula treats granules as equal-sized, as the paper assumes.
+    let granule_size = d / g;
+    let m = d - granule_size;
+    if k > m {
+        // Too many accesses to avoid any granule.
+        return g as f64;
+    }
+    // ratio = C(m, k) / C(d, k) = prod_{i=0..k-1} (m - i) / (d - i)
+    let mut ratio = 1.0f64;
+    for i in 0..k {
+        ratio *= (m - i) as f64 / (d - i) as f64;
+        if ratio == 0.0 {
+            break;
+        }
+    }
+    g as f64 * (1.0 - ratio)
+}
+
+/// Exact expectation of the number of granules touched when `k` distinct
+/// entities are drawn uniformly from `d` entities arranged into `g`
+/// granules whose sizes may be *unequal* (sizes given explicitly). Used as
+/// a reference implementation to validate [`yao_expected_granules`]:
+/// by linearity of expectation,
+/// `E = Σ_j (1 - C(d - s_j, k) / C(d, k))` over granule sizes `s_j`.
+///
+/// # Panics
+/// Panics if sizes don't sum to `d` or any size is zero.
+pub fn exact_expected_granules(d: u64, sizes: &[u64], k: u64) -> f64 {
+    assert_eq!(sizes.iter().sum::<u64>(), d, "granule sizes must sum to dbsize");
+    assert!(sizes.iter().all(|&s| s > 0), "granule sizes must be positive");
+    if k == 0 {
+        return 0.0;
+    }
+    sizes
+        .iter()
+        .map(|&s| {
+            if k > d - s {
+                1.0
+            } else {
+                let mut ratio = 1.0f64;
+                for i in 0..k {
+                    ratio *= (d - s - i) as f64 / (d - i) as f64;
+                }
+                1.0 - ratio
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_accesses_touch_nothing() {
+        assert_eq!(yao_expected_granules(5000, 100, 0), 0.0);
+    }
+
+    #[test]
+    fn full_scan_touches_every_granule() {
+        assert_eq!(yao_expected_granules(5000, 100, 5000), 100.0);
+        assert_eq!(yao_expected_granules(5000, 100, 6000), 100.0);
+    }
+
+    #[test]
+    fn single_access_touches_one_granule_in_expectation_times_probability() {
+        // With k = 1: E = g * (1 - (d - d/g)/d) = g * (d/g)/d = 1.
+        for &(d, g) in &[(5000u64, 1u64), (5000, 10), (5000, 100), (5000, 5000)] {
+            let e = yao_expected_granules(d, g, 1);
+            assert!((e - 1.0).abs() < 1e-9, "d={d} g={g} E={e}");
+        }
+    }
+
+    #[test]
+    fn one_granule_database() {
+        // g = 1: any access touches the single granule.
+        for k in [1u64, 10, 100] {
+            assert!((yao_expected_granules(5000, 1, k) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn record_level_granularity_equals_k() {
+        // g = d: every entity is its own granule, so E = k exactly.
+        for k in [1u64, 17, 250, 499] {
+            let e = yao_expected_granules(5000, 5000, k);
+            assert!((e - k as f64).abs() < 1e-6, "k={k} E={e}");
+        }
+    }
+
+    #[test]
+    fn bounded_by_min_k_g() {
+        for g in [1u64, 2, 10, 50, 200, 1000, 5000] {
+            for k in [1u64, 5, 50, 250, 500, 2500] {
+                let e = yao_expected_granules(5000, g, k);
+                assert!(e <= g as f64 + 1e-9, "E={e} > g={g}");
+                assert!(e <= k as f64 + 1e-9, "E={e} > k={k}");
+                assert!(e >= 1.0 - 1e-9, "E={e} < 1 for k={k} >= 1");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_access_count() {
+        let mut prev = 0.0;
+        for k in 0..500 {
+            let e = yao_expected_granules(5000, 200, k);
+            assert!(e >= prev - 1e-12, "not monotone at k={k}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn matches_exact_formula_for_equal_granules() {
+        // For d divisible by g the approximation *is* the exact formula.
+        for &(d, g) in &[(100u64, 10u64), (5000, 50), (5000, 500)] {
+            let sizes = vec![d / g; g as usize];
+            for k in [1u64, 3, 10, 40] {
+                let approx = yao_expected_granules(d, g, k);
+                let exact = exact_expected_granules(d, &sizes, k);
+                assert!(
+                    (approx - exact).abs() < 1e-9,
+                    "d={d} g={g} k={k}: {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_handles_unequal_granules() {
+        // 10 entities: one granule of 9, one of 1. Drawing k=1:
+        // E = (1 - C(1,1)/C(10,1)) + (1 - C(9,1)/C(10,1)) = 0.9 + 0.1 = 1.
+        let e = exact_expected_granules(10, &[9, 1], 1);
+        assert!((e - 1.0).abs() < 1e-12);
+        // Drawing all 10 touches both.
+        let e = exact_expected_granules(10, &[9, 1], 10);
+        assert!((e - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_values_are_sane() {
+        // dbsize = 5000, average transaction 250 entities.
+        // Coarse (g = 10): essentially all granules touched.
+        let coarse = yao_expected_granules(5000, 10, 250);
+        assert!(coarse > 9.9, "coarse {coarse}");
+        // Fine (g = 5000): about 250 granules touched.
+        let fine = yao_expected_granules(5000, 5000, 250);
+        assert!((fine - 250.0).abs() < 1e-3, "fine {fine}");
+    }
+
+    #[test]
+    #[should_panic(expected = "granules than entities")]
+    fn rejects_more_granules_than_entities() {
+        yao_expected_granules(10, 11, 1);
+    }
+}

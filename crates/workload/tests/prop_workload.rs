@@ -1,0 +1,138 @@
+//! Property tests for workload generation: placement formulas, Yao's
+//! approximation, granule-set sampling and the generator's invariants.
+
+use proptest::prelude::*;
+
+use lockgran_sim::SimRng;
+use lockgran_workload::yao::{exact_expected_granules, yao_expected_granules};
+use lockgran_workload::{
+    access, Partitioning, Placement, SizeDistribution, WorkloadGenerator, WorkloadParams,
+};
+
+/// (dbsize, ltot, nu) with ltot <= dbsize and nu <= dbsize.
+fn db_params() -> impl Strategy<Value = (u64, u64, u64)> {
+    (2u64..5000).prop_flat_map(|dbsize| {
+        (Just(dbsize), 1..=dbsize, 1..=dbsize)
+    })
+}
+
+proptest! {
+    /// All placement models: 0 iff nu == 0, else within [1, ltot]; best
+    /// and worst bound random from below/above.
+    #[test]
+    fn placement_bounds((dbsize, ltot, nu) in db_params()) {
+        let best = Placement::Best.locks_required(nu, ltot, dbsize);
+        let worst = Placement::Worst.locks_required(nu, ltot, dbsize);
+        let random = Placement::Random.locks_required(nu, ltot, dbsize);
+        for lu in [best, worst, random] {
+            prop_assert!(lu >= 1);
+            prop_assert!(lu <= ltot);
+        }
+        prop_assert!(best <= worst);
+        // Yao's expectation sits between the extremes (±1 for rounding).
+        prop_assert!(random + 1 >= best, "random {random} < best {best}");
+        prop_assert!(random <= worst, "random {random} > worst {worst}");
+    }
+
+    /// Best placement is monotone in nu and in ltot.
+    #[test]
+    fn best_placement_monotone((dbsize, ltot, nu) in db_params()) {
+        let lu = Placement::Best.locks_required(nu, ltot, dbsize);
+        if nu < dbsize {
+            prop_assert!(Placement::Best.locks_required(nu + 1, ltot, dbsize) >= lu);
+        }
+        if ltot < dbsize {
+            prop_assert!(Placement::Best.locks_required(nu, ltot + 1, dbsize) >= lu);
+        }
+    }
+
+    /// Yao's closed form is bounded by min(k, g) and matches the exact
+    /// equal-granule formula when g divides d.
+    #[test]
+    fn yao_bounds_and_exactness(g in 1u64..200, per in 1u64..50, k_frac in 0.0f64..1.0) {
+        let d = g * per;
+        let k = ((d as f64 * k_frac) as u64).clamp(1, d);
+        let e = yao_expected_granules(d, g, k);
+        prop_assert!(e <= g as f64 + 1e-9);
+        prop_assert!(e <= k as f64 + 1e-9);
+        prop_assert!(e >= 1.0 - 1e-9);
+        let exact = exact_expected_granules(d, &vec![per; g as usize], k);
+        prop_assert!((e - exact).abs() < 1e-6, "yao {e} vs exact {exact}");
+    }
+
+    /// Sampled granule sets are duplicate-free, in range, and exactly the
+    /// size the placement formula dictates.
+    #[test]
+    fn sampled_sets_valid((dbsize, ltot, nu) in db_params(), seed in 0u64..1000) {
+        let mut rng = SimRng::new(seed);
+        for p in Placement::ALL {
+            let set = access::sample_granules(&mut rng, p, nu, ltot, dbsize);
+            prop_assert_eq!(set.len() as u64, p.locks_required(nu, ltot, dbsize));
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), set.len(), "duplicates under {:?}", p);
+            prop_assert!(set.iter().all(|&x| x < ltot));
+        }
+    }
+
+    /// Size distributions sample within their declared range.
+    #[test]
+    fn sizes_in_range(max in 1u64..5000, seed in 0u64..1000) {
+        let mut rng = SimRng::new(seed);
+        let d = SizeDistribution::Uniform { max };
+        for _ in 0..50 {
+            let s = d.sample(&mut rng);
+            prop_assert!((1..=max).contains(&s));
+        }
+        let mix = SizeDistribution::eighty_twenty();
+        for _ in 0..50 {
+            let s = mix.sample(&mut rng);
+            prop_assert!((1..=500).contains(&s));
+        }
+    }
+
+    /// Partitioning yields 1..=npros distinct processors; horizontal
+    /// always yields all of them.
+    #[test]
+    fn partitioning_valid(npros in 1u32..64, seed in 0u64..1000) {
+        let mut rng = SimRng::new(seed);
+        let h = Partitioning::Horizontal.assign_processors(&mut rng, npros);
+        prop_assert_eq!(h.len(), npros as usize);
+        let r = Partitioning::Random.assign_processors(&mut rng, npros);
+        prop_assert!(!r.is_empty() && r.len() <= npros as usize);
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), r.len());
+        prop_assert!(r.iter().all(|&p| p < npros));
+    }
+
+    /// The generator emits specs consistent with its own parameters, and
+    /// identical streams for identical seeds.
+    #[test]
+    fn generator_consistent(seed in 0u64..1000, ltot in 1u64..5000, npros in 1u32..32) {
+        let params = WorkloadParams {
+            dbsize: 5000,
+            ltot,
+            size: SizeDistribution::Uniform { max: 500 },
+            placement: Placement::Random,
+            partitioning: Partitioning::Random,
+            npros,
+        };
+        let rng = SimRng::new(seed);
+        let mut a = WorkloadGenerator::new(params.clone(), &rng);
+        let mut b = WorkloadGenerator::new(params.clone(), &rng);
+        for _ in 0..20 {
+            let sa = a.next_spec();
+            let sb = b.next_spec();
+            prop_assert_eq!(&sa, &sb);
+            prop_assert!((1..=500).contains(&sa.entities));
+            prop_assert_eq!(
+                sa.locks,
+                params.placement.locks_required(sa.entities, ltot, 5000)
+            );
+            prop_assert!(sa.fanout() >= 1 && sa.fanout() <= npros);
+        }
+    }
+}

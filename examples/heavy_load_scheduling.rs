@@ -1,0 +1,52 @@
+//! Heavy load and admission control (§3.7 + extension A).
+//!
+//! At 200 concurrent terminals the paper observes fine granularity
+//! *collapsing*: lock-processing overhead scales with `ntrans × ltot`
+//! while almost every request is denied. The paper points at
+//! "transaction level scheduling" as the remedy; this example runs that
+//! remedy — an admission cap on the transactions competing for locks —
+//! and shows how it revives the overloaded system.
+//!
+//! ```text
+//! cargo run --release --example heavy_load_scheduling
+//! ```
+
+use lockgran::prelude::*;
+
+fn main() {
+    let base = ModelConfig::table1()
+        .with_ntrans(200)
+        .with_npros(20)
+        .with_tmax(4_000.0);
+
+    println!("ntrans = 200, npros = 20, maxtransize = 500\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "ltot", "cap", "throughput", "response", "denial%", "pending"
+    );
+    for ltot in [10u64, 100, 1000, 5000] {
+        for cap in [None, Some(50u32), Some(20)] {
+            let cfg = base.clone().with_ltot(ltot).with_mpl_limit(cap);
+            let m = run(&cfg, 17);
+            println!(
+                "{:>8} {:>10} {:>12.4} {:>10.1} {:>9.1}% {:>10.1}",
+                ltot,
+                cap.map_or("none".to_string(), |c| c.to_string()),
+                m.throughput,
+                m.response_time,
+                m.denial_rate * 100.0,
+                m.mean_pending
+            );
+        }
+        println!();
+    }
+
+    println!("reading the table:");
+    println!(" * uncapped, fine granularity: the system spends its capacity paying");
+    println!("   lock charges for requests that are then denied (94%+ denial).");
+    println!(" * a cap of 20 lets at most 20 transactions contend; the other 180");
+    println!("   wait for free — no lock charges, no denials, no wasted I/O.");
+    println!(" * response time *improves* under the cap even though transactions");
+    println!("   queue for admission: denied attempts cost real resource time.");
+    println!(" * this is the paper's §3.7 'transaction level scheduling', built.");
+}

@@ -1,0 +1,62 @@
+//! Placement study: sequential scans vs random point accesses (§3.5).
+//!
+//! The paper's sharpest qualitative result: the right granularity depends
+//! on *how* transactions touch the database. Sequential workloads (best
+//! placement) want coarse granularity; small random workloads (random /
+//! worst placement) want one lock per entity. This example reproduces
+//! that crossover for a 30-processor machine.
+//!
+//! ```text
+//! cargo run --release --example placement_study
+//! ```
+
+use lockgran::prelude::*;
+
+fn sweep(label: &str, cfg: &ModelConfig) {
+    let ltots = [1u64, 10, 50, 100, 500, 1000, 5000];
+    print!("{label:>28}:");
+    let mut curve = Vec::new();
+    for &ltot in &ltots {
+        let m = run(&cfg.clone().with_ltot(ltot), 11);
+        curve.push((ltot, m.throughput));
+        print!(" {:>7.3}", m.throughput);
+    }
+    let best = curve
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    println!("   <- optimum at ltot={}", best.0);
+}
+
+fn main() {
+    let base = ModelConfig::table1().with_npros(30).with_tmax(5_000.0);
+    let ltots = [1u64, 10, 50, 100, 500, 1000, 5000];
+    print!("{:>28} ", "throughput @ ltot =");
+    for l in ltots {
+        print!(" {l:>7}");
+    }
+    println!();
+
+    println!("\n-- large transactions (maxtransize = 500, mean 250 entities) --");
+    for placement in [Placement::Best, Placement::Random, Placement::Worst] {
+        let cfg = base.clone().with_maxtransize(500).with_placement(placement);
+        sweep(&format!("large/{placement}"), &cfg);
+    }
+
+    println!("\n-- small transactions (maxtransize = 50, mean 25 entities) --");
+    for placement in [Placement::Best, Placement::Random, Placement::Worst] {
+        let cfg = base.clone().with_maxtransize(50).with_placement(placement);
+        sweep(&format!("small/{placement}"), &cfg);
+    }
+
+    println!();
+    println!("reading the table (paper §3.5 and conclusion):");
+    println!(" * sequential scans (best placement): coarse granularity is enough;");
+    println!("   finer locks only add overhead once past the small optimum.");
+    println!(" * large random transactions: throughput *dips* until ltot reaches");
+    println!("   the mean transaction size — each transaction locks everything");
+    println!("   anyway, so extra locks are pure overhead — then recovers.");
+    println!(" * small random transactions: finest granularity (one lock per");
+    println!("   entity) wins — the paper's exception to 'coarse is fine'.");
+}

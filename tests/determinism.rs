@@ -1,0 +1,75 @@
+//! Cross-crate integration tests: reproducibility guarantees.
+
+use lockgran::prelude::*;
+
+/// Bit-for-bit reproducibility of a full run.
+#[test]
+fn identical_seeds_identical_metrics() {
+    let cfg = ModelConfig::table1().with_tmax(1_000.0);
+    let a = run(&cfg, 0xABCD);
+    let b = run(&cfg, 0xABCD);
+    assert_eq!(a.totcom, b.totcom);
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+    assert_eq!(a.response_time.to_bits(), b.response_time.to_bits());
+    assert_eq!(a.totcpus.to_bits(), b.totcpus.to_bits());
+    assert_eq!(a.totios.to_bits(), b.totios.to_bits());
+    assert_eq!(a.lockcpus.to_bits(), b.lockcpus.to_bits());
+    assert_eq!(a.lockios.to_bits(), b.lockios.to_bits());
+    assert_eq!(a.lock_attempts, b.lock_attempts);
+    assert_eq!(a.lock_denials, b.lock_denials);
+}
+
+/// Replications with distinct derived seeds differ from each other but
+/// the aggregate is reproducible.
+#[test]
+fn replications_reproducible() {
+    let cfg = ModelConfig::table1().with_tmax(800.0);
+    let a = run_replicated(&cfg, 7, 4);
+    let b = run_replicated(&cfg, 7, 4);
+    assert_eq!(a.throughput.mean.to_bits(), b.throughput.mean.to_bits());
+    assert_eq!(a.throughput.ci95.to_bits(), b.throughput.ci95.to_bits());
+    // Replications are genuinely distinct runs.
+    assert!(a.runs.windows(2).any(|w| w[0].totcom != w[1].totcom
+        || w[0].response_time != w[1].response_time));
+}
+
+/// Sweep points share workload streams (common random numbers): the
+/// transaction-size sequence must not depend on ltot. Verified
+/// indirectly — with conflict-free locking (ltot at entity level and a
+/// single terminal) the completed-work totals per seed agree across two
+/// unrelated ltot values.
+#[test]
+fn common_random_numbers_across_sweep() {
+    let mk = |ltot: u64| {
+        ModelConfig::table1()
+            .with_ntrans(1)
+            .with_ltot(ltot)
+            .with_tmax(2_000.0)
+    };
+    // One terminal: no conflicts, so completions depend only on sizes and
+    // (tiny) lock overhead. The completed counts must be nearly equal.
+    let a = run(&mk(10), 99);
+    let b = run(&mk(100), 99);
+    assert!(
+        (a.totcom as i64 - b.totcom as i64).abs() <= 1,
+        "size streams diverged: {} vs {}",
+        a.totcom,
+        b.totcom
+    );
+}
+
+/// The serde round trip of a config reproduces the identical simulation.
+#[test]
+fn config_serde_round_trip_runs_identically() {
+    let cfg = ModelConfig::table1()
+        .with_npros(7)
+        .with_ltot(37)
+        .with_placement(Placement::Random)
+        .with_tmax(500.0);
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: ModelConfig = serde_json::from_str(&json).unwrap();
+    let a = run(&cfg, 11);
+    let b = run(&back, 11);
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+    assert_eq!(a.totcom, b.totcom);
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: conservation laws and internal
+//! consistency of the model, checked over a grid of configurations.
+
+use lockgran::prelude::*;
+use lockgran::workload::SizeDistribution;
+
+fn grid() -> Vec<ModelConfig> {
+    let mut v = Vec::new();
+    for npros in [1u32, 4, 16] {
+        for ltot in [1u64, 50, 5000] {
+            for placement in [Placement::Best, Placement::Worst, Placement::Random] {
+                v.push(
+                    ModelConfig::table1()
+                        .with_npros(npros)
+                        .with_ltot(ltot)
+                        .with_placement(placement)
+                        .with_tmax(800.0),
+                );
+            }
+        }
+    }
+    v
+}
+
+/// Every configuration yields internally consistent metrics.
+#[test]
+fn metrics_consistency_across_grid() {
+    for (i, cfg) in grid().into_iter().enumerate() {
+        let m = run(&cfg, i as u64);
+        m.check_consistency(cfg.npros)
+            .unwrap_or_else(|e| panic!("config #{i}: {e}"));
+    }
+}
+
+/// Work conservation: useful I/O busy time equals completed+in-flight
+/// transaction I/O demand; bound it by what throughput implies.
+#[test]
+fn useful_io_matches_completed_work() {
+    let cfg = ModelConfig::table1().with_tmax(2_000.0);
+    let m = run(&cfg, 5);
+    // Completed transactions did totcom * E[NU] * iotime of I/O work; the
+    // measured useful I/O (summed over processors) must be at least that
+    // minus one multiprogramming level of in-flight work, and at most
+    // that plus it.
+    let mean_nu = 250.5;
+    let expected = m.totcom as f64 * mean_nu * cfg.iotime;
+    let slack = f64::from(cfg.ntrans) * 500.0 * cfg.iotime; // max txn size
+    let measured = m.usefulios * f64::from(cfg.npros);
+    assert!(
+        (measured - expected).abs() < slack,
+        "measured {measured} vs expected {expected} (slack {slack})"
+    );
+}
+
+/// Lock overhead conservation: lockcpus equals (attempts * LU * lcputime)
+/// in expectation; check the exact per-run identity via attempt counts.
+#[test]
+fn lock_overhead_proportional_to_attempts() {
+    // Fixed-size transactions make LU deterministic: NU = 250,
+    // ltot = 100 -> LU = 5 under best placement.
+    let cfg = ModelConfig::table1()
+        .with_size(SizeDistribution::Fixed { size: 250 })
+        .with_tmax(2_000.0);
+    let m = run(&cfg, 3);
+    let lu = 5.0;
+    let expected_cpu = m.lock_attempts as f64 * lu * cfg.lcputime;
+    // In-flight attempts at the horizon may be partially charged.
+    let slack = f64::from(cfg.ntrans) * lu * (cfg.lcputime + cfg.liotime) + 1.0;
+    assert!(
+        (m.lockcpus - expected_cpu).abs() <= slack,
+        "lockcpus {} vs attempts-implied {expected_cpu}",
+        m.lockcpus
+    );
+}
+
+/// The closed model: completions per unit time match mean-active ×
+/// service-rate intuition within a loose factor (Little's-law sanity).
+#[test]
+fn littles_law_sanity() {
+    let cfg = ModelConfig::table1().with_tmax(3_000.0);
+    let m = run(&cfg, 1);
+    // L = lambda * W with L = ntrans (every resident transaction counts
+    // toward response time).
+    let l = f64::from(cfg.ntrans);
+    let lambda_w = m.throughput * m.response_time;
+    assert!(
+        (lambda_w - l).abs() / l < 0.15,
+        "Little's law: lambda*W = {lambda_w}, L = {l}"
+    );
+}
+
+/// Explicit conflict mode satisfies the same conservation checks.
+#[test]
+fn explicit_mode_consistency() {
+    for seed in 0..3 {
+        let cfg = ModelConfig::table1()
+            .with_conflict(ConflictMode::Explicit)
+            .with_tmax(800.0);
+        let m = run(&cfg, seed);
+        m.check_consistency(cfg.npros).unwrap();
+        assert!(m.totcom > 0);
+        let lw = m.throughput * m.response_time;
+        assert!((lw - 10.0).abs() / 10.0 < 0.25, "Little's law in explicit mode: {lw}");
+    }
+}
+
+/// Degenerate parameter corners run to completion and stay consistent.
+#[test]
+fn degenerate_corners() {
+    // Single transaction, single processor, single lock.
+    let m = run(
+        &ModelConfig::table1()
+            .with_ntrans(1)
+            .with_npros(1)
+            .with_ltot(1)
+            .with_tmax(500.0),
+        0,
+    );
+    assert!(m.totcom > 0);
+    assert_eq!(m.denial_rate, 0.0, "a lone transaction can never be denied");
+    m.check_consistency(1).unwrap();
+
+    // Free locking everywhere.
+    let mut cfg = ModelConfig::table1().with_tmax(500.0);
+    cfg.lcputime = 0.0;
+    cfg.liotime = 0.0;
+    let m = run(&cfg, 0);
+    assert_eq!(m.lockcpus, 0.0);
+    assert_eq!(m.lockios, 0.0);
+    assert!(m.totcom > 0);
+
+    // Transactions as large as the database.
+    let m = run(
+        &ModelConfig::table1()
+            .with_size(SizeDistribution::Fixed { size: 5000 })
+            .with_tmax(2_000.0),
+        0,
+    );
+    assert!(m.totcom > 0);
+    m.check_consistency(10).unwrap();
+}
+
+/// All three lock-distribution policies conserve total lock overhead.
+#[test]
+fn lock_distribution_conserves_overhead() {
+    use lockgran::core::config::LockDistribution;
+    let base = ModelConfig::table1()
+        .with_size(SizeDistribution::Fixed { size: 250 })
+        .with_tmax(1_000.0);
+    let mut per_attempt = Vec::new();
+    for d in LockDistribution::ALL {
+        let m = run(&base.clone().with_lock_distribution(d), 2);
+        // lockcpus per attempt must equal LU * lcputime = 0.05 regardless
+        // of how the work is spread (up to in-flight truncation).
+        per_attempt.push(m.lockcpus / m.lock_attempts as f64);
+    }
+    for w in per_attempt.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() < 0.005,
+            "per-attempt lock CPU differs across distributions: {per_attempt:?}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the paper's qualitative results.
+//!
+//! Each test asserts one "who wins / where is the crossover" claim from
+//! the paper's evaluation (§3), using quick-mode sweeps. These are the
+//! reproduction criteria recorded in EXPERIMENTS.md.
+
+use lockgran::experiments::figures;
+use lockgran::experiments::RunOptions;
+use lockgran::prelude::*;
+
+fn opts() -> RunOptions {
+    RunOptions::quick()
+}
+
+/// §3.1 / Fig 2: throughput is convex in ltot with an interior optimum
+/// below 200 locks, for every processor count.
+#[test]
+fn fig2_throughput_convex_with_small_optimum() {
+    let f = figures::fig02::run(&opts());
+    for s in &f.panel("throughput").unwrap().series {
+        let opt = s.argmax().unwrap();
+        assert!(opt > 1.0, "{}: optimum at the single-lock end", s.label);
+        assert!(opt < 200.0, "{}: optimum at {opt} >= 200", s.label);
+        let peak = s.max_mean().unwrap();
+        assert!(s.at(1.0).unwrap() < peak, "{}: no rise from ltot=1", s.label);
+        assert!(s.at(5000.0).unwrap() < peak, "{}: no fall to ltot=5000", s.label);
+    }
+}
+
+/// §3.1 / Fig 2: the penalty for entity-level locking grows with the
+/// number of processors (absolute throughput lost).
+#[test]
+fn fig2_fine_granularity_penalty_grows_with_npros() {
+    let f = figures::fig02::run(&opts());
+    let panel = f.panel("throughput").unwrap();
+    let penalty = |label: &str| {
+        let s = panel.series(label).unwrap();
+        s.max_mean().unwrap() - s.at(5000.0).unwrap()
+    };
+    assert!(penalty("npros=30") > penalty("npros=10"));
+    assert!(penalty("npros=10") > penalty("npros=1"));
+}
+
+/// §3.2 / Fig 6: smaller transactions give higher throughput everywhere
+/// and their optimum sits at least as far right.
+#[test]
+fn fig6_transaction_size_effects() {
+    let f = figures::fig06::run(&opts());
+    let panel = f.panel("throughput").unwrap();
+    let small = panel.series("maxtransize=50").unwrap();
+    let mid = panel.series("maxtransize=500").unwrap();
+    let large = panel.series("maxtransize=5000").unwrap();
+    for ((s, m), l) in small.points.iter().zip(mid.points.iter()).zip(large.points.iter()) {
+        assert!(s.mean > m.mean && m.mean > l.mean, "ordering broken at ltot={}", s.x);
+    }
+    assert!(small.argmax().unwrap() >= large.argmax().unwrap());
+}
+
+/// §3.3 / Fig 7: removing lock I/O cost helps at fine granularity but
+/// does not move the conclusion — throughput plateaus, it does not keep
+/// climbing.
+#[test]
+fn fig7_memory_resident_lock_table_plateaus() {
+    let f = figures::fig07::run(&opts());
+    let free = f.panel("throughput").unwrap().series("liotime=0").unwrap();
+    let peak = free.max_mean().unwrap();
+    let fine = free.at(5000.0).unwrap();
+    assert!(fine >= 0.7 * peak, "fine {fine} vs peak {peak}");
+    // And the optimum is still at or below a few hundred locks.
+    assert!(free.argmax().unwrap() <= 1000.0);
+}
+
+/// §3.4 / Fig 8: horizontal partitioning dominates random partitioning
+/// at every granularity (for a parallel machine).
+#[test]
+fn fig8_horizontal_beats_random_partitioning() {
+    let o = opts();
+    let horizontal = figures::fig02::run(&o);
+    let random = figures::fig08::run(&o);
+    for label in ["npros=10", "npros=30"] {
+        let h = horizontal.panel("throughput").unwrap().series(label).unwrap().clone();
+        let r = random.panel("throughput").unwrap().series(label).unwrap().clone();
+        for (hp, rp) in h.points.iter().zip(r.points.iter()) {
+            assert!(hp.mean > rp.mean, "{label} ltot={}", hp.x);
+        }
+    }
+}
+
+/// §3.5 / Figs 9–10: the placement crossover. Large random transactions
+/// dip until ltot reaches the transaction size; small random transactions
+/// make entity-level locking the best choice.
+#[test]
+fn fig9_fig10_placement_crossover() {
+    let o = opts();
+    let large = figures::fig09::run(&o);
+    let small = figures::fig10::run(&o);
+
+    let lw = large.panel("throughput").unwrap().series("worst/npros=30").unwrap().clone();
+    // Dip-and-recover for large transactions.
+    assert!(lw.at(100.0).unwrap() < lw.at(1.0).unwrap());
+    assert!(lw.at(5000.0).unwrap() > lw.at(100.0).unwrap());
+
+    // Fine granularity is the *argmax* for small random transactions.
+    for label in ["random/npros=30", "worst/npros=30"] {
+        let s = small.panel("throughput").unwrap().series(label).unwrap().clone();
+        assert_eq!(s.argmax().unwrap(), 5000.0, "{label}");
+    }
+}
+
+/// §3.6 / Fig 11: the 80/20 mix lands between the all-small and
+/// all-large systems, far below all-small.
+#[test]
+fn fig11_mixed_sizes_between_extremes() {
+    let o = opts();
+    let mixed = figures::fig11::run(&o);
+    let large = figures::fig09::run(&o);
+    let small = figures::fig10::run(&o);
+    let at_fine = |f: &Figure, label: &str| {
+        f.panel("throughput").unwrap().series(label).unwrap().at(5000.0).unwrap()
+    };
+    let m = at_fine(&mixed, "worst");
+    let l = at_fine(&large, "worst/npros=30");
+    let s = at_fine(&small, "worst/npros=30");
+    assert!(l < m && m < s, "large {l}, mixed {m}, small {s}");
+}
+
+/// §3.7 / Fig 12: under heavy load (ntrans = 200) fine granularity loses
+/// to coarse granularity for every placement.
+#[test]
+fn fig12_heavy_load_prefers_coarse() {
+    let f = figures::fig12::run(&opts());
+    for s in &f.panel("throughput").unwrap().series {
+        assert!(
+            s.at(5000.0).unwrap() < s.at(10.0).unwrap(),
+            "{}: fine granularity won under heavy load",
+            s.label
+        );
+    }
+}
+
+/// Conclusion §4: "reducing the lock I/O cost does not improve the
+/// performance of a multiprocessor system substantially" at sensible
+/// (near-optimal) granularity.
+#[test]
+fn conclusion_lock_io_cost_hardly_matters_at_optimum() {
+    let base = ModelConfig::table1().with_npros(10).with_ltot(100).with_tmax(1_500.0);
+    let disk = run(&base, 9);
+    let memory = run(&base.with_liotime(0.0), 9);
+    let gain = memory.throughput / disk.throughput;
+    assert!(
+        (0.95..=1.30).contains(&gain),
+        "memory-resident lock table changed throughput by {gain}x at the optimum"
+    );
+}

@@ -4,14 +4,17 @@
 //! Prints a side-by-side throughput comparison over the lock sweep, then
 //! times both modes so the cost of materializing lock sets is visible.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lockgran_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use lockgran_core::{sim, ConflictMode, ModelConfig};
 
 fn bench(c: &mut Criterion) {
     println!("\n== ablation: probabilistic vs explicit conflict model ==");
-    println!("{:>6} {:>14} {:>14} {:>7}", "ltot", "probabilistic", "explicit", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>7}",
+        "ltot", "probabilistic", "explicit", "ratio"
+    );
     for ltot in [1u64, 10, 100, 1000, 5000] {
         let base = ModelConfig::table1().with_ltot(ltot).with_tmax(1_000.0);
         let p = sim::run(&base.clone().with_conflict(ConflictMode::Probabilistic), 42);

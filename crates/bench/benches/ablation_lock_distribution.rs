@@ -6,7 +6,7 @@
 //! is "shared by all processors"; this ablation shows what each reading
 //! costs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lockgran_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use lockgran_core::config::LockDistribution;

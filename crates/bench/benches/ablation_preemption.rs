@@ -6,7 +6,7 @@
 //! effect concentrates at fine granularity, where lock jobs are frequent
 //! and would otherwise wait behind long sub-transaction stages.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lockgran_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use lockgran_core::{sim, ModelConfig};

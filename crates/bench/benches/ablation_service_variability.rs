@@ -6,17 +6,23 @@
 //! of `PU_i` stages. The printed table quantifies that straggler
 //! penalty by fan-out.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lockgran_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use lockgran_core::{sim, ModelConfig, ServiceVariability};
 
 fn bench(c: &mut Criterion) {
     println!("\n== ablation: service-time variability (throughput) ==");
-    println!("{:>6} {:>14} {:>14} {:>9}", "npros", "deterministic", "exponential", "penalty");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "npros", "deterministic", "exponential", "penalty"
+    );
     for npros in [1u32, 5, 10, 30] {
         let base = ModelConfig::table1().with_npros(npros).with_tmax(1_000.0);
-        let det = sim::run(&base.clone().with_service(ServiceVariability::Deterministic), 42);
+        let det = sim::run(
+            &base.clone().with_service(ServiceVariability::Deterministic),
+            42,
+        );
         let exp = sim::run(&base.with_service(ServiceVariability::Exponential), 42);
         println!(
             "{npros:>6} {:>14.4} {:>14.4} {:>8.1}%",

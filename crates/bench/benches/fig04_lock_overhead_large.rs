@@ -1,11 +1,11 @@
 //! Bench for paper artifact `fig4`: regenerates the rows in quick mode,
 //! then times a representative simulation point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use lockgran_bench::{criterion_group, criterion_main, Criterion};
 use lockgran_core::{sim, ModelConfig};
 #[allow(unused_imports)]
 use lockgran_workload::{Partitioning, Placement, SizeDistribution};
+use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     lockgran_bench::regenerate("fig4");

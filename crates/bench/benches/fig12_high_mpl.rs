@@ -1,15 +1,19 @@
 //! Bench for paper artifact `fig12`: regenerates the rows in quick mode,
 //! then times a representative simulation point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use lockgran_bench::{criterion_group, criterion_main, Criterion};
 use lockgran_core::{sim, ModelConfig};
 #[allow(unused_imports)]
 use lockgran_workload::{Partitioning, Placement, SizeDistribution};
+use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     lockgran_bench::regenerate("fig12");
-    let cfg = ModelConfig::table1().with_ntrans(200).with_npros(20).with_ltot(100).with_tmax(300.0);
+    let cfg = ModelConfig::table1()
+        .with_ntrans(200)
+        .with_npros(20)
+        .with_ltot(100)
+        .with_tmax(300.0);
     c.bench_function("fig12/ntrans200_ltot100", |b| {
         b.iter(|| sim::run(black_box(&cfg), 42))
     });

@@ -4,7 +4,7 @@
 //! (tens to a few thousands of pending events) — the simulator's hottest
 //! data structure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lockgran_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use lockgran_sim::{CalendarQueue, EventQueue, Time};
@@ -28,19 +28,23 @@ fn bench(c: &mut Criterion) {
         });
     }
     for &n in &[64usize, 1024, 16384] {
-        group.bench_with_input(BenchmarkId::new("calendar_push_pop_cycle", n), &n, |b, &n| {
-            let mut q = CalendarQueue::new();
-            for i in 0..n {
-                q.push(Time::from_ticks((i as u64) * 7 % 10_000), i as u64);
-            }
-            let mut t = 10_000u64;
-            b.iter(|| {
-                let (at, v) = q.pop().expect("non-empty");
-                t += 13;
-                q.push(Time::from_ticks(t), v);
-                black_box(at);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("calendar_push_pop_cycle", n),
+            &n,
+            |b, &n| {
+                let mut q = CalendarQueue::new();
+                for i in 0..n {
+                    q.push(Time::from_ticks((i as u64) * 7 % 10_000), i as u64);
+                }
+                let mut t = 10_000u64;
+                b.iter(|| {
+                    let (at, v) = q.pop().expect("non-empty");
+                    t += 13;
+                    q.push(Time::from_ticks(t), v);
+                    black_box(at);
+                });
+            },
+        );
     }
     group.bench_function("drain_4096", |b| {
         b.iter_with_setup(

@@ -3,7 +3,7 @@
 //! Grant/release cycles at paper-scale granule counts, with and without
 //! contention, plus the conservative all-at-once protocol.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lockgran_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use lockgran_lockmgr::{ConservativeScheduler, GranuleId, LockMode, LockTable, TxnId};

@@ -1,7 +1,7 @@
 //! Micro-bench: the preemptive-resume server and a whole-simulation
 //! events-per-second figure.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lockgran_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use lockgran_core::{sim, ModelConfig};
@@ -38,10 +38,24 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             // Long transaction job, preempted by a lock job, both drained.
             let c1 = s
-                .submit(now, Job { id: JobId(1), demand: Dur::from_ticks(100), class: Class::Transaction })
+                .submit(
+                    now,
+                    Job {
+                        id: JobId(1),
+                        demand: Dur::from_ticks(100),
+                        class: Class::Transaction,
+                    },
+                )
                 .unwrap();
             let c2 = s
-                .submit(now + Dur::from_ticks(10), Job { id: JobId(2), demand: Dur::from_ticks(5), class: Class::Lock })
+                .submit(
+                    now + Dur::from_ticks(10),
+                    Job {
+                        id: JobId(2),
+                        demand: Dur::from_ticks(5),
+                        class: Class::Lock,
+                    },
+                )
                 .unwrap();
             let _ = black_box(s.on_completion(c1.at, c1.token)); // stale
             if let CompletionOutcome::Finished { next: Some(c3), .. } =

@@ -7,13 +7,12 @@
 //! 0.2`, `lcputime = 0.01`, `liotime = 0.2`; `tmax = 10 000` time units,
 //! long enough for the closed system to reach steady state).
 
-use serde::{Deserialize, Serialize};
-
+use lockgran_sim::{FromJson, Json, ToJson};
 use lockgran_workload::{HotSpot, Partitioning, Placement, SizeDistribution, WorkloadParams};
 
 /// Service order for queued sub-transaction work at the resources
-/// (serde-friendly mirror of [`lockgran_sim::Discipline`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+/// (JSON-friendly mirror of [`lockgran_sim::Discipline`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum QueueDiscipline {
     /// First come, first served — the paper's model.
     #[default]
@@ -46,6 +45,29 @@ impl QueueDiscipline {
     }
 }
 
+impl ToJson for QueueDiscipline {
+    /// Variant-name string, like the previous serde derive: `"Fcfs"`.
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                QueueDiscipline::Fcfs => "Fcfs",
+                QueueDiscipline::Sjf => "Sjf",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for QueueDiscipline {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Fcfs") => Ok(QueueDiscipline::Fcfs),
+            Some("Sjf") => Ok(QueueDiscipline::Sjf),
+            _ => Err(format!("expected queue discipline (Fcfs|Sjf), got {v}")),
+        }
+    }
+}
+
 impl std::str::FromStr for QueueDiscipline {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
@@ -58,7 +80,7 @@ impl std::str::FromStr for QueueDiscipline {
 }
 
 /// Which lock-conflict computation drives blocking decisions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ConflictMode {
     /// The paper's probabilistic Ries–Stonebraker partition draw.
     Probabilistic,
@@ -79,13 +101,39 @@ impl ConflictMode {
     }
 }
 
+impl ToJson for ConflictMode {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                ConflictMode::Probabilistic => "Probabilistic",
+                ConflictMode::Explicit => "Explicit",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for ConflictMode {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Probabilistic") => Ok(ConflictMode::Probabilistic),
+            Some("Explicit") => Ok(ConflictMode::Explicit),
+            _ => Err(format!(
+                "expected conflict mode (Probabilistic|Explicit), got {v}"
+            )),
+        }
+    }
+}
+
 impl std::str::FromStr for ConflictMode {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "probabilistic" | "prob" => Ok(ConflictMode::Probabilistic),
             "explicit" | "table" => Ok(ConflictMode::Explicit),
-            other => Err(format!("unknown conflict mode '{other}' (probabilistic|explicit)")),
+            other => Err(format!(
+                "unknown conflict mode '{other}' (probabilistic|explicit)"
+            )),
         }
     }
 }
@@ -94,7 +142,7 @@ impl std::str::FromStr for ConflictMode {
 /// processors ("we assume that processors share the work for locking
 /// mechanism … because relations are equally distributed among the system
 /// resources", paper §2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum LockDistribution {
     /// Each of the `LU_i` lock operations is indivisible and lands on one
     /// processor; operations are spread round-robin (granules are
@@ -130,6 +178,32 @@ impl LockDistribution {
     }
 }
 
+impl ToJson for LockDistribution {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                LockDistribution::PerOperation => "PerOperation",
+                LockDistribution::EvenSplit => "EvenSplit",
+                LockDistribution::SingleProcessor => "SingleProcessor",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for LockDistribution {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("PerOperation") => Ok(LockDistribution::PerOperation),
+            Some("EvenSplit") => Ok(LockDistribution::EvenSplit),
+            Some("SingleProcessor") => Ok(LockDistribution::SingleProcessor),
+            _ => Err(format!(
+                "expected lock distribution (PerOperation|EvenSplit|SingleProcessor), got {v}"
+            )),
+        }
+    }
+}
+
 impl std::str::FromStr for LockDistribution {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
@@ -146,7 +220,7 @@ impl std::str::FromStr for LockDistribution {
 
 /// Distribution of sub-transaction stage service times around their
 /// mean (`entities × per-entity cost`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum ServiceVariability {
     /// Exactly the mean — the paper's deterministic per-entity costs.
     #[default]
@@ -175,6 +249,30 @@ impl ServiceVariability {
     }
 }
 
+impl ToJson for ServiceVariability {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                ServiceVariability::Deterministic => "Deterministic",
+                ServiceVariability::Exponential => "Exponential",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for ServiceVariability {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Deterministic") => Ok(ServiceVariability::Deterministic),
+            Some("Exponential") => Ok(ServiceVariability::Exponential),
+            _ => Err(format!(
+                "expected service variability (Deterministic|Exponential), got {v}"
+            )),
+        }
+    }
+}
+
 impl std::str::FromStr for ServiceVariability {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
@@ -189,7 +287,7 @@ impl std::str::FromStr for ServiceVariability {
 }
 
 /// Complete description of one simulation run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ModelConfig {
     /// `dbsize`: accessible entities in the database.
     pub dbsize: u64,
@@ -219,24 +317,23 @@ pub struct ModelConfig {
     pub partitioning: Partitioning,
     /// Conflict computation.
     pub conflict: ConflictMode,
-    /// How lock operations are spread over processors.
-    #[serde(default)]
+    /// How lock operations are spread over processors. Optional in JSON
+    /// (defaults to [`LockDistribution::PerOperation`]).
     pub lock_distribution: LockDistribution,
-    /// Sub-transaction stage service-time variability.
-    #[serde(default)]
+    /// Sub-transaction stage service-time variability. Optional in JSON
+    /// (defaults to [`ServiceVariability::Deterministic`]).
     pub service: ServiceVariability,
-    /// Service order for queued sub-transaction work.
-    #[serde(default)]
+    /// Service order for queued sub-transaction work. Optional in JSON
+    /// (defaults to [`QueueDiscipline::Fcfs`]).
     pub discipline: QueueDiscipline,
     /// Optional hot-spot access skew. Only the explicit conflict model
     /// can honour it (the probabilistic draw assumes uniform access);
     /// validation rejects the combination with `Probabilistic`.
-    #[serde(default)]
     pub hot_spot: Option<HotSpot>,
     /// Whether lock work preempts transaction work at the resources
     /// (the paper gives the locking mechanism "preemptive power"); false
     /// demotes it to non-preemptive head-of-line priority (ablation).
-    #[serde(default = "default_true")]
+    /// Optional in JSON (defaults to `true`).
     pub lock_preemption: bool,
     /// Transaction-level admission control: at most this many
     /// transactions may compete for locks at once; the rest wait in the
@@ -244,16 +341,69 @@ pub struct ModelConfig {
     /// immediately. The paper's §3.7 points to exactly this mechanism
     /// ("transaction level scheduling can be used to effectively handle
     /// this problem") as the remedy for heavy-load lock thrashing.
-    #[serde(default)]
     pub mpl_limit: Option<u32>,
     /// Measurement warm-up, in time units: statistics collected before
-    /// this instant are discarded. The paper uses none (0.0).
-    #[serde(default)]
+    /// this instant are discarded. The paper uses none (0.0). Optional in
+    /// JSON (defaults to `0.0`).
     pub warmup: f64,
 }
 
-fn default_true() -> bool {
-    true
+impl ToJson for ModelConfig {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("dbsize", self.dbsize.to_json()),
+            ("ltot", self.ltot.to_json()),
+            ("ntrans", self.ntrans.to_json()),
+            ("size", self.size.to_json()),
+            ("cputime", self.cputime.to_json()),
+            ("iotime", self.iotime.to_json()),
+            ("lcputime", self.lcputime.to_json()),
+            ("liotime", self.liotime.to_json()),
+            ("npros", self.npros.to_json()),
+            ("tmax", self.tmax.to_json()),
+            ("placement", self.placement.to_json()),
+            ("partitioning", self.partitioning.to_json()),
+            ("conflict", self.conflict.to_json()),
+            ("lock_distribution", self.lock_distribution.to_json()),
+            ("service", self.service.to_json()),
+            ("discipline", self.discipline.to_json()),
+            ("hot_spot", self.hot_spot.to_json()),
+            ("lock_preemption", self.lock_preemption.to_json()),
+            ("mpl_limit", self.mpl_limit.to_json()),
+            ("warmup", self.warmup.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ModelConfig {
+    /// Mirrors the old serde semantics: the fields added after the first
+    /// release (`lock_distribution` onwards) are optional and fall back to
+    /// their documented defaults, so configs written for earlier versions
+    /// keep parsing.
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(ModelConfig {
+            dbsize: v.field("dbsize")?,
+            ltot: v.field("ltot")?,
+            ntrans: v.field("ntrans")?,
+            size: v.field("size")?,
+            cputime: v.field("cputime")?,
+            iotime: v.field("iotime")?,
+            lcputime: v.field("lcputime")?,
+            liotime: v.field("liotime")?,
+            npros: v.field("npros")?,
+            tmax: v.field("tmax")?,
+            placement: v.field("placement")?,
+            partitioning: v.field("partitioning")?,
+            conflict: v.field("conflict")?,
+            lock_distribution: v.field_or("lock_distribution", LockDistribution::default())?,
+            service: v.field_or("service", ServiceVariability::default())?,
+            discipline: v.field_or("discipline", QueueDiscipline::default())?,
+            hot_spot: v.opt_field("hot_spot")?,
+            lock_preemption: v.field_or("lock_preemption", true)?,
+            mpl_limit: v.opt_field("mpl_limit")?,
+            warmup: v.field_or("warmup", 0.0)?,
+        })
+    }
 }
 
 impl ModelConfig {
@@ -417,7 +567,10 @@ impl ModelConfig {
             }
         }
         if self.cputime + self.iotime == 0.0 {
-            return Err("cputime and iotime cannot both be zero: transactions would be instantaneous".into());
+            return Err(
+                "cputime and iotime cannot both be zero: transactions would be instantaneous"
+                    .into(),
+            );
         }
         if !(self.tmax.is_finite() && self.tmax > 0.0) {
             return Err("tmax must be a positive, finite number of time units".into());
@@ -497,8 +650,14 @@ mod tests {
         assert!(ModelConfig::table1().with_ltot(10_000).validate().is_err());
         assert!(ModelConfig::table1().with_ntrans(0).validate().is_err());
         assert!(ModelConfig::table1().with_tmax(0.0).validate().is_err());
-        assert!(ModelConfig::table1().with_tmax(f64::NAN).validate().is_err());
-        assert!(ModelConfig::table1().with_warmup(10_000.0).validate().is_err());
+        assert!(ModelConfig::table1()
+            .with_tmax(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(ModelConfig::table1()
+            .with_warmup(10_000.0)
+            .validate()
+            .is_err());
         let mut c = ModelConfig::table1();
         c.lcputime = -1.0;
         assert!(c.validate().is_err());
@@ -509,17 +668,57 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = ModelConfig::table1().with_npros(20);
-        let json = serde_json::to_string(&c).unwrap();
-        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        let text = c.to_json().to_string_compact();
+        let back = ModelConfig::from_json(&lockgran_sim::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, c);
+
+        // With the optional extras populated.
+        let c = ModelConfig::table1()
+            .with_conflict(ConflictMode::Explicit)
+            .with_hot_spot(Some(HotSpot::eighty_twenty()))
+            .with_mpl_limit(Some(5))
+            .with_lock_preemption(false)
+            .with_warmup(100.0);
+        let text = c.to_json().pretty();
+        let back = ModelConfig::from_json(&lockgran_sim::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, c);
     }
 
     #[test]
+    fn json_optional_fields_default_like_serde() {
+        // A config written before the extension fields existed must still
+        // parse, with the documented defaults filled in.
+        let text = r#"{
+            "dbsize": 5000, "ltot": 100, "ntrans": 10,
+            "size": {"Uniform": {"max": 500}},
+            "cputime": 0.05, "iotime": 0.2, "lcputime": 0.01, "liotime": 0.2,
+            "npros": 10, "tmax": 10000.0,
+            "placement": "Best", "partitioning": "Horizontal",
+            "conflict": "Probabilistic"
+        }"#;
+        let c = ModelConfig::from_json(&lockgran_sim::json::parse(text).unwrap()).unwrap();
+        assert_eq!(c, ModelConfig::table1());
+        assert_eq!(c.lock_distribution, LockDistribution::PerOperation);
+        assert_eq!(c.service, ServiceVariability::Deterministic);
+        assert_eq!(c.discipline, QueueDiscipline::Fcfs);
+        assert_eq!(c.hot_spot, None);
+        assert!(c.lock_preemption);
+        assert_eq!(c.mpl_limit, None);
+        assert_eq!(c.warmup, 0.0);
+    }
+
+    #[test]
     fn conflict_mode_parsing() {
-        assert_eq!("prob".parse::<ConflictMode>().unwrap(), ConflictMode::Probabilistic);
-        assert_eq!("explicit".parse::<ConflictMode>().unwrap(), ConflictMode::Explicit);
+        assert_eq!(
+            "prob".parse::<ConflictMode>().unwrap(),
+            ConflictMode::Probabilistic
+        );
+        assert_eq!(
+            "explicit".parse::<ConflictMode>().unwrap(),
+            ConflictMode::Explicit
+        );
         assert!("fuzzy".parse::<ConflictMode>().is_err());
     }
 }

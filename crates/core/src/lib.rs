@@ -52,7 +52,9 @@ pub mod timeline;
 pub mod trace;
 pub mod transaction;
 
-pub use config::{ConflictMode, LockDistribution, ModelConfig, QueueDiscipline, ServiceVariability};
+pub use config::{
+    ConflictMode, LockDistribution, ModelConfig, QueueDiscipline, ServiceVariability,
+};
 pub use conflict::{ConflictDecision, ConflictModel, ProbabilisticConflict};
 pub use explicit::ExplicitConflict;
 pub use metrics::RunMetrics;

@@ -5,10 +5,10 @@
 //! levels, response-time distribution) that the experiment harness and
 //! the ablation benches report.
 
-use serde::Serialize;
+use lockgran_sim::{Json, ToJson};
 
 /// All measurements from one simulation run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunMetrics {
     // ----- the paper's output parameters (§2) -----
     /// `totcpus`: time units the CPU resources were busy (all work),
@@ -65,6 +65,34 @@ pub struct RunMetrics {
     pub attempts_per_txn: f64,
 }
 
+impl ToJson for RunMetrics {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("totcpus", self.totcpus.to_json()),
+            ("totios", self.totios.to_json()),
+            ("lockcpus", self.lockcpus.to_json()),
+            ("lockios", self.lockios.to_json()),
+            ("usefulcpus", self.usefulcpus.to_json()),
+            ("usefulios", self.usefulios.to_json()),
+            ("totcom", self.totcom.to_json()),
+            ("throughput", self.throughput.to_json()),
+            ("response_time", self.response_time.to_json()),
+            ("measured_time", self.measured_time.to_json()),
+            ("lock_attempts", self.lock_attempts.to_json()),
+            ("lock_denials", self.lock_denials.to_json()),
+            ("denial_rate", self.denial_rate.to_json()),
+            ("mean_active", self.mean_active.to_json()),
+            ("mean_blocked", self.mean_blocked.to_json()),
+            ("mean_pending", self.mean_pending.to_json()),
+            ("cpu_utilization", self.cpu_utilization.to_json()),
+            ("io_utilization", self.io_utilization.to_json()),
+            ("response_time_std", self.response_time_std.to_json()),
+            ("response_time_p95", self.response_time_p95.to_json()),
+            ("attempts_per_txn", self.attempts_per_txn.to_json()),
+        ])
+    }
+}
+
 impl RunMetrics {
     /// Total lock overhead (CPU + I/O), summed over processors.
     pub fn lock_overhead(&self) -> f64 {
@@ -103,10 +131,16 @@ impl RunMetrics {
             return Err("more denials than attempts".into());
         }
         if !(0.0..=1.0 + 1e-9).contains(&self.cpu_utilization) {
-            return Err(format!("cpu utilization {} out of range", self.cpu_utilization));
+            return Err(format!(
+                "cpu utilization {} out of range",
+                self.cpu_utilization
+            ));
         }
         if !(0.0..=1.0 + 1e-9).contains(&self.io_utilization) {
-            return Err(format!("io utilization {} out of range", self.io_utilization));
+            return Err(format!(
+                "io utilization {} out of range",
+                self.io_utilization
+            ));
         }
         Ok(())
     }

@@ -49,7 +49,11 @@ pub fn run_traced(cfg: &ModelConfig, seed: u64) -> (RunMetrics, VecTracer) {
 ///
 /// # Panics
 /// Panics if `cfg.validate()` fails or `interval <= 0`.
-pub fn run_timeline(cfg: &ModelConfig, seed: u64, interval: f64) -> (RunMetrics, Vec<TimelinePoint>) {
+pub fn run_timeline(
+    cfg: &ModelConfig,
+    seed: u64,
+    interval: f64,
+) -> (RunMetrics, Vec<TimelinePoint>) {
     assert!(interval > 0.0, "sampling interval must be positive");
     let mut ex = Executor::new();
     let mut system = System::new(cfg, seed, &mut ex);

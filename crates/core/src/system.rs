@@ -381,10 +381,22 @@ impl System {
     }
 
     fn schedule_cpu(ex: &mut Executor<Event>, proc: u32, c: Completion) {
-        ex.schedule(c.at, Event::CpuDone { proc, token: c.token });
+        ex.schedule(
+            c.at,
+            Event::CpuDone {
+                proc,
+                token: c.token,
+            },
+        );
     }
     fn schedule_io(ex: &mut Executor<Event>, proc: u32, c: Completion) {
-        ex.schedule(c.at, Event::IoDone { proc, token: c.token });
+        ex.schedule(
+            c.at,
+            Event::IoDone {
+                proc,
+                token: c.token,
+            },
+        );
     }
 
     /// The lock overhead is paid: ask the conflict model for a verdict.
@@ -399,7 +411,8 @@ impl System {
         {
             ConflictDecision::Granted => {
                 self.trace(now, TraceEvent::Granted { serial });
-                self.active_tw.record(now, self.conflict.active_count() as f64);
+                self.active_tw
+                    .record(now, self.conflict.active_count() as f64);
                 self.start_subtransactions(now, serial, ex);
             }
             ConflictDecision::BlockedBy(blocker) => {
@@ -508,7 +521,8 @@ impl System {
             self.attempts_per_txn.record(f64::from(txn.attempts));
         }
         let woken = self.conflict.release(serial);
-        self.active_tw.record(now, self.conflict.active_count() as f64);
+        self.active_tw
+            .record(now, self.conflict.active_count() as f64);
         for w in woken {
             debug_assert_eq!(self.txns[&w].phase, TxnPhase::Blocked);
             self.trace(now, TraceEvent::Woken { serial: w });
@@ -554,8 +568,7 @@ impl System {
         }
         let sum =
             |servers: &[Server], f: &dyn Fn(&Server) -> Dur| servers.iter().map(f).sum::<Dur>();
-        let totcpus =
-            (sum(&self.cpu, &Server::total_busy) - self.snapshot.cpu_busy_all).units();
+        let totcpus = (sum(&self.cpu, &Server::total_busy) - self.snapshot.cpu_busy_all).units();
         let lockcpus =
             (sum(&self.cpu, &|s| s.busy_time(Class::Lock)) - self.snapshot.cpu_busy_lock).units();
         let totios = (sum(&self.io, &Server::total_busy) - self.snapshot.io_busy_all).units();

@@ -185,12 +185,11 @@ impl VecTracer {
             for e in &evs[grant_pos..] {
                 match e {
                     SubIoDone { proc, .. } => io_procs.push(*proc),
-                    SubCpuDone { proc, .. }
-                        if !io_procs.contains(proc) => {
-                            return Err(format!(
-                                "txn {serial}: CPU stage on proc {proc} before its I/O stage"
-                            ));
-                        }
+                    SubCpuDone { proc, .. } if !io_procs.contains(proc) => {
+                        return Err(format!(
+                            "txn {serial}: CPU stage on proc {proc} before its I/O stage"
+                        ));
+                    }
                     _ => {}
                 }
             }
@@ -211,7 +210,13 @@ mod tests {
     fn vec_tracer_records_in_order() {
         let mut tr = VecTracer::default();
         tr.record(t(0.0), TraceEvent::Arrived { serial: 1 });
-        tr.record(t(1.0), TraceEvent::LockRequested { serial: 1, attempt: 1 });
+        tr.record(
+            t(1.0),
+            TraceEvent::LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
+        );
         assert_eq!(tr.events.len(), 2);
         assert_eq!(tr.of(1).len(), 2);
         assert_eq!(tr.of(2).len(), 0);
@@ -223,10 +228,28 @@ mod tests {
         let mut tr = VecTracer::default();
         for (time, e) in [
             (0.0, Arrived { serial: 1 }),
-            (0.0, LockRequested { serial: 1, attempt: 1 }),
-            (0.5, Denied { serial: 1, blocker: 9 }),
+            (
+                0.0,
+                LockRequested {
+                    serial: 1,
+                    attempt: 1,
+                },
+            ),
+            (
+                0.5,
+                Denied {
+                    serial: 1,
+                    blocker: 9,
+                },
+            ),
             (2.0, Woken { serial: 1 }),
-            (2.0, LockRequested { serial: 1, attempt: 2 }),
+            (
+                2.0,
+                LockRequested {
+                    serial: 1,
+                    attempt: 2,
+                },
+            ),
             (2.5, Granted { serial: 1 }),
             (3.0, SubIoDone { serial: 1, proc: 0 }),
             (3.5, SubCpuDone { serial: 1, proc: 0 }),
@@ -243,7 +266,10 @@ mod tests {
         let mut tr = VecTracer::default();
         for e in [
             Arrived { serial: 1 },
-            LockRequested { serial: 1, attempt: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
             Granted { serial: 1 },
             Granted { serial: 1 },
             Completed { serial: 1 },
@@ -259,7 +285,10 @@ mod tests {
         let mut tr = VecTracer::default();
         for e in [
             Arrived { serial: 1 },
-            LockRequested { serial: 1, attempt: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
             Granted { serial: 1 },
             SubCpuDone { serial: 1, proc: 3 },
             Completed { serial: 1 },
@@ -278,7 +307,10 @@ mod tests {
         let mut tr = VecTracer::default();
         for e in [
             Arrived { serial: 1 },
-            LockRequested { serial: 1, attempt: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
             SubIoDone { serial: 1, proc: 0 },
             Granted { serial: 1 },
             Completed { serial: 1 },
@@ -297,14 +329,20 @@ mod tests {
         let mut tr = VecTracer::default();
         for e in [
             Arrived { serial: 1 },
-            LockRequested { serial: 1, attempt: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
             Woken { serial: 1 },
             Granted { serial: 1 },
             Completed { serial: 1 },
         ] {
             tr.record(t(0.0), e);
         }
-        assert!(tr.check_protocol().unwrap_err().contains("woken without denial"));
+        assert!(tr
+            .check_protocol()
+            .unwrap_err()
+            .contains("woken without denial"));
     }
 
     #[test]
@@ -312,7 +350,13 @@ mod tests {
         use TraceEvent::*;
         let mut tr = VecTracer::default();
         tr.record(t(0.0), Arrived { serial: 7 });
-        tr.record(t(0.0), LockRequested { serial: 7, attempt: 1 });
+        tr.record(
+            t(0.0),
+            LockRequested {
+                serial: 7,
+                attempt: 1,
+            },
+        );
         // Never completes: no protocol judgement is made.
         tr.check_protocol().unwrap();
     }

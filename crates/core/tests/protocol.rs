@@ -114,7 +114,11 @@ fn fanout_matches_partitioning() {
                 _ => None,
             })
             .collect();
-        assert_eq!(procs.len(), 4, "txn {serial} did not fan out to all processors");
+        assert_eq!(
+            procs.len(),
+            4,
+            "txn {serial} did not fan out to all processors"
+        );
     }
 }
 

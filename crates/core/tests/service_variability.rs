@@ -31,11 +31,15 @@ fn stragglers_cost_throughput_at_high_fanout() {
     // penalty must be markedly larger at npros = 30.
     let penalty = |npros: u32| {
         let det = sim::run(
-            &base().with_npros(npros).with_service(ServiceVariability::Deterministic),
+            &base()
+                .with_npros(npros)
+                .with_service(ServiceVariability::Deterministic),
             3,
         );
         let exp = sim::run(
-            &base().with_npros(npros).with_service(ServiceVariability::Exponential),
+            &base()
+                .with_npros(npros)
+                .with_service(ServiceVariability::Exponential),
             3,
         );
         1.0 - exp.throughput / det.throughput

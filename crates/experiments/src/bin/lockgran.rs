@@ -102,12 +102,21 @@ fn run_figure(
     println!();
     if show_chart {
         for panel in &fig.panels {
-            println!("{}", chart::render_chart(panel, &chart::ChartOptions::default()));
+            println!(
+                "{}",
+                chart::render_chart(panel, &chart::ChartOptions::default())
+            );
         }
     }
     if let Some(dir) = out {
         emit::write_artifacts(&fig, dir).map_err(|e| format!("writing artifacts: {e}"))?;
-        eprintln!("wrote {}/{{{}.txt,{}.csv,{}.json}}", dir.display(), id, id, id);
+        eprintln!(
+            "wrote {}/{{{}.txt,{}.csv,{}.json}}",
+            dir.display(),
+            id,
+            id,
+            id
+        );
     }
     Ok(())
 }
@@ -151,12 +160,20 @@ fn run_timeline_cmd(args: &[String]) -> Result<(), String> {
     for p in &points {
         println!(
             "{:>10.1} {:>8} {:>12.4} {:>8} {:>8} {:>9.3} {:>9.3}",
-            p.t, p.completions, p.throughput, p.active, p.blocked,
-            p.cpu_utilization, p.io_utilization
+            p.t,
+            p.completions,
+            p.throughput,
+            p.active,
+            p.blocked,
+            p.cpu_utilization,
+            p.io_utilization
         );
     }
     println!();
-    println!("final: throughput {:.4}, response {:.2}", m.throughput, m.response_time);
+    println!(
+        "final: throughput {:.4}, response {:.2}",
+        m.throughput, m.response_time
+    );
     // Throughput-over-time chart (linear x via index is fine here).
     let panel = lockgran_experiments::Panel {
         metric: "throughput over time".into(),
@@ -165,11 +182,18 @@ fn run_timeline_cmd(args: &[String]) -> Result<(), String> {
             label: "throughput".into(),
             points: points
                 .iter()
-                .map(|p| lockgran_experiments::Point { x: p.t, mean: p.throughput, ci95: 0.0 })
+                .map(|p| lockgran_experiments::Point {
+                    x: p.t,
+                    mean: p.throughput,
+                    ci95: 0.0,
+                })
                 .collect(),
         }],
     };
-    println!("{}", chart::render_chart(&panel, &chart::ChartOptions::default()));
+    println!(
+        "{}",
+        chart::render_chart(&panel, &chart::ChartOptions::default())
+    );
     Ok(())
 }
 
@@ -254,8 +278,9 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         }
     }
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = lockgran_sim::json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     let configs: Vec<ModelConfig> =
-        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        lockgran_sim::FromJson::from_json(&value).map_err(|e| format!("parsing {path}: {e}"))?;
     let mut csv = String::from(
         "index,ltot,npros,ntrans,placement,partitioning,conflict,throughput,response_time,         usefulcpus,usefulios,lockcpus,lockios,denial_rate
 ",
@@ -320,8 +345,15 @@ fn run_single(args: &[String]) -> Result<(), String> {
     }
     cfg.validate()?;
     let m = sim::run(&cfg, seed);
-    println!("config : ltot={} npros={} ntrans={} placement={} partitioning={} conflict={}",
-        cfg.ltot, cfg.npros, cfg.ntrans, cfg.placement, cfg.partitioning, cfg.conflict.name());
+    println!(
+        "config : ltot={} npros={} ntrans={} placement={} partitioning={} conflict={}",
+        cfg.ltot,
+        cfg.npros,
+        cfg.ntrans,
+        cfg.placement,
+        cfg.partitioning,
+        cfg.conflict.name()
+    );
     println!("totcom      = {}", m.totcom);
     println!("throughput  = {:.5}", m.throughput);
     println!("response    = {:.2}", m.response_time);
@@ -338,10 +370,7 @@ fn run_single(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn next_str<'a>(
-    it: &mut std::slice::Iter<'a, String>,
-    flag: &str,
-) -> Result<&'a String, String> {
+fn next_str<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} needs a value"))
 }
 
@@ -350,6 +379,5 @@ fn next_val<T: std::str::FromStr>(
     flag: &str,
 ) -> Result<T, String> {
     let s = next_str(it, flag)?;
-    s.parse()
-        .map_err(|_| format!("{flag}: cannot parse '{s}'"))
+    s.parse().map_err(|_| format!("{flag}: cannot parse '{s}'"))
 }

@@ -79,7 +79,10 @@ pub fn render_chart(panel: &Panel, opts: &ChartOptions) -> String {
         return String::new();
     };
     let y_lo = if opts.log_y {
-        ys.iter().copied().filter(|&y| y > 0.0).fold(f64::INFINITY, f64::min)
+        ys.iter()
+            .copied()
+            .filter(|&y| y > 0.0)
+            .fold(f64::INFINITY, f64::min)
     } else {
         0.0f64.min(ys.iter().copied().fold(f64::INFINITY, f64::min))
     };
@@ -120,8 +123,14 @@ pub fn render_chart(panel: &Panel, opts: &ChartOptions) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "[{}]  y: {:.4} … {:.4}{}", panel.metric, y_lo, y_hi,
-        if opts.log_y { " (log)" } else { "" });
+    let _ = writeln!(
+        out,
+        "[{}]  y: {:.4} … {:.4}{}",
+        panel.metric,
+        y_lo,
+        y_hi,
+        if opts.log_y { " (log)" } else { "" }
+    );
     for (i, row) in grid.iter().enumerate() {
         let label = if i == 0 {
             format!("{y_hi:>9.3}")
@@ -132,12 +141,7 @@ pub fn render_chart(panel: &Panel, opts: &ChartOptions) -> String {
         };
         let _ = writeln!(out, "{label} |{}", String::from_utf8_lossy(row));
     }
-    let _ = writeln!(
-        out,
-        "{} +{}",
-        " ".repeat(9),
-        "-".repeat(opts.width)
-    );
+    let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(opts.width));
     let _ = writeln!(
         out,
         "{}  {:<w$}{:>10}",
@@ -171,17 +175,41 @@ mod tests {
                 Series {
                     label: "npros=1".into(),
                     points: vec![
-                        Point { x: 1.0, mean: 0.015, ci95: 0.0 },
-                        Point { x: 100.0, mean: 0.019, ci95: 0.0 },
-                        Point { x: 5000.0, mean: 0.008, ci95: 0.0 },
+                        Point {
+                            x: 1.0,
+                            mean: 0.015,
+                            ci95: 0.0,
+                        },
+                        Point {
+                            x: 100.0,
+                            mean: 0.019,
+                            ci95: 0.0,
+                        },
+                        Point {
+                            x: 5000.0,
+                            mean: 0.008,
+                            ci95: 0.0,
+                        },
                     ],
                 },
                 Series {
                     label: "npros=30".into(),
                     points: vec![
-                        Point { x: 1.0, mean: 0.41, ci95: 0.0 },
-                        Point { x: 100.0, mean: 0.57, ci95: 0.0 },
-                        Point { x: 5000.0, mean: 0.23, ci95: 0.0 },
+                        Point {
+                            x: 1.0,
+                            mean: 0.41,
+                            ci95: 0.0,
+                        },
+                        Point {
+                            x: 100.0,
+                            mean: 0.57,
+                            ci95: 0.0,
+                        },
+                        Point {
+                            x: 5000.0,
+                            mean: 0.23,
+                            ci95: 0.0,
+                        },
                     ],
                 },
             ],
@@ -204,18 +232,28 @@ mod tests {
     fn peak_row_is_above_trough_row() {
         // The npros=30 optimum (0.57) must be drawn above its fine-end
         // value (0.23): find the columns and compare first-glyph rows.
-        let opts = ChartOptions { width: 40, height: 12, log_y: false };
+        let opts = ChartOptions {
+            width: 40,
+            height: 12,
+            log_y: false,
+        };
         let chart = render_chart(&panel(), &opts);
         let rows: Vec<&str> = chart.lines().collect();
         // Row containing the maximum value ends up near the top border.
         let first_o = rows.iter().position(|r| r.contains('o')).unwrap();
-        let last_o = rows.iter().rposition(|r| r.contains('o') && r.contains('|')).unwrap();
+        let last_o = rows
+            .iter()
+            .rposition(|r| r.contains('o') && r.contains('|'))
+            .unwrap();
         assert!(first_o < last_o, "curve has no vertical extent");
     }
 
     #[test]
     fn log_y_handles_wide_ranges() {
-        let opts = ChartOptions { log_y: true, ..ChartOptions::default() };
+        let opts = ChartOptions {
+            log_y: true,
+            ..ChartOptions::default()
+        };
         let chart = render_chart(&panel(), &opts);
         assert!(chart.contains("(log)"));
     }
@@ -237,7 +275,11 @@ mod tests {
             x_label: "x".into(),
             series: vec![Series {
                 label: "s".into(),
-                points: vec![Point { x: 10.0, mean: 1.0, ci95: 0.0 }],
+                points: vec![Point {
+                    x: 10.0,
+                    mean: 1.0,
+                    ci95: 0.0,
+                }],
             }],
         };
         let _ = render_chart(&p, &ChartOptions::default());

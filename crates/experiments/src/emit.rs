@@ -84,7 +84,8 @@ fn csv_escape(s: &str) -> String {
 
 /// Pretty JSON of the whole figure.
 pub fn to_json(fig: &Figure) -> String {
-    serde_json::to_string_pretty(fig).expect("Figure serializes")
+    use lockgran_sim::ToJson as _;
+    fig.to_json().pretty()
 }
 
 /// Write `<dir>/<id>.txt`, `<dir>/<id>.csv` and `<dir>/<id>.json`.
@@ -112,15 +113,31 @@ mod tests {
                     Series {
                         label: "npros=1".into(),
                         points: vec![
-                            Point { x: 1.0, mean: 0.0157, ci95: 0.001 },
-                            Point { x: 100.0, mean: 0.0196, ci95: 0.002 },
+                            Point {
+                                x: 1.0,
+                                mean: 0.0157,
+                                ci95: 0.001,
+                            },
+                            Point {
+                                x: 100.0,
+                                mean: 0.0196,
+                                ci95: 0.002,
+                            },
                         ],
                     },
                     Series {
                         label: "npros=30".into(),
                         points: vec![
-                            Point { x: 1.0, mean: 0.4591, ci95: 0.01 },
-                            Point { x: 100.0, mean: 0.5769, ci95: 0.02 },
+                            Point {
+                                x: 1.0,
+                                mean: 0.4591,
+                                ci95: 0.01,
+                            },
+                            Point {
+                                x: 100.0,
+                                mean: 0.5769,
+                                ci95: 0.02,
+                            },
                         ],
                     },
                 ],
@@ -160,7 +177,7 @@ mod tests {
     #[test]
     fn json_round_trips_structure() {
         let j = to_json(&fig());
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        let v = lockgran_sim::json::parse(&j).unwrap();
         assert_eq!(v["id"], "figX");
         assert_eq!(v["panels"][0]["series"][1]["label"], "npros=30");
     }

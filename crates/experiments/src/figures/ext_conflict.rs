@@ -20,9 +20,7 @@ pub fn run(opts: &RunOptions) -> Figure {
         for mode in ConflictMode::ALL {
             configs.push((
                 format!("{}/npros={npros}", mode.name()),
-                ModelConfig::table1()
-                    .with_npros(npros)
-                    .with_conflict(mode),
+                ModelConfig::table1().with_npros(npros).with_conflict(mode),
             ));
         }
     }
@@ -34,7 +32,8 @@ pub fn run(opts: &RunOptions) -> Figure {
         &[Metric::Throughput, Metric::DenialRate, Metric::MeanActive],
         vec![
             "Explicit mode materializes granule sets and runs conservative locking.".to_string(),
-            "Expected: curves pair up — the paper's approximation preserves every conclusion.".to_string(),
+            "Expected: curves pair up — the paper's approximation preserves every conclusion."
+                .to_string(),
         ],
     )
 }
@@ -51,11 +50,7 @@ mod tests {
         let e = tput.series("explicit/npros=10").unwrap();
         for (pp, ee) in p.points.iter().zip(e.points.iter()) {
             let ratio = pp.mean / ee.mean;
-            assert!(
-                (0.5..=2.0).contains(&ratio),
-                "ltot={}: ratio {ratio}",
-                pp.x
-            );
+            assert!((0.5..=2.0).contains(&ratio), "ltot={}: ratio {ratio}", pp.x);
         }
     }
 

@@ -32,7 +32,8 @@ pub fn run(opts: &RunOptions) -> Figure {
         &swept,
         &[Metric::Throughput, Metric::ResponseTime],
         vec![
-            "Checks the paper's §4 claim that sub-transaction scheduling has only marginal effect.".to_string(),
+            "Checks the paper's §4 claim that sub-transaction scheduling has only marginal effect."
+                .to_string(),
         ],
     )
 }

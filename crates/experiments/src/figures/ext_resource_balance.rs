@@ -39,10 +39,15 @@ pub fn run(opts: &RunOptions) -> Figure {
         "extE",
         "Extension: resource balance — I/O-bound vs CPU-bound per-entity costs (npros = 10)",
         &swept,
-        &[Metric::Throughput, Metric::CpuUtilization, Metric::IoUtilization],
+        &[
+            Metric::Throughput,
+            Metric::CpuUtilization,
+            Metric::IoUtilization,
+        ],
         vec![
             "Per-entity work held at cputime + iotime = 0.25; lock costs per Table 1.".to_string(),
-            "Expected: the convex optimum below 200 locks is robust to the bottleneck resource.".to_string(),
+            "Expected: the convex optimum below 200 locks is robust to the bottleneck resource."
+                .to_string(),
         ],
     )
 }
@@ -56,11 +61,7 @@ mod tests {
         let f = run(&RunOptions::quick());
         for s in &f.panel("throughput").unwrap().series {
             let opt = s.argmax().unwrap();
-            assert!(
-                opt > 1.0 && opt < 200.0,
-                "{}: optimum at {opt}",
-                s.label
-            );
+            assert!(opt > 1.0 && opt < 200.0, "{}: optimum at {opt}", s.label);
             let peak = s.max_mean().unwrap();
             assert!(s.at(5000.0).unwrap() < peak, "{}", s.label);
         }

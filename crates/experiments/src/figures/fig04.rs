@@ -59,7 +59,12 @@ mod tests {
         let total = f.panel("lock_overhead").unwrap();
         let cpu = f.panel("lock_cpu").unwrap();
         let io = f.panel("lock_io").unwrap();
-        for ((st, sc), si) in total.series.iter().zip(cpu.series.iter()).zip(io.series.iter()) {
+        for ((st, sc), si) in total
+            .series
+            .iter()
+            .zip(cpu.series.iter())
+            .zip(io.series.iter())
+        {
             for ((pt, pc), pi) in st.points.iter().zip(sc.points.iter()).zip(si.points.iter()) {
                 assert!((pt.mean - (pc.mean + pi.mean)).abs() < 1e-6);
             }

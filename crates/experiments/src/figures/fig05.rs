@@ -52,8 +52,16 @@ mod tests {
         let large = fig04::run(&opts);
         // At ltot = 10 (coarse side), the small-transaction system has
         // completed many more transactions, so lock overhead is higher.
-        let s = small.panel("lock_overhead").unwrap().series("npros=10").unwrap();
-        let l = large.panel("lock_overhead").unwrap().series("npros=10").unwrap();
+        let s = small
+            .panel("lock_overhead")
+            .unwrap()
+            .series("npros=10")
+            .unwrap();
+        let l = large
+            .panel("lock_overhead")
+            .unwrap()
+            .series("npros=10")
+            .unwrap();
         assert!(
             s.at(10.0).unwrap() > l.at(10.0).unwrap(),
             "small {} !> large {}",

@@ -63,7 +63,11 @@ mod tests {
     #[test]
     fn worst_placement_dips_then_recovers() {
         let f = run(&RunOptions::quick());
-        let s = f.panel("throughput").unwrap().series("worst/npros=30").unwrap();
+        let s = f
+            .panel("throughput")
+            .unwrap()
+            .series("worst/npros=30")
+            .unwrap();
         let at_1 = s.at(1.0).unwrap();
         let at_100 = s.at(100.0).unwrap();
         let at_5000 = s.at(5000.0).unwrap();
@@ -99,7 +103,10 @@ mod tests {
         for x in [10.0, 100.0] {
             let w = worst.at(x).unwrap();
             let r = random.at(x).unwrap();
-            assert!((r - w).abs() / w < 0.35, "ltot={x}: random {r} vs worst {w}");
+            assert!(
+                (r - w).abs() / w < 0.35,
+                "ltot={x}: random {r} vs worst {w}"
+            );
         }
     }
 }

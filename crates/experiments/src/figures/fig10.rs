@@ -8,7 +8,7 @@
 //! randomly, *fine* granularity (one lock per entity) is the right
 //! choice, the paper's headline exception to "coarse is good enough".
 
-use super::{figure, fig09::placement_sweep};
+use super::{fig09::placement_sweep, figure};
 use crate::metric::Metric;
 use crate::series::Figure;
 use crate::sweep::RunOptions;

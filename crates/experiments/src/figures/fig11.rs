@@ -76,7 +76,10 @@ mod tests {
                 .unwrap()
                 .at(5000.0)
                 .unwrap();
-            assert!(l < m && m < s, "{placement}: large {l}, mixed {m}, small {s}");
+            assert!(
+                l < m && m < s,
+                "{placement}: large {l}, mixed {m}, small {s}"
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! `ntrans × ltot` while most of the extra lock requests are denied, so
 //! concurrency does not improve.
 
-use super::{figure, fig09::placement_sweep};
+use super::{fig09::placement_sweep, figure};
 use crate::metric::Metric;
 use crate::series::Figure;
 use crate::sweep::RunOptions;
@@ -39,18 +39,18 @@ mod tests {
         for s in &f.panel("throughput").unwrap().series {
             let coarse = s.at(10.0).unwrap();
             let fine = s.at(5000.0).unwrap();
-            assert!(
-                fine < coarse,
-                "{}: fine {fine} !< coarse {coarse}",
-                s.label
-            );
+            assert!(fine < coarse, "{}: fine {fine} !< coarse {coarse}", s.label);
         }
     }
 
     #[test]
     fn denials_dominate_at_fine_granularity_and_heavy_load() {
         let f = run(&RunOptions::quick());
-        let best = f.panel("denial_rate").unwrap().series("best/npros=20").unwrap();
+        let best = f
+            .panel("denial_rate")
+            .unwrap()
+            .series("best/npros=20")
+            .unwrap();
         // With 200 resident transactions, most lock attempts are denied
         // even at fine granularity (the paper's §3.7 mechanism).
         assert!(

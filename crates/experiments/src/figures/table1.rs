@@ -25,7 +25,10 @@ pub fn run(opts: &RunOptions) -> Figure {
         format!("iotime       = {}", cfg.iotime),
         format!("lcputime     = {}", cfg.lcputime),
         format!("liotime      = {}", cfg.liotime),
-        format!("npros        = {} (baseline; figures sweep 1–30)", cfg.npros),
+        format!(
+            "npros        = {} (baseline; figures sweep 1–30)",
+            cfg.npros
+        ),
         format!("tmax         = {} time units", opts.effective_tmax()),
         "partitioning = horizontal, placement = best, conflicts = probabilistic".to_string(),
     ];
@@ -59,7 +62,9 @@ mod tests {
         assert_eq!(tput.series.len(), 1);
         assert!(tput.series[0].points.iter().all(|p| p.mean > 0.0));
         // Notes must record every paper input.
-        for key in ["dbsize", "ntrans", "cputime", "iotime", "lcputime", "liotime"] {
+        for key in [
+            "dbsize", "ntrans", "cputime", "iotime", "lcputime", "liotime",
+        ] {
             assert!(f.notes.iter().any(|n| n.contains(key)), "{key} missing");
         }
     }

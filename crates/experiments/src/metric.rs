@@ -5,10 +5,10 @@
 //! symbolically.
 
 use lockgran_core::RunMetrics;
-use serde::{Deserialize, Serialize};
+use lockgran_sim::{FromJson, Json, ToJson};
 
 /// A scalar output of one simulation run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// `throughput = totcom / tmax`.
     Throughput,
@@ -81,6 +81,48 @@ impl Metric {
             Metric::MeanActive => "mean_active",
             Metric::CpuUtilization => "cpu_utilization",
             Metric::IoUtilization => "io_utilization",
+        }
+    }
+}
+
+impl ToJson for Metric {
+    /// Variant-name string, like the previous serde derive:
+    /// `"ResponseTime"`.
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Metric::Throughput => "Throughput",
+                Metric::ResponseTime => "ResponseTime",
+                Metric::UsefulCpu => "UsefulCpu",
+                Metric::UsefulIo => "UsefulIo",
+                Metric::LockOverhead => "LockOverhead",
+                Metric::LockCpu => "LockCpu",
+                Metric::LockIo => "LockIo",
+                Metric::DenialRate => "DenialRate",
+                Metric::MeanActive => "MeanActive",
+                Metric::CpuUtilization => "CpuUtilization",
+                Metric::IoUtilization => "IoUtilization",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Metric {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Throughput") => Ok(Metric::Throughput),
+            Some("ResponseTime") => Ok(Metric::ResponseTime),
+            Some("UsefulCpu") => Ok(Metric::UsefulCpu),
+            Some("UsefulIo") => Ok(Metric::UsefulIo),
+            Some("LockOverhead") => Ok(Metric::LockOverhead),
+            Some("LockCpu") => Ok(Metric::LockCpu),
+            Some("LockIo") => Ok(Metric::LockIo),
+            Some("DenialRate") => Ok(Metric::DenialRate),
+            Some("MeanActive") => Ok(Metric::MeanActive),
+            Some("CpuUtilization") => Ok(Metric::CpuUtilization),
+            Some("IoUtilization") => Ok(Metric::IoUtilization),
+            _ => Err(format!("expected metric variant name, got {v}")),
         }
     }
 }

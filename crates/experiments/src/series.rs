@@ -1,9 +1,9 @@
 //! Result containers: figures, panels, series, points.
 
-use serde::Serialize;
+use lockgran_sim::{Json, ToJson};
 
 /// One data point of a series.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Point {
     /// The swept value (number of locks, `ltot`, unless noted).
     pub x: f64,
@@ -13,8 +13,18 @@ pub struct Point {
     pub ci95: f64,
 }
 
+impl ToJson for Point {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("x", self.x.to_json()),
+            ("mean", self.mean.to_json()),
+            ("ci95", self.ci95.to_json()),
+        ])
+    }
+}
+
 /// A labelled curve.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label, e.g. `npros=30` or `worst/npros=1`.
     pub label: String,
@@ -42,10 +52,7 @@ impl Series {
 
     /// Largest mean on the curve.
     pub fn max_mean(&self) -> Option<f64> {
-        self.points
-            .iter()
-            .map(|p| p.mean)
-            .max_by(f64::total_cmp)
+        self.points.iter().map(|p| p.mean).max_by(f64::total_cmp)
     }
 
     /// Mean at a given x, if present.
@@ -54,8 +61,17 @@ impl Series {
     }
 }
 
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("label", self.label.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
 /// One plot of a figure (one metric, several curves).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Panel {
     /// Metric short name (see [`crate::Metric::name`]).
     pub metric: String,
@@ -72,8 +88,18 @@ impl Panel {
     }
 }
 
+impl ToJson for Panel {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("metric", self.metric.to_json()),
+            ("x_label", self.x_label.to_json()),
+            ("series", self.series.to_json()),
+        ])
+    }
+}
+
 /// A reproduced table/figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Identifier, e.g. `fig2`.
     pub id: String,
@@ -83,6 +109,17 @@ pub struct Figure {
     pub panels: Vec<Panel>,
     /// Free-form notes: parameter values, expectations, caveats.
     pub notes: Vec<String>,
+}
+
+impl ToJson for Figure {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("id", self.id.to_json()),
+            ("title", self.title.to_json()),
+            ("panels", self.panels.to_json()),
+            ("notes", self.notes.to_json()),
+        ])
+    }
 }
 
 impl Figure {
@@ -100,9 +137,21 @@ mod tests {
         Series {
             label: "s".into(),
             points: vec![
-                Point { x: 1.0, mean: 0.5, ci95: 0.0 },
-                Point { x: 10.0, mean: 2.0, ci95: 0.1 },
-                Point { x: 100.0, mean: 1.0, ci95: 0.1 },
+                Point {
+                    x: 1.0,
+                    mean: 0.5,
+                    ci95: 0.0,
+                },
+                Point {
+                    x: 10.0,
+                    mean: 2.0,
+                    ci95: 0.1,
+                },
+                Point {
+                    x: 100.0,
+                    mean: 1.0,
+                    ci95: 0.1,
+                },
             ],
         }
     }

@@ -73,7 +73,8 @@ impl RunOptions {
 
     /// Simulated horizon for this mode.
     pub fn effective_tmax(&self) -> f64 {
-        self.tmax.unwrap_or(if self.quick { 1_500.0 } else { 10_000.0 })
+        self.tmax
+            .unwrap_or(if self.quick { 1_500.0 } else { 10_000.0 })
     }
 
     /// Apply mode-wide overrides (horizon) to a base configuration.

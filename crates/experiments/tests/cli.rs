@@ -7,10 +7,7 @@ fn lockgran() -> Command {
 }
 
 fn run_ok(args: &[&str]) -> (String, String) {
-    let out = lockgran()
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = lockgran().args(args).output().expect("binary runs");
     assert!(
         out.status.success(),
         "lockgran {args:?} failed:\n{}",
@@ -26,8 +23,8 @@ fn run_ok(args: &[&str]) -> (String, String) {
 fn list_names_every_artifact() {
     let (stdout, _) = run_ok(&["list"]);
     for id in [
-        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "extA", "extB",
+        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "extA", "extB",
     ] {
         assert!(stdout.contains(id), "{id} missing from list output");
     }
@@ -39,8 +36,15 @@ fn single_run_prints_paper_outputs() {
         "run", "--ltot", "50", "--npros", "4", "--tmax", "300", "--seed", "9",
     ]);
     for key in [
-        "totcom", "throughput", "response", "totcpus", "totios", "lockcpus", "lockios",
-        "usefulcpus", "usefulios",
+        "totcom",
+        "throughput",
+        "response",
+        "totcpus",
+        "totios",
+        "lockcpus",
+        "lockios",
+        "usefulcpus",
+        "usefulios",
     ] {
         assert!(stdout.contains(key), "{key} missing:\n{stdout}");
     }
@@ -83,7 +87,7 @@ fn figure_writes_artifacts() {
 fn batch_runs_config_file() {
     let dir = std::env::temp_dir().join(format!("lockgran-batch-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    let cfgs = serde_json::json!([
+    let cfgs = r#"[
         {
             "dbsize": 5000, "ltot": 10, "ntrans": 5,
             "size": {"Uniform": {"max": 100}},
@@ -104,9 +108,9 @@ fn batch_runs_config_file() {
             "service": "Exponential",
             "lock_preemption": false, "mpl_limit": 3, "warmup": 0.0
         }
-    ]);
+    ]"#;
     let cfg_path = dir.join("batch.json");
-    std::fs::write(&cfg_path, serde_json::to_string_pretty(&cfgs).unwrap()).unwrap();
+    std::fs::write(&cfg_path, cfgs).unwrap();
     let out_path = dir.join("out.csv");
     let (stdout, _) = run_ok(&[
         "batch",
@@ -114,7 +118,10 @@ fn batch_runs_config_file() {
         "--out",
         out_path.to_str().unwrap(),
     ]);
-    assert!(stdout.lines().count() >= 3, "header + 2 rows expected:\n{stdout}");
+    assert!(
+        stdout.lines().count() >= 3,
+        "header + 2 rows expected:\n{stdout}"
+    );
     let written = std::fs::read_to_string(&out_path).unwrap();
     assert!(written.contains("worst,random,explicit"));
     std::fs::remove_dir_all(&dir).unwrap();
@@ -123,7 +130,13 @@ fn batch_runs_config_file() {
 #[test]
 fn timeline_prints_windows_and_chart() {
     let (stdout, _) = run_ok(&[
-        "timeline", "--tmax", "400", "--interval", "100", "--npros", "4",
+        "timeline",
+        "--tmax",
+        "400",
+        "--interval",
+        "100",
+        "--npros",
+        "4",
     ]);
     assert!(stdout.contains("throughput"));
     assert!(stdout.contains("active"));
@@ -134,9 +147,7 @@ fn timeline_prints_windows_and_chart() {
 
 #[test]
 fn warmup_gives_a_verdict() {
-    let (stdout, _) = run_ok(&[
-        "warmup", "--tmax", "800", "--interval", "50", "--reps", "2",
-    ]);
+    let (stdout, _) = run_ok(&["warmup", "--tmax", "800", "--interval", "50", "--reps", "2"]);
     assert!(
         stdout.contains("suggested warmup") || stdout.contains("no stable warm-up"),
         "unexpected output:\n{stdout}"
@@ -160,5 +171,8 @@ fn invalid_parameters_are_rejected() {
         .unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("dbsize"), "unexpected error text:\n{stderr}");
+    assert!(
+        stderr.contains("dbsize"),
+        "unexpected error text:\n{stderr}"
+    );
 }

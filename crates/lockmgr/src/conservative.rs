@@ -68,7 +68,10 @@ impl ConservativeScheduler {
             self.table.holdings(txn).is_empty(),
             "{txn:?} already holds locks"
         );
-        assert!(!self.blocked.contains_key(&txn), "{txn:?} is already blocked");
+        assert!(
+            !self.blocked.contains_key(&txn),
+            "{txn:?} is already blocked"
+        );
 
         // Merge duplicates deterministically.
         let mut merged: Vec<(GranuleId, LockMode)> = Vec::with_capacity(locks.len());
@@ -146,11 +149,7 @@ impl ConservativeScheduler {
     pub fn check_invariants(&self) -> Result<(), String> {
         self.table.check_invariants()?;
         for (waiter, holder) in &self.blocked {
-            if !self
-                .blocks
-                .get(holder)
-                .is_some_and(|v| v.contains(waiter))
-            {
+            if !self.blocks.get(holder).is_some_and(|v| v.contains(waiter)) {
                 return Err(format!("{waiter:?} blocked on {holder:?} but not indexed"));
             }
             if !self.table.holdings(*waiter).is_empty() {
@@ -186,19 +185,31 @@ mod tests {
     #[test]
     fn disjoint_sets_run_concurrently() {
         let mut s = ConservativeScheduler::new();
-        assert_eq!(s.request_all(t(1), &xs(&[0, 1, 2])), ConservativeOutcome::Granted);
-        assert_eq!(s.request_all(t(2), &xs(&[3, 4])), ConservativeOutcome::Granted);
+        assert_eq!(
+            s.request_all(t(1), &xs(&[0, 1, 2])),
+            ConservativeOutcome::Granted
+        );
+        assert_eq!(
+            s.request_all(t(2), &xs(&[3, 4])),
+            ConservativeOutcome::Granted
+        );
         s.check_invariants().unwrap();
     }
 
     #[test]
     fn overlap_blocks_all_or_nothing() {
         let mut s = ConservativeScheduler::new();
-        assert_eq!(s.request_all(t(1), &xs(&[0, 1, 2])), ConservativeOutcome::Granted);
+        assert_eq!(
+            s.request_all(t(1), &xs(&[0, 1, 2])),
+            ConservativeOutcome::Granted
+        );
         let out = s.request_all(t(2), &xs(&[2, 3, 4]));
         assert_eq!(out, ConservativeOutcome::Blocked { blocker: t(1) });
         // Nothing partial: granules 3 and 4 are still free for others.
-        assert_eq!(s.request_all(t(3), &xs(&[3, 4])), ConservativeOutcome::Granted);
+        assert_eq!(
+            s.request_all(t(3), &xs(&[3, 4])),
+            ConservativeOutcome::Granted
+        );
         s.check_invariants().unwrap();
     }
 
@@ -206,8 +217,14 @@ mod tests {
     fn release_wakes_blocked_in_fifo_order() {
         let mut s = ConservativeScheduler::new();
         assert_eq!(s.request_all(t(1), &xs(&[0])), ConservativeOutcome::Granted);
-        assert!(matches!(s.request_all(t(2), &xs(&[0])), ConservativeOutcome::Blocked { .. }));
-        assert!(matches!(s.request_all(t(3), &xs(&[0])), ConservativeOutcome::Blocked { .. }));
+        assert!(matches!(
+            s.request_all(t(2), &xs(&[0])),
+            ConservativeOutcome::Blocked { .. }
+        ));
+        assert!(matches!(
+            s.request_all(t(3), &xs(&[0])),
+            ConservativeOutcome::Blocked { .. }
+        ));
         let woken = s.release(t(1));
         assert_eq!(woken, vec![t(2), t(3)]);
         assert_eq!(s.blocked_count(), 0);
@@ -225,14 +242,20 @@ mod tests {
         // The classic 2PL deadlock: t1 wants {0,1}, t2 wants {1,0}.
         // Conservatively, whoever asks second simply blocks; no cycle.
         let mut s = ConservativeScheduler::new();
-        assert_eq!(s.request_all(t(1), &xs(&[0, 1])), ConservativeOutcome::Granted);
+        assert_eq!(
+            s.request_all(t(1), &xs(&[0, 1])),
+            ConservativeOutcome::Granted
+        );
         assert_eq!(
             s.request_all(t(2), &xs(&[1, 0])),
             ConservativeOutcome::Blocked { blocker: t(1) }
         );
         let woken = s.release(t(1));
         assert_eq!(woken, vec![t(2)]);
-        assert_eq!(s.request_all(t(2), &xs(&[1, 0])), ConservativeOutcome::Granted);
+        assert_eq!(
+            s.request_all(t(2), &xs(&[1, 0])),
+            ConservativeOutcome::Granted
+        );
     }
 
     #[test]

@@ -99,7 +99,11 @@ impl EscalationManager {
         let out = table.lock(txn, parent_flat, mode);
         debug_assert_eq!(out, crate::table::LockOutcome::Granted);
         let freed = children.len();
-        for child in self.children.remove(&(txn, parent_flat)).unwrap_or_default() {
+        for child in self
+            .children
+            .remove(&(txn, parent_flat))
+            .unwrap_or_default()
+        {
             table.unlock(txn, tree.flat_id(child));
         }
         EscalationOutcome::Escalated { parent, freed }
@@ -188,7 +192,8 @@ mod tests {
         let mut table = LockTable::new();
         let mut mgr = EscalationManager::new(EscalationPolicy { threshold: 3 });
         // t2 reads one block of file 0 — holds IS on the file.
-        tr.lock_hierarchical(&mut table, t(2), node(2, 40), S).unwrap();
+        tr.lock_hierarchical(&mut table, t(2), node(2, 40), S)
+            .unwrap();
         // t1 writes blocks; at the threshold, escalating to X on the file
         // would conflict with t2's IS, so it must keep fine locks.
         let outcomes = lock_blocks(&mut mgr, &tr, &mut table, t(1), 3, X);
@@ -204,7 +209,8 @@ mod tests {
         let tr = tree();
         let mut table = LockTable::new();
         let mut mgr = EscalationManager::new(EscalationPolicy { threshold: 2 });
-        tr.lock_hierarchical(&mut table, t(2), node(2, 40), S).unwrap();
+        tr.lock_hierarchical(&mut table, t(2), node(2, 40), S)
+            .unwrap();
         // S-escalation on the file is compatible with t2's IS.
         let outcomes = lock_blocks(&mut mgr, &tr, &mut table, t(1), 2, S);
         assert!(matches!(outcomes[1], EscalationOutcome::Escalated { .. }));

@@ -13,14 +13,27 @@
 //! is globally unique across levels so a single flat [`LockTable`] stores
 //! the whole hierarchy.
 
-use serde::{Deserialize, Serialize};
+use lockgran_sim::{FromJson, Json, ToJson};
 
 use crate::mode::LockMode;
 use crate::table::{GranuleId, LockOutcome, LockTable, TxnId};
 
 /// A level in the granule hierarchy, 0 = root (whole database).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct HierarchyLevel(pub usize);
+
+impl ToJson for HierarchyLevel {
+    /// Bare integer, like the previous serde newtype derive: `2`.
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for HierarchyLevel {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(HierarchyLevel(usize::from_json(v)?))
+    }
+}
 
 /// A node in the granule tree: `(level, index within level)`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,13 +48,36 @@ pub struct NodeId {
 ///
 /// `fanouts[k]` is the number of children each level-`k` node has; a tree
 /// with `fanouts = [10, 50]` has 1 root, 10 files, 500 blocks.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GranuleTree {
     fanouts: Vec<u64>,
     /// `level_sizes[k]` = number of nodes at level `k`.
     level_sizes: Vec<u64>,
     /// `level_offsets[k]` = flat id of the first node at level `k`.
     level_offsets: Vec<u64>,
+}
+
+impl ToJson for GranuleTree {
+    /// All three fields, like the previous serde struct derive.
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("fanouts", self.fanouts.to_json()),
+            ("level_sizes", self.level_sizes.to_json()),
+            ("level_offsets", self.level_offsets.to_json()),
+        ])
+    }
+}
+
+impl FromJson for GranuleTree {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let fanouts: Vec<u64> = v.field("fanouts")?;
+        if fanouts.contains(&0) {
+            return Err("fan-outs must be positive".into());
+        }
+        // Derived fields are recomputed rather than trusted, so a
+        // hand-edited file cannot produce an inconsistent tree.
+        Ok(GranuleTree::new(&fanouts))
+    }
 }
 
 impl GranuleTree {
@@ -241,7 +277,8 @@ mod tests {
         let mut lt = LockTable::new();
         // t1 writes a block in file 0; t2 reads a block in file 3.
         tr.lock_hierarchical(&mut lt, t(1), node(2, 5), X).unwrap();
-        tr.lock_hierarchical(&mut lt, t(2), node(2, 170), S).unwrap();
+        tr.lock_hierarchical(&mut lt, t(2), node(2, 170), S)
+            .unwrap();
         // Root carries IX (t1) + IS (t2): compatible.
         assert_eq!(lt.held_mode(t(1), tr.flat_id(node(0, 0))), Some(IX));
         assert_eq!(lt.held_mode(t(2), tr.flat_id(node(0, 0))), Some(IS));
@@ -268,7 +305,8 @@ mod tests {
     fn block_write_blocks_covering_file_read() {
         let tr = tree();
         let mut lt = LockTable::new();
-        tr.lock_hierarchical(&mut lt, t(1), node(2, 120), X).unwrap();
+        tr.lock_hierarchical(&mut lt, t(1), node(2, 120), X)
+            .unwrap();
         // t2 reading all of file 2 needs S on file 2, which conflicts with
         // t1's IX there.
         let err = tr
@@ -302,7 +340,9 @@ mod tests {
         let tr = GranuleTree::new(&[]);
         let mut lt = LockTable::new();
         tr.lock_hierarchical(&mut lt, t(1), node(0, 0), X).unwrap();
-        let err = tr.lock_hierarchical(&mut lt, t(2), node(0, 0), S).unwrap_err();
+        let err = tr
+            .lock_hierarchical(&mut lt, t(2), node(0, 0), S)
+            .unwrap_err();
         assert_eq!(err, vec![t(1)]);
     }
 

@@ -38,8 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod conservative;
-pub mod escalation;
 pub mod deadlock;
+pub mod escalation;
 pub mod hierarchy;
 pub mod mode;
 pub mod sharded;
@@ -47,8 +47,8 @@ pub mod table;
 pub mod twophase;
 
 pub use conservative::{ConservativeOutcome, ConservativeScheduler};
-pub use escalation::{EscalationManager, EscalationOutcome, EscalationPolicy};
 pub use deadlock::WaitsForGraph;
+pub use escalation::{EscalationManager, EscalationOutcome, EscalationPolicy};
 pub use hierarchy::{GranuleTree, HierarchyLevel, NodeId};
 pub use mode::LockMode;
 pub use sharded::ShardedLockTable;

@@ -7,10 +7,10 @@
 //! substrate implements the full matrix so the hierarchy extension and
 //! read/write workloads are expressible.
 
-use serde::{Deserialize, Serialize};
+use lockgran_sim::{FromJson, Json, ToJson};
 
 /// A lock mode.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LockMode {
     /// Intention shared: finer-grained S locks will be taken below.
     IS,
@@ -83,6 +83,26 @@ impl LockMode {
     }
 }
 
+impl ToJson for LockMode {
+    /// Variant-name string, like the previous serde derive: `"SIX"`.
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for LockMode {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("IS") => Ok(LockMode::IS),
+            Some("IX") => Ok(LockMode::IX),
+            Some("S") => Ok(LockMode::S),
+            Some("SIX") => Ok(LockMode::SIX),
+            Some("X") => Ok(LockMode::X),
+            _ => Err(format!("expected lock mode (IS|IX|S|SIX|X), got {v}")),
+        }
+    }
+}
+
 impl std::fmt::Display for LockMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -104,11 +124,11 @@ mod tests {
     /// The canonical matrix from Gray et al. (1976), row = requested,
     /// column = held, order IS, IX, S, SIX, X.
     const MATRIX: [[bool; 5]; 5] = [
-        [true, true, true, true, false],   // IS
-        [true, true, false, false, false], // IX
-        [true, false, true, false, false], // S
-        [true, false, false, false, false],// SIX
-        [false, false, false, false, false],// X
+        [true, true, true, true, false],     // IS
+        [true, true, false, false, false],   // IX
+        [true, false, true, false, false],   // S
+        [true, false, false, false, false],  // SIX
+        [false, false, false, false, false], // X
     ];
 
     #[test]

@@ -65,7 +65,9 @@ impl ShardedLockTable {
     /// Create with `shards` shards (rounded up to at least 1).
     pub fn new(shards: usize) -> Self {
         ShardedLockTable {
-            shards: (0..shards.max(1)).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
             grants: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
         }
@@ -114,7 +116,10 @@ impl ShardedLockTable {
     /// Release the given granules for `txn` (idempotent).
     pub fn unlock_all(&self, txn: TxnId, granules: &[GranuleId]) {
         for &g in granules {
-            self.shard_of(g).lock().expect("shard poisoned").revoke(g.0, txn);
+            self.shard_of(g)
+                .lock()
+                .expect("shard poisoned")
+                .revoke(g.0, txn);
         }
     }
 
@@ -288,7 +293,10 @@ mod tests {
             })
             .collect();
 
-        let total: u64 = handles.into_iter().map(|h| h.join().expect("no panics")).sum();
+        let total: u64 = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .sum();
         assert!(total > 0, "no thread ever acquired anything");
         table.check_invariants().unwrap();
         assert_eq!(table.grant_count(), total);

@@ -54,7 +54,10 @@ struct LockEntry {
 
 impl LockEntry {
     fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
-        self.granted.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+        self.granted
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
     }
 
     fn compatible_with_granted(&self, txn: TxnId, mode: LockMode) -> bool {
@@ -386,7 +389,12 @@ mod tests {
         let mut lt = LockTable::new();
         assert_eq!(lt.lock(t(1), g(0), X), LockOutcome::Granted);
         let out = lt.lock(t(2), g(0), X);
-        assert_eq!(out, LockOutcome::Queued { blockers: vec![t(1)] });
+        assert_eq!(
+            out,
+            LockOutcome::Queued {
+                blockers: vec![t(1)]
+            }
+        );
         let out = lt.lock(t(3), g(0), X);
         assert!(matches!(out, LockOutcome::Queued { .. }));
         lt.check_invariants().unwrap();
@@ -474,7 +482,12 @@ mod tests {
         assert_eq!(lt.lock(t(1), g(0), S), LockOutcome::Granted);
         assert_eq!(lt.lock(t(2), g(0), S), LockOutcome::Granted);
         let out = lt.lock(t(1), g(0), X);
-        assert_eq!(out, LockOutcome::Queued { blockers: vec![t(2)] });
+        assert_eq!(
+            out,
+            LockOutcome::Queued {
+                blockers: vec![t(2)]
+            }
+        );
         // When the other reader leaves, the upgrade is granted as X.
         let granted = lt.unlock(t(2), g(0));
         assert_eq!(granted, vec![(t(1), X)]);

@@ -155,7 +155,12 @@ mod tests {
         let mut s = TwoPhaseScheduler::new();
         assert_eq!(s.acquire(t(1), g(0), X), AcquireOutcome::Granted);
         let out = s.acquire(t(2), g(0), X);
-        assert_eq!(out, AcquireOutcome::Waiting { blockers: vec![t(1)] });
+        assert_eq!(
+            out,
+            AcquireOutcome::Waiting {
+                blockers: vec![t(1)]
+            }
+        );
         assert!(s.is_waiting(t(2)));
         let granted = s.release(t(1));
         assert_eq!(granted, vec![t(2)]);
@@ -168,7 +173,10 @@ mod tests {
         let mut s = TwoPhaseScheduler::new();
         assert_eq!(s.acquire(t(1), g(0), X), AcquireOutcome::Granted);
         assert_eq!(s.acquire(t(2), g(1), X), AcquireOutcome::Granted);
-        assert!(matches!(s.acquire(t(1), g(1), X), AcquireOutcome::Waiting { .. }));
+        assert!(matches!(
+            s.acquire(t(1), g(1), X),
+            AcquireOutcome::Waiting { .. }
+        ));
         // t2 closing the cycle: youngest (t2) is the victim.
         match s.acquire(t(2), g(0), X) {
             AcquireOutcome::Deadlock { victim, granted } => {
@@ -189,8 +197,14 @@ mod tests {
         for i in 0..3u64 {
             assert_eq!(s.acquire(t(i + 1), g(i), X), AcquireOutcome::Granted);
         }
-        assert!(matches!(s.acquire(t(1), g(1), X), AcquireOutcome::Waiting { .. }));
-        assert!(matches!(s.acquire(t(2), g(2), X), AcquireOutcome::Waiting { .. }));
+        assert!(matches!(
+            s.acquire(t(1), g(1), X),
+            AcquireOutcome::Waiting { .. }
+        ));
+        assert!(matches!(
+            s.acquire(t(2), g(2), X),
+            AcquireOutcome::Waiting { .. }
+        ));
         match s.acquire(t(3), g(0), X) {
             AcquireOutcome::Deadlock { victim, .. } => assert_eq!(victim, t(3)),
             other => panic!("expected deadlock, got {other:?}"),
@@ -214,7 +228,10 @@ mod tests {
         let mut s = TwoPhaseScheduler::new();
         assert_eq!(s.acquire(t(1), g(0), S), AcquireOutcome::Granted);
         assert_eq!(s.acquire(t(2), g(0), S), AcquireOutcome::Granted);
-        assert!(matches!(s.acquire(t(1), g(0), X), AcquireOutcome::Waiting { .. }));
+        assert!(matches!(
+            s.acquire(t(1), g(0), X),
+            AcquireOutcome::Waiting { .. }
+        ));
         match s.acquire(t(2), g(0), X) {
             AcquireOutcome::Deadlock { victim, granted } => {
                 assert_eq!(victim, t(2));
@@ -229,8 +246,14 @@ mod tests {
     fn release_grants_batch_of_readers() {
         let mut s = TwoPhaseScheduler::new();
         assert_eq!(s.acquire(t(1), g(0), X), AcquireOutcome::Granted);
-        assert!(matches!(s.acquire(t(2), g(0), S), AcquireOutcome::Waiting { .. }));
-        assert!(matches!(s.acquire(t(3), g(0), S), AcquireOutcome::Waiting { .. }));
+        assert!(matches!(
+            s.acquire(t(2), g(0), S),
+            AcquireOutcome::Waiting { .. }
+        ));
+        assert!(matches!(
+            s.acquire(t(3), g(0), S),
+            AcquireOutcome::Waiting { .. }
+        ));
         let granted = s.release(t(1));
         assert_eq!(granted, vec![t(2), t(3)]);
     }

@@ -163,11 +163,7 @@ impl<E> CalendarQueue<E> {
             }
             _ => self.width,
         };
-        let mut entries: Vec<Entry<E>> = self
-            .buckets
-            .iter_mut()
-            .flat_map(std::mem::take)
-            .collect();
+        let mut entries: Vec<Entry<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
         entries.sort_by_key(|e| (e.at, e.seq));
         self.buckets = (0..new_buckets).map(|_| Vec::new()).collect();
         self.width = width;

@@ -56,7 +56,11 @@ impl<E> Executor<E> {
     /// In debug builds, panics if `at` is in the past — scheduling into the
     /// past is always a model bug.
     pub fn schedule(&mut self, at: Time, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past ({at:?} < {:?})", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past ({at:?} < {:?})",
+            self.now
+        );
         self.queue.push(at, event);
     }
 

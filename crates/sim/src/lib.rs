@@ -16,9 +16,13 @@
 //!   classes and preemptive-resume scheduling. The paper gives the locking
 //!   mechanism "preemptive power over running transactions for I/O and CPU
 //!   resources"; the high-priority class models exactly that.
-//! * [`rng`] — a seedable, splittable random-number wrapper ([`SimRng`]) so
-//!   that independent stochastic streams (workload, conflicts, placement)
-//!   can be varied independently.
+//! * [`rng`] — a seedable, splittable in-tree xoshiro256++ generator
+//!   ([`SimRng`]) so that independent stochastic streams (workload,
+//!   conflicts, placement) can be varied independently and the byte
+//!   sequence of every stream is owned by this repository.
+//! * [`json`] — a minimal JSON document model ([`Json`]) with a writer and
+//!   parser, plus the [`ToJson`]/[`FromJson`] traits the rest of the
+//!   workspace implements by hand (zero-dependency serialization).
 //! * [`stats`] — busy-time accounting, Welford tallies, time-weighted
 //!   levels, histograms and batch-means confidence intervals.
 //!
@@ -57,6 +61,7 @@
 pub mod calendar;
 pub mod engine;
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod server;
 pub mod stats;
@@ -65,6 +70,7 @@ pub mod time;
 pub use calendar::CalendarQueue;
 pub use engine::{Executor, Model};
 pub use event::EventQueue;
+pub use json::{FromJson, Json, ToJson};
 pub use rng::SimRng;
 pub use server::{Class, Completion, CompletionOutcome, Discipline, Job, JobId, Server, Token};
 pub use stats::{BusyTime, Histogram, Tally, TimeWeighted};

@@ -224,7 +224,8 @@ impl Server {
     /// Zero-demand jobs are legal (the paper's `liotime = 0` case) and
     /// complete at their service start instant.
     pub fn submit(&mut self, now: Time, job: Job) -> Option<Completion> {
-        self.population.record(now, self.jobs_present() as f64 + 1.0);
+        self.population
+            .record(now, self.jobs_present() as f64 + 1.0);
         match (&self.current, job.class) {
             (None, _) => Some(self.start(now, job)),
             (Some(cur), Class::Lock) if self.preemptive && cur.job.class == Class::Transaction => {
@@ -260,7 +261,10 @@ impl Server {
                     .or_else(|| self.pop_txn())
                     .map(|j| self.start(now, j));
                 self.population.record(now, self.jobs_present() as f64);
-                CompletionOutcome::Finished { job: finished, next }
+                CompletionOutcome::Finished {
+                    job: finished,
+                    next,
+                }
             }
             _ => CompletionOutcome::Stale,
         }
@@ -403,7 +407,10 @@ mod tests {
         h.drain(100);
         assert_eq!(
             h.finished,
-            vec![(7, JobId(2), Class::Lock), (13, JobId(1), Class::Transaction)]
+            vec![
+                (7, JobId(2), Class::Lock),
+                (13, JobId(1), Class::Transaction)
+            ]
         );
         assert_eq!(h.server.busy_time(Class::Lock), Dur::from_ticks(3));
         assert_eq!(h.server.busy_time(Class::Transaction), Dur::from_ticks(10));
@@ -536,7 +543,10 @@ mod tests {
         h.drain(10_000);
         assert_eq!(h.finished.len(), 10);
         let total: u64 = (0..10u64).map(|i| (i % 4) * 3 + 1).sum();
-        assert_eq!(h.server.busy_time(Class::Transaction), Dur::from_ticks(total));
+        assert_eq!(
+            h.server.busy_time(Class::Transaction),
+            Dur::from_ticks(total)
+        );
     }
 
     #[test]

@@ -72,7 +72,10 @@ mod tests {
     fn degenerate_interval_is_zero() {
         let mut b = BusyTime::new();
         b.add(Dur::from_units(5.0));
-        assert_eq!(b.utilization(1, Time::from_units(3.0), Time::from_units(3.0)), 0.0);
+        assert_eq!(
+            b.utilization(1, Time::from_units(3.0), Time::from_units(3.0)),
+            0.0
+        );
         assert_eq!(b.utilization(0, Time::ZERO, Time::from_units(1.0)), 0.0);
     }
 }

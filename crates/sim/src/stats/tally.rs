@@ -190,6 +190,10 @@ mod tests {
         for x in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
             t.record(x);
         }
-        assert!((t.variance() - 30.0).abs() < 1e-6, "variance {}", t.variance());
+        assert!(
+            (t.variance() - 30.0).abs() < 1e-6,
+            "variance {}",
+            t.variance()
+        );
     }
 }

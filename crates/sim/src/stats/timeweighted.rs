@@ -92,7 +92,7 @@ mod tests {
         tw.record(Time::ZERO, 0.0);
         tw.record(Time::from_units(2.0), 4.0); // level 0 for 2u
         tw.record(Time::from_units(6.0), 1.0); // level 4 for 4u
-        // level 1 for 4u more -> mean = (0*2 + 4*4 + 1*4) / 10 = 2.0
+                                               // level 1 for 4u more -> mean = (0*2 + 4*4 + 1*4) / 10 = 2.0
         assert!((tw.mean_at(Time::from_units(10.0)) - 2.0).abs() < 1e-12);
         assert_eq!(tw.max_level(), 4.0);
     }

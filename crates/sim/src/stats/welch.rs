@@ -124,7 +124,11 @@ mod tests {
     #[test]
     fn stationary_series_truncates_immediately() {
         let reps: Vec<Vec<f64>> = (0..3)
-            .map(|r| (0..100).map(|t| 50.0 + ((t + r) as f64 * 0.9).sin()).collect())
+            .map(|r| {
+                (0..100)
+                    .map(|t| 50.0 + ((t + r) as f64 * 0.9).sin())
+                    .collect()
+            })
             .collect();
         let cut = welch_warmup(&reps, 10, 0.05).expect("stationary settles");
         assert!(cut <= 10, "stationary series truncated at {cut}");

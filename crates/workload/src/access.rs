@@ -15,8 +15,7 @@
 //!   count of a uniform entity sample, rather than Yao's mean).
 //! * Worst placement is `Scattered` with `k = min(NU, ltot)`.
 
-use lockgran_sim::SimRng;
-use serde::{Deserialize, Serialize};
+use lockgran_sim::{FromJson, Json, SimRng, ToJson};
 
 use crate::placement::Placement;
 
@@ -29,7 +28,7 @@ use crate::placement::Placement;
 /// behaviour). Skew only affects the *explicit* conflict model — the
 /// probabilistic partition draw has no notion of which granules are hot,
 /// which is precisely why this extension is interesting.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HotSpot {
     /// Fraction of the granule space that is hot (0 < fraction < 1).
     pub fraction: f64,
@@ -59,8 +58,26 @@ impl HotSpot {
     }
 }
 
+impl ToJson for HotSpot {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("fraction", self.fraction.to_json()),
+            ("weight", self.weight.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HotSpot {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(HotSpot {
+            fraction: v.field("fraction")?,
+            weight: v.field("weight")?,
+        })
+    }
+}
+
 /// How a transaction's entity accesses map onto concrete granule ids.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessPattern {
     /// Contiguous granule run (sequential scan).
     Sequential,
@@ -302,7 +319,10 @@ mod tests {
         let mut rng = SimRng::new(9);
         // weight ~1: nearly all draws go to a 2-granule hot region, but a
         // 50-granule set must still materialize.
-        let skew = HotSpot { fraction: 0.02, weight: 0.99 };
+        let skew = HotSpot {
+            fraction: 0.02,
+            weight: 0.99,
+        };
         let set = sample_granules_hot(&mut rng, Placement::Worst, 50, 100, DB, skew);
         assert_eq!(set.len(), 50);
         assert_valid(&set, 100);
@@ -310,8 +330,18 @@ mod tests {
 
     #[test]
     fn hot_spot_validation() {
-        assert!(HotSpot { fraction: 0.0, weight: 0.5 }.validate().is_err());
-        assert!(HotSpot { fraction: 0.5, weight: 1.0 }.validate().is_err());
+        assert!(HotSpot {
+            fraction: 0.0,
+            weight: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(HotSpot {
+            fraction: 0.5,
+            weight: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(HotSpot::eighty_twenty().validate().is_ok());
     }
 }

@@ -11,11 +11,10 @@
 //!   subset of disks; the paper models this as `PU_i ~ U(1, npros)` with
 //!   the sub-transactions landing on distinct random processors.
 
-use lockgran_sim::SimRng;
-use serde::{Deserialize, Serialize};
+use lockgran_sim::{FromJson, Json, SimRng, ToJson};
 
 /// Declustering strategy (determines `PU_i` and processor assignment).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Partitioning {
     /// Round-robin over all disks: full fan-out.
     Horizontal,
@@ -65,13 +64,40 @@ impl Partitioning {
     }
 }
 
+impl ToJson for Partitioning {
+    /// Variant-name string, like the previous serde derive: `"Horizontal"`.
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Partitioning::Horizontal => "Horizontal",
+                Partitioning::Random => "Random",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Partitioning {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Horizontal") => Ok(Partitioning::Horizontal),
+            Some("Random") => Ok(Partitioning::Random),
+            _ => Err(format!(
+                "expected partitioning (Horizontal|Random), got {v}"
+            )),
+        }
+    }
+}
+
 impl std::str::FromStr for Partitioning {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "horizontal" => Ok(Partitioning::Horizontal),
             "random" => Ok(Partitioning::Random),
-            other => Err(format!("unknown partitioning '{other}' (horizontal|random)")),
+            other => Err(format!(
+                "unknown partitioning '{other}' (horizontal|random)"
+            )),
         }
     }
 }
@@ -102,7 +128,11 @@ mod tests {
             let mut sorted = procs.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), procs.len(), "duplicate processors in {procs:?}");
+            assert_eq!(
+                sorted.len(),
+                procs.len(),
+                "duplicate processors in {procs:?}"
+            );
             assert!(procs.iter().all(|&p| p < 10));
         }
     }

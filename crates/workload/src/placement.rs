@@ -16,12 +16,12 @@
 //! All three return at least 1 lock for a non-empty transaction and never
 //! more than `ltot`.
 
-use serde::{Deserialize, Serialize};
+use lockgran_sim::{FromJson, Json, ToJson};
 
 use crate::yao::yao_expected_granules;
 
 /// Granule placement strategy (determines `LU_i`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// Sequential packing: fewest possible granules.
     Best,
@@ -71,6 +71,31 @@ impl Placement {
             Placement::Best => "best",
             Placement::Worst => "worst",
             Placement::Random => "random",
+        }
+    }
+}
+
+impl ToJson for Placement {
+    /// Variant-name string, like the previous serde derive: `"Best"`.
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Placement::Best => "Best",
+                Placement::Worst => "Worst",
+                Placement::Random => "Random",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Placement {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Best") => Ok(Placement::Best),
+            Some("Worst") => Ok(Placement::Worst),
+            Some("Random") => Ok(Placement::Random),
+            _ => Err(format!("expected placement (Best|Worst|Random), got {v}")),
         }
     }
 }

@@ -6,11 +6,10 @@
 //! [`SizeDistribution`] covers both plus a fixed size used in tests and
 //! ablations.
 
-use lockgran_sim::SimRng;
-use serde::{Deserialize, Serialize};
+use lockgran_sim::{FromJson, Json, SimRng, ToJson};
 
 /// Distribution of the number of database entities a transaction accesses.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SizeDistribution {
     /// `NU_i ~ U(1, max)` — the paper's default. Mean ≈ `max / 2`.
     Uniform {
@@ -105,9 +104,7 @@ impl SizeDistribution {
                 .map(|(_, m)| (*m).max(1))
                 .max()
                 .unwrap_or(1),
-            SizeDistribution::Trace { sizes } => {
-                sizes.iter().copied().max().unwrap_or(1).max(1)
-            }
+            SizeDistribution::Trace { sizes } => sizes.iter().copied().max().unwrap_or(1).max(1),
         }
     }
 
@@ -143,6 +140,59 @@ impl SizeDistribution {
     }
 }
 
+impl ToJson for SizeDistribution {
+    /// Externally tagged, like the previous serde derive:
+    /// `{"Uniform": {"max": 500}}`.
+    fn to_json(&self) -> Json {
+        match self {
+            SizeDistribution::Uniform { max } => Json::object(vec![(
+                "Uniform",
+                Json::object(vec![("max", max.to_json())]),
+            )]),
+            SizeDistribution::Fixed { size } => Json::object(vec![(
+                "Fixed",
+                Json::object(vec![("size", size.to_json())]),
+            )]),
+            SizeDistribution::Mixture { components } => Json::object(vec![(
+                "Mixture",
+                Json::object(vec![("components", components.to_json())]),
+            )]),
+            SizeDistribution::Trace { sizes } => Json::object(vec![(
+                "Trace",
+                Json::object(vec![("sizes", sizes.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for SizeDistribution {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        if let Some(body) = v.get("Uniform") {
+            return Ok(SizeDistribution::Uniform {
+                max: body.field("max")?,
+            });
+        }
+        if let Some(body) = v.get("Fixed") {
+            return Ok(SizeDistribution::Fixed {
+                size: body.field("size")?,
+            });
+        }
+        if let Some(body) = v.get("Mixture") {
+            return Ok(SizeDistribution::Mixture {
+                components: body.field("components")?,
+            });
+        }
+        if let Some(body) = v.get("Trace") {
+            return Ok(SizeDistribution::Trace {
+                sizes: body.field("sizes")?,
+            });
+        }
+        Err(format!(
+            "expected a size distribution (Uniform|Fixed|Mixture|Trace), got {v}"
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,7 +213,11 @@ mod tests {
             sum += x;
         }
         let mean = sum as f64 / n as f64;
-        assert!((mean - d.mean()).abs() < 2.0, "empirical mean {mean} vs {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 2.0,
+            "empirical mean {mean} vs {}",
+            d.mean()
+        );
         assert_eq!(d.mean(), 250.5);
     }
 
@@ -222,7 +276,9 @@ mod tests {
         }
         assert_eq!(
             seen,
-            [3u64, 17, 250].into_iter().collect::<std::collections::HashSet<_>>()
+            [3u64, 17, 250]
+                .into_iter()
+                .collect::<std::collections::HashSet<_>>()
         );
         assert_eq!(d.mean(), 90.0);
         assert_eq!(d.max(), 250);
@@ -232,7 +288,9 @@ mod tests {
     #[test]
     fn trace_respects_empirical_frequencies() {
         // A size appearing twice is drawn twice as often.
-        let d = SizeDistribution::Trace { sizes: vec![1, 1, 100] };
+        let d = SizeDistribution::Trace {
+            sizes: vec![1, 1, 100],
+        };
         let mut r = rng();
         let n = 30_000;
         let ones = (0..n).filter(|_| d.sample(&mut r) == 1).count();
@@ -241,9 +299,35 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trip_all_variants() {
+        let dists = [
+            SizeDistribution::Uniform { max: 500 },
+            SizeDistribution::Fixed { size: 42 },
+            SizeDistribution::eighty_twenty(),
+            SizeDistribution::Trace {
+                sizes: vec![3, 17, 250],
+            },
+        ];
+        for d in dists {
+            let j = d.to_json();
+            let back = SizeDistribution::from_json(&j).unwrap();
+            assert_eq!(back, d, "round trip failed for {j}");
+        }
+        assert_eq!(
+            SizeDistribution::Uniform { max: 500 }
+                .to_json()
+                .to_string_compact(),
+            r#"{"Uniform":{"max":500}}"#
+        );
+        assert!(SizeDistribution::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
     fn validation_catches_bad_inputs() {
         assert!(SizeDistribution::Uniform { max: 0 }.validate().is_err());
-        assert!(SizeDistribution::Mixture { components: vec![] }.validate().is_err());
+        assert!(SizeDistribution::Mixture { components: vec![] }
+            .validate()
+            .is_err());
         assert!(SizeDistribution::Mixture {
             components: vec![(0.0, 5)]
         }
@@ -255,7 +339,11 @@ mod tests {
         .validate()
         .is_err());
         assert!(SizeDistribution::eighty_twenty().validate().is_ok());
-        assert!(SizeDistribution::Trace { sizes: vec![] }.validate().is_err());
-        assert!(SizeDistribution::Trace { sizes: vec![0] }.validate().is_err());
+        assert!(SizeDistribution::Trace { sizes: vec![] }
+            .validate()
+            .is_err());
+        assert!(SizeDistribution::Trace { sizes: vec![0] }
+            .validate()
+            .is_err());
     }
 }

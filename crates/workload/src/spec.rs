@@ -5,8 +5,7 @@
 //! `NU_i`, `LU_i` and `PU_i` — drawn by a [`WorkloadGenerator`] from a
 //! [`WorkloadParams`] description.
 
-use lockgran_sim::SimRng;
-use serde::{Deserialize, Serialize};
+use lockgran_sim::{FromJson, Json, SimRng, ToJson};
 
 use crate::partitioning::Partitioning;
 use crate::placement::Placement;
@@ -14,7 +13,7 @@ use crate::size::SizeDistribution;
 
 /// Static parameters of the workload (paper §2 input parameters that
 /// concern transaction generation).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadParams {
     /// `dbsize`: number of accessible entities in the database.
     pub dbsize: u64,
@@ -57,6 +56,32 @@ impl WorkloadParams {
             ));
         }
         Ok(())
+    }
+}
+
+impl ToJson for WorkloadParams {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("dbsize", self.dbsize.to_json()),
+            ("ltot", self.ltot.to_json()),
+            ("size", self.size.to_json()),
+            ("placement", self.placement.to_json()),
+            ("partitioning", self.partitioning.to_json()),
+            ("npros", self.npros.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WorkloadParams {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(WorkloadParams {
+            dbsize: v.field("dbsize")?,
+            ltot: v.field("ltot")?,
+            size: v.field("size")?,
+            placement: v.field("placement")?,
+            partitioning: v.field("partitioning")?,
+            npros: v.field("npros")?,
+        })
     }
 }
 
@@ -123,10 +148,10 @@ impl WorkloadGenerator {
     pub fn next_spec(&mut self) -> TransactionSpec {
         self.generated += 1;
         let entities = self.params.size.sample(&mut self.size_rng);
-        let locks = self
-            .params
-            .placement
-            .locks_required(entities, self.params.ltot, self.params.dbsize);
+        let locks =
+            self.params
+                .placement
+                .locks_required(entities, self.params.ltot, self.params.dbsize);
         let processors = self
             .params
             .partitioning

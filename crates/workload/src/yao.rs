@@ -64,8 +64,15 @@ pub fn yao_expected_granules(d: u64, g: u64, k: u64) -> f64 {
 /// # Panics
 /// Panics if sizes don't sum to `d` or any size is zero.
 pub fn exact_expected_granules(d: u64, sizes: &[u64], k: u64) -> f64 {
-    assert_eq!(sizes.iter().sum::<u64>(), d, "granule sizes must sum to dbsize");
-    assert!(sizes.iter().all(|&s| s > 0), "granule sizes must be positive");
+    assert_eq!(
+        sizes.iter().sum::<u64>(),
+        d,
+        "granule sizes must sum to dbsize"
+    );
+    assert!(
+        sizes.iter().all(|&s| s > 0),
+        "granule sizes must be positive"
+    );
     if k == 0 {
         return 0.0;
     }

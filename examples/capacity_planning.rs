@@ -25,11 +25,17 @@ fn main() {
     let mut base_tput = None;
     for &n in &npros_grid {
         let h = run(
-            &base.clone().with_npros(n).with_partitioning(Partitioning::Horizontal),
+            &base
+                .clone()
+                .with_npros(n)
+                .with_partitioning(Partitioning::Horizontal),
             3,
         );
         let r = run(
-            &base.clone().with_npros(n).with_partitioning(Partitioning::Random),
+            &base
+                .clone()
+                .with_npros(n)
+                .with_partitioning(Partitioning::Random),
             3,
         );
         let base_t = *base_tput.get_or_insert(h.throughput);

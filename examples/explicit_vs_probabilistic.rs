@@ -18,7 +18,10 @@ fn main() {
     let base = ModelConfig::table1().with_npros(10).with_tmax(5_000.0);
 
     for (title, cfg) in [
-        ("large sequential transactions (best placement, maxtransize=500)", base.clone()),
+        (
+            "large sequential transactions (best placement, maxtransize=500)",
+            base.clone(),
+        ),
         (
             "small random transactions (random placement, maxtransize=50)",
             base.clone()
@@ -33,11 +36,15 @@ fn main() {
         );
         for &ltot in &ltots {
             let p = run(
-                &cfg.clone().with_ltot(ltot).with_conflict(ConflictMode::Probabilistic),
+                &cfg.clone()
+                    .with_ltot(ltot)
+                    .with_conflict(ConflictMode::Probabilistic),
                 5,
             );
             let e = run(
-                &cfg.clone().with_ltot(ltot).with_conflict(ConflictMode::Explicit),
+                &cfg.clone()
+                    .with_ltot(ltot)
+                    .with_conflict(ConflictMode::Explicit),
                 5,
             );
             println!(

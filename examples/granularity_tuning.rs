@@ -23,7 +23,10 @@ fn main() {
         .with_tmax(5_000.0);
 
     let ltots = [1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
-    println!("{:>6} {:>12} {:>12} {:>12}", "ltot", "throughput", "response", "denial%");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "ltot", "throughput", "response", "denial%"
+    );
 
     let mut best: Option<(u64, f64)> = None;
     let mut results = Vec::new();
@@ -33,7 +36,10 @@ fn main() {
         let tput = reps.throughput.mean;
         let resp = reps.response_time.mean;
         let denial = reps.runs.iter().map(|m| m.denial_rate).sum::<f64>() / reps.runs.len() as f64;
-        println!("{ltot:>6} {tput:>12.4} {resp:>12.1} {:>11.1}%", denial * 100.0);
+        println!(
+            "{ltot:>6} {tput:>12.4} {resp:>12.1} {:>11.1}%",
+            denial * 100.0
+        );
         if best.is_none_or(|(_, b)| tput > b) {
             best = Some((ltot, tput));
         }

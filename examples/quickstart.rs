@@ -21,19 +21,46 @@ fn main() {
     println!();
     println!("paper output parameters (§2):");
     println!("  totcom      = {:>10}   transactions completed", m.totcom);
-    println!("  throughput  = {:>10.4}   completions / time unit", m.throughput);
-    println!("  response    = {:>10.2}   mean response time", m.response_time);
-    println!("  totcpus     = {:>10.1}   CPU busy time (all work)", m.totcpus);
-    println!("  totios      = {:>10.1}   I/O busy time (all work)", m.totios);
+    println!(
+        "  throughput  = {:>10.4}   completions / time unit",
+        m.throughput
+    );
+    println!(
+        "  response    = {:>10.2}   mean response time",
+        m.response_time
+    );
+    println!(
+        "  totcpus     = {:>10.1}   CPU busy time (all work)",
+        m.totcpus
+    );
+    println!(
+        "  totios      = {:>10.1}   I/O busy time (all work)",
+        m.totios
+    );
     println!("  lockcpus    = {:>10.1}   CPU lock overhead", m.lockcpus);
     println!("  lockios     = {:>10.1}   I/O lock overhead", m.lockios);
-    println!("  usefulcpus  = {:>10.2}   per-processor transaction CPU", m.usefulcpus);
-    println!("  usefulios   = {:>10.2}   per-processor transaction I/O", m.usefulios);
+    println!(
+        "  usefulcpus  = {:>10.2}   per-processor transaction CPU",
+        m.usefulcpus
+    );
+    println!(
+        "  usefulios   = {:>10.2}   per-processor transaction I/O",
+        m.usefulios
+    );
     println!();
     println!("extended diagnostics:");
-    println!("  denial rate = {:>10.3}   lock attempts denied", m.denial_rate);
-    println!("  mean active = {:>10.2}   lock-holding transactions", m.mean_active);
-    println!("  mean blocked= {:>10.2}   blocked transactions", m.mean_blocked);
+    println!(
+        "  denial rate = {:>10.3}   lock attempts denied",
+        m.denial_rate
+    );
+    println!(
+        "  mean active = {:>10.2}   lock-holding transactions",
+        m.mean_active
+    );
+    println!(
+        "  mean blocked= {:>10.2}   blocked transactions",
+        m.mean_blocked
+    );
     println!("  cpu util    = {:>10.3}", m.cpu_utilization);
     println!("  io util     = {:>10.3}", m.io_utilization);
     println!("  p95 response= {:>10.1}", m.response_time_p95);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline verification gate: formatting, lints, build, tests.
+#
+# Everything runs with --offline — the workspace has no external
+# dependencies by policy (see DESIGN.md §5), so a bare toolchain with no
+# registry access must be able to pass this script end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (warnings denied)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --offline --release --workspace
+
+echo "== cargo test"
+cargo test --offline --workspace -q
+
+echo "verify: OK"

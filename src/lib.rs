@@ -51,8 +51,7 @@ pub use lockgran_workload as workload;
 /// The most common imports for driving the model.
 pub mod prelude {
     pub use lockgran_core::sim::{
-        run, run_replicated, run_timeline, run_traced, suggest_warmup, Estimate,
-        ReplicatedMetrics,
+        run, run_replicated, run_timeline, run_traced, suggest_warmup, Estimate, ReplicatedMetrics,
     };
     pub use lockgran_core::{
         ConflictMode, LockDistribution, ModelConfig, QueueDiscipline, RunMetrics,

@@ -29,8 +29,10 @@ fn replications_reproducible() {
     assert_eq!(a.throughput.mean.to_bits(), b.throughput.mean.to_bits());
     assert_eq!(a.throughput.ci95.to_bits(), b.throughput.ci95.to_bits());
     // Replications are genuinely distinct runs.
-    assert!(a.runs.windows(2).any(|w| w[0].totcom != w[1].totcom
-        || w[0].response_time != w[1].response_time));
+    assert!(a
+        .runs
+        .windows(2)
+        .any(|w| w[0].totcom != w[1].totcom || w[0].response_time != w[1].response_time));
 }
 
 /// Sweep points share workload streams (common random numbers): the
@@ -58,16 +60,40 @@ fn common_random_numbers_across_sweep() {
     );
 }
 
-/// The serde round trip of a config reproduces the identical simulation.
+/// Golden snapshot of the Table 1 baseline at seed 42.
+///
+/// These values were re-pinned when the in-tree xoshiro256++ generator
+/// replaced the external `rand` SmallRng: the random stream (and thus
+/// every seed-sensitive output) changed once, deliberately, at that
+/// point. They must never change again — any drift means a behavioural
+/// change in the RNG, the workload generator or the simulator kernel,
+/// and must be investigated, not re-pinned.
 #[test]
-fn config_serde_round_trip_runs_identically() {
+fn table1_seed42_golden_snapshot() {
+    let m = run(&ModelConfig::table1(), 42);
+    assert_eq!(m.totcom, 1907);
+    assert_eq!(m.throughput, 0.1907);
+    assert_eq!(m.response_time, 52.266_182_485_579_47);
+    assert_eq!(m.usefulcpus, 2415.79);
+    assert_eq!(m.usefulios, 9667.365);
+    assert_eq!(m.lockcpus, 166.03);
+    assert_eq!(m.lockios, 3320.6);
+    assert_eq!(m.denial_rate, 0.366_015_236_833_388_55);
+    assert_eq!(m.lock_attempts, 3019);
+    assert_eq!(m.lock_denials, 1105);
+}
+
+/// The JSON round trip of a config reproduces the identical simulation.
+#[test]
+fn config_json_round_trip_runs_identically() {
+    use lockgran::sim::{FromJson, ToJson};
     let cfg = ModelConfig::table1()
         .with_npros(7)
         .with_ltot(37)
         .with_placement(Placement::Random)
         .with_tmax(500.0);
-    let json = serde_json::to_string(&cfg).unwrap();
-    let back: ModelConfig = serde_json::from_str(&json).unwrap();
+    let text = cfg.to_json().pretty();
+    let back = ModelConfig::from_json(&lockgran::sim::json::parse(&text).unwrap()).unwrap();
     let a = run(&cfg, 11);
     let b = run(&back, 11);
     assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());

@@ -1,0 +1,71 @@
+//! Wire-format compatibility of the in-tree JSON layer.
+//!
+//! The checked-in batch file predates the in-tree serializer and still
+//! uses the old derive-era shape (externally tagged `size` variants,
+//! optional fields omitted). It must keep parsing, and what we emit
+//! must re-parse to the identical configuration.
+
+use lockgran::prelude::*;
+use lockgran::sim::{json, FromJson, ToJson};
+
+fn sample_batch_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("configs/sample_batch.json")
+}
+
+/// The shipped `configs/sample_batch.json` parses, validates, and
+/// survives an emit → parse round trip unchanged.
+#[test]
+fn sample_batch_round_trips() {
+    let text = std::fs::read_to_string(sample_batch_path()).unwrap();
+    let value = json::parse(&text).unwrap();
+    let configs: Vec<ModelConfig> = FromJson::from_json(&value).unwrap();
+    assert_eq!(configs.len(), 3);
+    for cfg in &configs {
+        cfg.validate().unwrap();
+        let emitted = cfg.to_json().pretty();
+        let back = ModelConfig::from_json(&json::parse(&emitted).unwrap()).unwrap();
+        assert_eq!(&back, cfg, "emit/parse round trip changed the config");
+    }
+    // Spot-check that omitted optional fields took their defaults and
+    // present ones were honoured.
+    assert!(configs[0].lock_preemption);
+    assert_eq!(configs[0].mpl_limit, None);
+    assert_eq!(configs[1].mpl_limit, Some(20));
+    assert!(configs[2].hot_spot.is_some());
+    assert_eq!(configs[2].service, ServiceVariability::Exponential);
+}
+
+/// Byte-exact golden emit: the pretty printer reproduces the previous
+/// serializer's layout (2-space indent, declaration field order,
+/// `null` for absent options, trailing `.0` on whole floats).
+#[test]
+fn table1_pretty_emit_is_stable() {
+    let expected = "\
+{
+  \"dbsize\": 5000,
+  \"ltot\": 100,
+  \"ntrans\": 10,
+  \"size\": {
+    \"Uniform\": {
+      \"max\": 500
+    }
+  },
+  \"cputime\": 0.05,
+  \"iotime\": 0.2,
+  \"lcputime\": 0.01,
+  \"liotime\": 0.2,
+  \"npros\": 10,
+  \"tmax\": 10000.0,
+  \"placement\": \"Best\",
+  \"partitioning\": \"Horizontal\",
+  \"conflict\": \"Probabilistic\",
+  \"lock_distribution\": \"PerOperation\",
+  \"service\": \"Deterministic\",
+  \"discipline\": \"Fcfs\",
+  \"hot_spot\": null,
+  \"lock_preemption\": true,
+  \"mpl_limit\": null,
+  \"warmup\": 0.0
+}";
+    assert_eq!(ModelConfig::table1().to_json().pretty(), expected);
+}

@@ -100,7 +100,10 @@ fn explicit_mode_consistency() {
         m.check_consistency(cfg.npros).unwrap();
         assert!(m.totcom > 0);
         let lw = m.throughput * m.response_time;
-        assert!((lw - 10.0).abs() / 10.0 < 0.25, "Little's law in explicit mode: {lw}");
+        assert!(
+            (lw - 10.0).abs() / 10.0 < 0.25,
+            "Little's law in explicit mode: {lw}"
+        );
     }
 }
 

@@ -22,8 +22,16 @@ fn fig2_throughput_convex_with_small_optimum() {
         assert!(opt > 1.0, "{}: optimum at the single-lock end", s.label);
         assert!(opt < 200.0, "{}: optimum at {opt} >= 200", s.label);
         let peak = s.max_mean().unwrap();
-        assert!(s.at(1.0).unwrap() < peak, "{}: no rise from ltot=1", s.label);
-        assert!(s.at(5000.0).unwrap() < peak, "{}: no fall to ltot=5000", s.label);
+        assert!(
+            s.at(1.0).unwrap() < peak,
+            "{}: no rise from ltot=1",
+            s.label
+        );
+        assert!(
+            s.at(5000.0).unwrap() < peak,
+            "{}: no fall to ltot=5000",
+            s.label
+        );
     }
 }
 
@@ -50,8 +58,17 @@ fn fig6_transaction_size_effects() {
     let small = panel.series("maxtransize=50").unwrap();
     let mid = panel.series("maxtransize=500").unwrap();
     let large = panel.series("maxtransize=5000").unwrap();
-    for ((s, m), l) in small.points.iter().zip(mid.points.iter()).zip(large.points.iter()) {
-        assert!(s.mean > m.mean && m.mean > l.mean, "ordering broken at ltot={}", s.x);
+    for ((s, m), l) in small
+        .points
+        .iter()
+        .zip(mid.points.iter())
+        .zip(large.points.iter())
+    {
+        assert!(
+            s.mean > m.mean && m.mean > l.mean,
+            "ordering broken at ltot={}",
+            s.x
+        );
     }
     assert!(small.argmax().unwrap() >= large.argmax().unwrap());
 }
@@ -78,8 +95,18 @@ fn fig8_horizontal_beats_random_partitioning() {
     let horizontal = figures::fig02::run(&o);
     let random = figures::fig08::run(&o);
     for label in ["npros=10", "npros=30"] {
-        let h = horizontal.panel("throughput").unwrap().series(label).unwrap().clone();
-        let r = random.panel("throughput").unwrap().series(label).unwrap().clone();
+        let h = horizontal
+            .panel("throughput")
+            .unwrap()
+            .series(label)
+            .unwrap()
+            .clone();
+        let r = random
+            .panel("throughput")
+            .unwrap()
+            .series(label)
+            .unwrap()
+            .clone();
         for (hp, rp) in h.points.iter().zip(r.points.iter()) {
             assert!(hp.mean > rp.mean, "{label} ltot={}", hp.x);
         }
@@ -95,14 +122,24 @@ fn fig9_fig10_placement_crossover() {
     let large = figures::fig09::run(&o);
     let small = figures::fig10::run(&o);
 
-    let lw = large.panel("throughput").unwrap().series("worst/npros=30").unwrap().clone();
+    let lw = large
+        .panel("throughput")
+        .unwrap()
+        .series("worst/npros=30")
+        .unwrap()
+        .clone();
     // Dip-and-recover for large transactions.
     assert!(lw.at(100.0).unwrap() < lw.at(1.0).unwrap());
     assert!(lw.at(5000.0).unwrap() > lw.at(100.0).unwrap());
 
     // Fine granularity is the *argmax* for small random transactions.
     for label in ["random/npros=30", "worst/npros=30"] {
-        let s = small.panel("throughput").unwrap().series(label).unwrap().clone();
+        let s = small
+            .panel("throughput")
+            .unwrap()
+            .series(label)
+            .unwrap()
+            .clone();
         assert_eq!(s.argmax().unwrap(), 5000.0, "{label}");
     }
 }
@@ -116,7 +153,12 @@ fn fig11_mixed_sizes_between_extremes() {
     let large = figures::fig09::run(&o);
     let small = figures::fig10::run(&o);
     let at_fine = |f: &Figure, label: &str| {
-        f.panel("throughput").unwrap().series(label).unwrap().at(5000.0).unwrap()
+        f.panel("throughput")
+            .unwrap()
+            .series(label)
+            .unwrap()
+            .at(5000.0)
+            .unwrap()
     };
     let m = at_fine(&mixed, "worst");
     let l = at_fine(&large, "worst/npros=30");
@@ -143,7 +185,10 @@ fn fig12_heavy_load_prefers_coarse() {
 /// (near-optimal) granularity.
 #[test]
 fn conclusion_lock_io_cost_hardly_matters_at_optimum() {
-    let base = ModelConfig::table1().with_npros(10).with_ltot(100).with_tmax(1_500.0);
+    let base = ModelConfig::table1()
+        .with_npros(10)
+        .with_ltot(100)
+        .with_tmax(1_500.0);
     let disk = run(&base, 9);
     let memory = run(&base.with_liotime(0.0), 9);
     let gain = memory.throughput / disk.throughput;

@@ -1,87 +1,108 @@
 //! Property-based integration tests over random model configurations.
 //!
-//! Strategy-generated configurations exercise the full stack; the
-//! properties are the conservation laws that must hold for *every* input,
-//! not just the paper's parameter points.
+//! Seeded [`SimRng`]-generated configurations exercise the full stack;
+//! the properties are the conservation laws that must hold for *every*
+//! input, not just the paper's parameter points. Every failure is
+//! reproducible from the printed case number.
 
 use lockgran::prelude::*;
-use proptest::prelude::*;
+use lockgran::sim::SimRng;
 
-fn arb_config() -> impl Strategy<Value = ModelConfig> {
-    (
-        1u32..=8,              // npros
-        1u32..=24,             // ntrans
-        1u64..=2000,           // ltot
-        10u64..=400,           // maxtransize
-        prop_oneof![
-            Just(Placement::Best),
-            Just(Placement::Random),
-            Just(Placement::Worst)
-        ],
-        prop_oneof![Just(Partitioning::Horizontal), Just(Partitioning::Random)],
-        prop_oneof![
-            Just(ConflictMode::Probabilistic),
-            Just(ConflictMode::Explicit)
-        ],
-        0.0f64..0.3,           // liotime
-    )
-        .prop_map(
-            |(npros, ntrans, ltot, maxtransize, placement, partitioning, conflict, liotime)| {
-                ModelConfig::table1()
-                    .with_npros(npros)
-                    .with_ntrans(ntrans)
-                    .with_ltot(ltot)
-                    .with_maxtransize(maxtransize)
-                    .with_placement(placement)
-                    .with_partitioning(partitioning)
-                    .with_conflict(conflict)
-                    .with_liotime((liotime * 100.0).round() / 100.0)
-                    .with_tmax(300.0)
-            },
-        )
+const CASES: u64 = 24;
+
+fn case_rng(test: &str, case: u64) -> SimRng {
+    SimRng::new(0x5EED).split(test).split_index(case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_config(rng: &mut SimRng) -> ModelConfig {
+    let npros = rng.uniform_inclusive(1, 8) as u32;
+    let ntrans = rng.uniform_inclusive(1, 24) as u32;
+    let ltot = rng.uniform_inclusive(1, 2000);
+    let maxtransize = rng.uniform_inclusive(10, 400);
+    let placement = Placement::ALL[rng.uniform_inclusive(0, 2) as usize];
+    let partitioning = Partitioning::ALL[rng.uniform_inclusive(0, 1) as usize];
+    let conflict = ConflictMode::ALL[rng.uniform_inclusive(0, 1) as usize];
+    let liotime = (rng.uniform01() * 0.3 * 100.0).round() / 100.0;
+    ModelConfig::table1()
+        .with_npros(npros)
+        .with_ntrans(ntrans)
+        .with_ltot(ltot)
+        .with_maxtransize(maxtransize)
+        .with_placement(placement)
+        .with_partitioning(partitioning)
+        .with_conflict(conflict)
+        .with_liotime(liotime)
+        .with_tmax(300.0)
+}
 
-    /// Every generated configuration validates, runs, and yields
-    /// internally consistent metrics.
-    #[test]
-    fn any_config_runs_consistently(cfg in arb_config(), seed in 0u64..1000) {
-        prop_assert!(cfg.validate().is_ok());
+/// Every generated configuration validates, runs, and yields
+/// internally consistent metrics.
+#[test]
+fn any_config_runs_consistently() {
+    for case in 0..CASES {
+        let mut rng = case_rng("any_config_runs_consistently", case);
+        let cfg = random_config(&mut rng);
+        let seed = rng.uniform_inclusive(0, 999);
+        assert!(cfg.validate().is_ok(), "case {case}");
         let m = run(&cfg, seed);
-        prop_assert!(m.check_consistency(cfg.npros).is_ok(),
-            "{:?}", m.check_consistency(cfg.npros));
+        assert!(
+            m.check_consistency(cfg.npros).is_ok(),
+            "case {case}: {:?}",
+            m.check_consistency(cfg.npros)
+        );
         // Busy time cannot exceed capacity.
-        prop_assert!(m.totcpus <= f64::from(cfg.npros) * cfg.tmax + 1e-6);
-        prop_assert!(m.totios <= f64::from(cfg.npros) * cfg.tmax + 1e-6);
+        assert!(
+            m.totcpus <= f64::from(cfg.npros) * cfg.tmax + 1e-6,
+            "case {case}"
+        );
+        assert!(
+            m.totios <= f64::from(cfg.npros) * cfg.tmax + 1e-6,
+            "case {case}"
+        );
         // Denials imply attempts.
-        prop_assert!(m.lock_denials <= m.lock_attempts);
+        assert!(m.lock_denials <= m.lock_attempts, "case {case}");
         // Mean active transactions within the multiprogramming level.
-        prop_assert!(m.mean_active <= f64::from(cfg.ntrans) + 1e-9);
-        prop_assert!(m.mean_blocked <= f64::from(cfg.ntrans) + 1e-9);
+        assert!(m.mean_active <= f64::from(cfg.ntrans) + 1e-9, "case {case}");
+        assert!(
+            m.mean_blocked <= f64::from(cfg.ntrans) + 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// Determinism holds for every configuration, not just the baseline.
-    #[test]
-    fn any_config_is_deterministic(cfg in arb_config(), seed in 0u64..1000) {
+/// Determinism holds for every configuration, not just the baseline.
+#[test]
+fn any_config_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = case_rng("any_config_is_deterministic", case);
+        let cfg = random_config(&mut rng);
+        let seed = rng.uniform_inclusive(0, 999);
         let a = run(&cfg, seed);
         let b = run(&cfg, seed);
-        prop_assert_eq!(a.totcom, b.totcom);
-        prop_assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
-        prop_assert_eq!(a.lockios.to_bits(), b.lockios.to_bits());
+        assert_eq!(a.totcom, b.totcom, "case {case}");
+        assert_eq!(
+            a.throughput.to_bits(),
+            b.throughput.to_bits(),
+            "case {case}"
+        );
+        assert_eq!(a.lockios.to_bits(), b.lockios.to_bits(), "case {case}");
     }
+}
 
-    /// Response time always satisfies the closed-model lower bound: a
-    /// transaction cannot finish faster than its own unqueued demand path
-    /// allows on average — and never in zero time.
-    #[test]
-    fn response_time_positive_and_bounded(cfg in arb_config(), seed in 0u64..1000) {
+/// Response time always satisfies the closed-model lower bound: a
+/// transaction cannot finish faster than its own unqueued demand path
+/// allows on average — and never in zero time.
+#[test]
+fn response_time_positive_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng("response_time_positive_and_bounded", case);
+        let cfg = random_config(&mut rng);
+        let seed = rng.uniform_inclusive(0, 999);
         let m = run(&cfg, seed);
         if m.totcom > 0 {
-            prop_assert!(m.response_time > 0.0);
-            prop_assert!(m.response_time <= cfg.tmax);
-            prop_assert!(m.response_time_p95 >= 0.0);
+            assert!(m.response_time > 0.0, "case {case}");
+            assert!(m.response_time <= cfg.tmax, "case {case}");
+            assert!(m.response_time_p95 >= 0.0, "case {case}");
         }
     }
 }

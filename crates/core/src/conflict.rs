@@ -18,7 +18,7 @@
 //! ([`crate::explicit::ExplicitConflict`]), quantifying the quality of the
 //! approximation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lockgran_sim::SimRng;
 
@@ -72,7 +72,7 @@ pub struct ProbabilisticConflict {
     /// Active transactions in admission order, with their lock counts.
     active: Vec<(TxnSerial, u64)>,
     /// blocker → transactions blocked on it (FIFO).
-    blocked: HashMap<TxnSerial, Vec<TxnSerial>>,
+    blocked: BTreeMap<TxnSerial, Vec<TxnSerial>>,
     locks_held: u64,
 }
 
@@ -86,7 +86,7 @@ impl ProbabilisticConflict {
         ProbabilisticConflict {
             ltot,
             active: Vec::new(),
-            blocked: HashMap::new(),
+            blocked: BTreeMap::new(),
             locks_held: 0,
         }
     }

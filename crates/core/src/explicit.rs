@@ -13,7 +13,7 @@
 //! The paper locks granules exclusively (any overlap blocks), so granule
 //! sets are requested in mode `X`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lockgran_lockmgr::{ConservativeOutcome, ConservativeScheduler, GranuleId, LockMode, TxnId};
 use lockgran_sim::SimRng;
@@ -25,11 +25,11 @@ pub struct ExplicitConflict {
     scheduler: ConservativeScheduler,
     /// Granule sets of *blocked* transactions, replayed on retry so a
     /// retry contends for the same granules it failed on.
-    pending_sets: HashMap<TxnSerial, Vec<u64>>,
+    pending_sets: BTreeMap<TxnSerial, Vec<u64>>,
     active: u64,
     locks_held: u64,
     /// Locks per active transaction (for `locks_held` bookkeeping).
-    active_locks: HashMap<TxnSerial, u64>,
+    active_locks: BTreeMap<TxnSerial, u64>,
 }
 
 impl Default for ExplicitConflict {
@@ -43,10 +43,10 @@ impl ExplicitConflict {
     pub fn new() -> Self {
         ExplicitConflict {
             scheduler: ConservativeScheduler::new(),
-            pending_sets: HashMap::new(),
+            pending_sets: BTreeMap::new(),
             active: 0,
             locks_held: 0,
-            active_locks: HashMap::new(),
+            active_locks: BTreeMap::new(),
         }
     }
 

@@ -19,7 +19,7 @@
 //!    again), and is replaced by a freshly drawn transaction — the closed
 //!    model keeps exactly `ntrans` transactions in the system.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use lockgran_sim::{
     Class, Completion, CompletionOutcome, Dur, Executor, Histogram, Job, JobId, Model, Server,
@@ -124,7 +124,7 @@ pub struct System {
     io: Vec<Server>,
 
     // --- transactions ---
-    txns: HashMap<u64, Transaction>,
+    txns: BTreeMap<u64, Transaction>,
     next_serial: u64,
     blocked_count: u32,
     /// Admission control (`mpl_limit`): transactions holding a slot.
@@ -201,7 +201,7 @@ impl System {
             io: (0..cfg.npros)
                 .map(|_| mk_server(cfg.lock_preemption, cfg.discipline))
                 .collect(),
-            txns: HashMap::new(),
+            txns: BTreeMap::new(),
             next_serial: 0,
             blocked_count: 0,
             admitted: 0,
@@ -261,6 +261,27 @@ impl System {
     /// Take the recorded trace, leaving tracing enabled but empty.
     pub fn take_trace(&mut self) -> Option<VecTracer> {
         self.tracer.replace(VecTracer::default())
+    }
+
+    /// Look up a live transaction by serial.
+    ///
+    /// Every event carries the serial of a transaction the system itself
+    /// scheduled, and serials are removed only at completion — after which
+    /// no further events for them exist. A miss is therefore a simulator
+    /// logic error, not a recoverable condition.
+    fn txn(&self, serial: u64) -> &Transaction {
+        self.txns
+            .get(&serial)
+            // lint:allow(P001): invariant — events never outlive their transaction
+            .expect("event refers to a departed transaction")
+    }
+
+    /// Mutable counterpart of [`Self::txn`].
+    fn txn_mut(&mut self, serial: u64) -> &mut Transaction {
+        self.txns
+            .get_mut(&serial)
+            // lint:allow(P001): invariant — events never outlive their transaction
+            .expect("event refers to a departed transaction")
     }
 
     #[inline]
@@ -323,28 +344,23 @@ impl System {
     /// processors as preemptive high-priority work; the admission decision
     /// happens when the last share completes.
     fn begin_lock_phase(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+        let (lcputime, liotime) = (self.lcputime, self.liotime);
         let (cpu_total, io_total) = {
-            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            let txn = self.txn_mut(serial);
             txn.phase = TxnPhase::LockPhase;
             txn.attempts += 1;
-            (
-                txn.lock_cpu_demand(self.lcputime),
-                txn.lock_io_demand(self.liotime),
-            )
+            (txn.lock_cpu_demand(lcputime), txn.lock_io_demand(liotime))
         };
         if self.measuring(now) {
             self.lock_attempts += 1;
         }
-        let attempt = self.txns[&serial].attempts;
+        let attempt = self.txn(serial).attempts;
         self.trace(now, TraceEvent::LockRequested { serial, attempt });
 
         let (cpu_shares, io_shares) = self.lock_shares(serial, cpu_total, io_total);
         let outstanding = cpu_shares.iter().filter(|d| !d.is_zero()).count()
             + io_shares.iter().filter(|d| !d.is_zero()).count();
-        self.txns
-            .get_mut(&serial)
-            .expect("transaction exists")
-            .lock_shares_outstanding = outstanding as u32;
+        self.txn_mut(serial).lock_shares_outstanding = outstanding as u32;
 
         if outstanding == 0 {
             // Zero-cost locking (lcputime = liotime = 0, or LU = 0): the
@@ -402,7 +418,7 @@ impl System {
     /// The lock overhead is paid: ask the conflict model for a verdict.
     fn decide(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
         let (locks, granules) = {
-            let txn = self.txns.get(&serial).expect("transaction exists");
+            let txn = self.txn(serial);
             (txn.spec.locks, txn.granules.clone())
         };
         match self
@@ -420,7 +436,7 @@ impl System {
                 if self.measuring(now) {
                     self.lock_denials += 1;
                 }
-                let txn = self.txns.get_mut(&serial).expect("transaction exists");
+                let txn = self.txn_mut(serial);
                 txn.phase = TxnPhase::Blocked;
                 self.blocked_count += 1;
                 self.blocked_tw.record(now, f64::from(self.blocked_count));
@@ -438,7 +454,7 @@ impl System {
     fn start_subtransactions(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
         let rot = self.lock_rr; // reuse the rotating offset
         let (fanout, entities) = {
-            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            let txn = self.txn_mut(serial);
             txn.phase = TxnPhase::Running;
             (u64::from(txn.fanout()), txn.spec.entities)
         };
@@ -452,7 +468,7 @@ impl System {
             .map(|i| self.stage_demand(self.cputime, entities_at(i)))
             .collect();
         let processors = {
-            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            let txn = self.txn_mut(serial);
             txn.subtxns_outstanding = txn.fanout();
             txn.cpu_shares = cpu_shares;
             txn.spec.processors.clone()
@@ -474,12 +490,14 @@ impl System {
     fn subtxn_io_done(&mut self, now: Time, serial: u64, proc: u32, ex: &mut Executor<Event>) {
         self.trace(now, TraceEvent::SubIoDone { serial, proc });
         let demand = {
-            let txn = self.txns.get(&serial).expect("transaction exists");
+            let txn = self.txn(serial);
             let idx = txn
                 .spec
                 .processors
                 .iter()
                 .position(|&p| p == proc)
+                // lint:allow(P001): SubIoDone events are only scheduled on
+                // the processors the spec assigned at dispatch
                 .expect("sub-transaction ran on an assigned processor");
             txn.cpu_shares[idx]
         };
@@ -498,7 +516,7 @@ impl System {
     fn subtxn_cpu_done(&mut self, now: Time, serial: u64, proc: u32, ex: &mut Executor<Event>) {
         self.trace(now, TraceEvent::SubCpuDone { serial, proc });
         let done = {
-            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            let txn = self.txn_mut(serial);
             txn.subtxns_outstanding -= 1;
             txn.subtxns_outstanding == 0
         };
@@ -510,7 +528,11 @@ impl System {
     /// Transaction completion: release locks, wake blocked transactions,
     /// record statistics, spawn the closed-model replacement.
     fn complete(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
-        let txn = self.txns.remove(&serial).expect("transaction exists");
+        let txn = self
+            .txns
+            .remove(&serial)
+            // lint:allow(P001): invariant — a transaction completes exactly once
+            .expect("completion for a departed transaction");
         debug_assert_eq!(txn.phase, TxnPhase::Running);
         self.trace(now, TraceEvent::Completed { serial });
         if self.measuring(now) {
@@ -713,7 +735,7 @@ impl System {
                 // processors holding the granules, starting at a rotating
                 // offset; processor p gets ops_p operations, hence
                 // ops_p * lcputime CPU and ops_p * liotime I/O.
-                let lu = self.txns[&serial].spec.locks;
+                let lu = self.txn(serial).spec.locks;
                 let start = self.lock_rr % npros;
                 self.lock_rr += lu.max(1);
                 let base = lu.checked_div(npros).unwrap_or(0);
@@ -733,7 +755,7 @@ impl System {
 
     fn lock_share_done(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
         let done = {
-            let txn = self.txns.get_mut(&serial).expect("transaction exists");
+            let txn = self.txn_mut(serial);
             txn.lock_shares_outstanding -= 1;
             txn.lock_shares_outstanding == 0
         };

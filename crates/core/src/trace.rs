@@ -170,10 +170,9 @@ impl VecTracer {
                 return Err(format!("txn {serial}: granted {granted} times"));
             }
             // 3. No sub-transaction work before the grant.
-            let grant_pos = evs
-                .iter()
-                .position(|e| matches!(e, Granted { .. }))
-                .expect("granted == 1");
+            let Some(grant_pos) = evs.iter().position(|e| matches!(e, Granted { .. })) else {
+                return Err(format!("txn {serial}: grant counted but not found"));
+            };
             if evs[..grant_pos]
                 .iter()
                 .any(|e| matches!(e, SubIoDone { .. } | SubCpuDone { .. }))

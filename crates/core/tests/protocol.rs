@@ -72,7 +72,7 @@ fn denied_transactions_block_on_live_blockers() {
     // Every Denied{blocker} must name a transaction that was Granted
     // earlier and not yet Completed at the denial instant.
     let (_, trace) = run_traced(&base().with_ltot(5), 9);
-    let mut active: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut active: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     for (_, e) in &trace.events {
         match e {
             TraceEvent::Granted { serial } => {
@@ -106,7 +106,7 @@ fn fanout_matches_partitioning() {
         .collect();
     assert!(!completed.is_empty());
     for serial in completed {
-        let procs: std::collections::HashSet<u32> = trace
+        let procs: std::collections::BTreeSet<u32> = trace
             .of(serial)
             .iter()
             .filter_map(|e| match e {
@@ -127,7 +127,7 @@ fn mpl_limit_caps_concurrent_competitors() {
     // With a cap of 2, at most 2 transactions may be between their first
     // LockRequested and Completed at any time.
     let (_, trace) = run_traced(&base().with_ntrans(8).with_mpl_limit(Some(2)), 7);
-    let mut in_flight: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut in_flight: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     for (_, e) in &trace.events {
         match e {
             TraceEvent::LockRequested { serial, attempt: 1 } => {

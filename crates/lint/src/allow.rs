@@ -1,0 +1,181 @@
+//! Suppression directives.
+//!
+//! A diagnostic can be silenced in place with a comment:
+//!
+//! ```text
+//! // lint:allow(P001): poisoning is unrecoverable for a lock table
+//! self.shards[idx].lock().expect("shard poisoned")
+//! ```
+//!
+//! The directive names one or more rule codes (comma-separated) and an
+//! optional `: reason` tail. It suppresses matching diagnostics on the
+//! directive's own line and through the *next line that holds code* — so
+//! it works as a trailing comment, on the line directly above the
+//! flagged expression, and when the justification wraps across several
+//! comment lines before the code resumes.
+//!
+//! `lint:allow-file(<rule>)` suppresses a rule for the whole file; it is
+//! intended for files whose purpose conflicts with a rule wholesale
+//! (none are needed in-tree today, but fixtures exercise it).
+
+/// One parsed `lint:allow` / `lint:allow-file` directive.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Rule codes named in the directive (uppercased).
+    pub rules: Vec<String>,
+    /// 1-based line the directive's comment starts on.
+    pub line: u32,
+    /// Last line the directive covers (inclusive). Initialized to
+    /// `line + 1`; [`AllowSet::extend_to_code`] widens it to the next
+    /// line holding a token, so a justification wrapped over several
+    /// comment lines still reaches the code below it.
+    pub until: u32,
+    /// True for `lint:allow-file`.
+    pub file_wide: bool,
+}
+
+impl AllowDirective {
+    /// Scan one comment's text (including its `//` / `/*` markers) for
+    /// directives and append them to `out`. `line` is the line the
+    /// comment starts on.
+    pub fn scan(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
+        let mut rest = comment;
+        while let Some(at) = rest.find("lint:allow") {
+            let after = &rest[at + "lint:allow".len()..];
+            let (file_wide, after) = match after.strip_prefix("-file") {
+                Some(a) => (true, a),
+                None => (false, after),
+            };
+            let Some(args) = after.strip_prefix('(') else {
+                rest = &rest[at + 1..];
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                rest = &rest[at + 1..];
+                continue;
+            };
+            let rules: Vec<String> = args[..close]
+                .split(',')
+                .map(|r| r.trim().to_ascii_uppercase())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if !rules.is_empty() {
+                out.push(AllowDirective {
+                    rules,
+                    line,
+                    until: line + 1,
+                    file_wide,
+                });
+            }
+            rest = &rest[at + "lint:allow".len()..];
+        }
+    }
+}
+
+/// The set of directives for one file, indexed for fast suppression
+/// checks.
+pub struct AllowSet {
+    directives: Vec<AllowDirective>,
+}
+
+impl AllowSet {
+    /// Build a set from the directives collected while lexing one file.
+    pub fn new(directives: Vec<AllowDirective>) -> Self {
+        AllowSet { directives }
+    }
+
+    /// Widen each directive's window to the first line at or past
+    /// `line + 1` that holds a token, so comment-only lines between the
+    /// directive and the code it vouches for don't break the link.
+    /// `token_lines` must be ascending (lex order guarantees this).
+    pub fn extend_to_code(&mut self, token_lines: &[u32]) {
+        for d in &mut self.directives {
+            if let Some(&next) = token_lines.iter().find(|&&l| l > d.line) {
+                d.until = d.until.max(next);
+            }
+        }
+    }
+
+    /// Is `rule` suppressed at `line`?
+    ///
+    /// A line-scoped directive covers its own line through `until`
+    /// (the next code line); a file-wide directive covers everything.
+    pub fn suppresses(&self, rule: &str, line: u32) -> bool {
+        self.directives.iter().any(|d| {
+            d.rules.iter().any(|r| r == rule)
+                && (d.file_wide || (d.line <= line && line <= d.until))
+        })
+    }
+
+    /// Directives that never suppressed anything could be reported some
+    /// day; for now expose the raw list for tests.
+    pub fn directives(&self) -> &[AllowDirective] {
+        &self.directives
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_one(comment: &str) -> Vec<AllowDirective> {
+        let mut out = Vec::new();
+        AllowDirective::scan(comment, 7, &mut out);
+        out
+    }
+
+    #[test]
+    fn parses_single_rule_with_reason() {
+        let ds = scan_one("// lint:allow(P001): justified");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rules, vec!["P001"]);
+        assert!(!ds[0].file_wide);
+    }
+
+    #[test]
+    fn parses_multiple_rules() {
+        let ds = scan_one("// lint:allow(d001, D003)");
+        assert_eq!(ds[0].rules, vec!["D001", "D003"]);
+    }
+
+    #[test]
+    fn parses_file_wide() {
+        let ds = scan_one("// lint:allow-file(Z001): fixture");
+        assert!(ds[0].file_wide);
+        assert_eq!(ds[0].rules, vec!["Z001"]);
+    }
+
+    #[test]
+    fn ignores_malformed() {
+        assert!(scan_one("// lint:allow no parens").is_empty());
+        assert!(scan_one("// lint:allow()").is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_directive_line_and_next() {
+        let set = AllowSet::new(scan_one("// lint:allow(P001)"));
+        assert!(set.suppresses("P001", 7));
+        assert!(set.suppresses("P001", 8));
+        assert!(!set.suppresses("P001", 9));
+        assert!(!set.suppresses("P001", 6));
+        assert!(!set.suppresses("D001", 7));
+    }
+
+    #[test]
+    fn extend_to_code_skips_comment_only_lines() {
+        // Directive on line 7, wrapped comment on 8, code resumes on 9.
+        let mut set = AllowSet::new(scan_one("// lint:allow(P001): a long\n"));
+        set.extend_to_code(&[1, 3, 9, 12]);
+        assert!(set.suppresses("P001", 9));
+        assert!(!set.suppresses("P001", 10));
+        assert!(!set.suppresses("P001", 12));
+    }
+
+    #[test]
+    fn file_wide_covers_everything() {
+        let set = AllowSet::new(scan_one("// lint:allow-file(D001)"));
+        assert!(set.suppresses("D001", 1));
+        assert!(set.suppresses("D001", 10_000));
+        assert!(!set.suppresses("D002", 1));
+    }
+}

@@ -1,0 +1,382 @@
+//! J001: `ToJson` / `FromJson` impl pairs must round-trip field names.
+//!
+//! The in-tree JSON layer has no derive macro, so serialize/deserialize
+//! impls are written by hand — and a renamed field on one side silently
+//! breaks round-tripping (the reader sees a missing field, or worse, a
+//! `field_or` default kicks in and the value quietly resets). This rule
+//! extracts, per type, the field-name string literals *emitted* by its
+//! `ToJson` impl and *read* by its `FromJson` impl in the same file, and
+//! reports names present on only one side.
+//!
+//! Heuristics (documented so future rule authors know the contract):
+//!
+//! * emitted names are string literals in tuple-first position —
+//!   `("name", …)` where the `(` is not a call (previous token is not an
+//!   identifier or `!`). This matches the `Json::object(vec![("a", v)])`
+//!   convention used everywhere in-tree;
+//! * read names are the string-literal arguments of `.field("…")`,
+//!   `.opt_field("…")`, `.field_or("…", …)` and `.get("…")`;
+//! * enum impls that match on variant names use the same convention on
+//!   both sides (externally tagged: `{"Uniform": {...}}`), so variant
+//!   tags participate in the comparison exactly like struct fields;
+//! * a side that names no fields at all (unit types, custom encodings
+//!   via `Json::from`) opts out — the comparison only runs when both
+//!   sides collected at least one name.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::allow::AllowSet;
+use crate::lexer::{Token, TokenKind};
+use crate::{Diagnostic, Rule};
+
+#[derive(Default)]
+struct ImplNames {
+    /// Names emitted by `to_json`, with the line of the impl header.
+    to: Option<(BTreeSet<String>, u32)>,
+    /// Names read by `from_json`, with the line of the impl header.
+    from: Option<(BTreeSet<String>, u32)>,
+}
+
+/// Run J001 over one file's tokens.
+pub fn check_json_pairs(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    allows: &AllowSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut impls: BTreeMap<String, ImplNames> = BTreeMap::new();
+
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident(src, "impl") {
+            i += 1;
+            continue;
+        }
+        let Some((trait_is_to, type_key, body, header_line, after)) =
+            parse_json_impl(src, tokens, i)
+        else {
+            i += 1;
+            continue;
+        };
+        let names = if trait_is_to {
+            collect_emitted(src, body)
+        } else {
+            collect_read(src, body)
+        };
+        let entry = impls.entry(type_key).or_default();
+        let slot = if trait_is_to {
+            &mut entry.to
+        } else {
+            &mut entry.from
+        };
+        match slot {
+            // Generic impls can pair one trait impl with several types;
+            // merging keeps the comparison meaningful for the common
+            // one-impl-per-type case and silent otherwise.
+            Some((set, _)) => set.extend(names),
+            None => *slot = Some((names, header_line)),
+        }
+        i = after;
+    }
+
+    for (type_key, names) in impls {
+        let (Some((to, to_line)), Some((from, from_line))) = (&names.to, &names.from) else {
+            continue;
+        };
+        if to.is_empty() || from.is_empty() {
+            continue; // custom encoding on one side: opted out
+        }
+        for name in to.difference(from) {
+            push(
+                out,
+                allows,
+                path,
+                *from_line,
+                format!(
+                    "`{type_key}`: `to_json` emits field \"{name}\" but \
+                     `from_json` never reads it — the pair does not round-trip"
+                ),
+            );
+        }
+        for name in from.difference(to) {
+            push(
+                out,
+                allows,
+                path,
+                *to_line,
+                format!(
+                    "`{type_key}`: `from_json` reads field \"{name}\" but \
+                     `to_json` never emits it — the pair does not round-trip"
+                ),
+            );
+        }
+    }
+}
+
+fn push(out: &mut Vec<Diagnostic>, allows: &AllowSet, path: &str, line: u32, message: String) {
+    if allows.suppresses(Rule::J001.code(), line) {
+        return;
+    }
+    out.push(Diagnostic {
+        path: path.to_string(),
+        line,
+        col: 1,
+        rule: Rule::J001,
+        message,
+    });
+}
+
+/// Parse `impl [<…>] (ToJson|FromJson) for TYPE { BODY }` starting at the
+/// `impl` token. Returns (is_to_json, normalized type key, body tokens,
+/// header line, index past the closing brace).
+fn parse_json_impl<'t>(
+    src: &str,
+    tokens: &'t [Token],
+    impl_idx: usize,
+) -> Option<(bool, String, &'t [Token], u32, usize)> {
+    let mut j = impl_idx + 1;
+    // Skip generics on the impl itself.
+    if tokens.get(j)?.is_punct(src, '<') {
+        let mut depth = 1i32;
+        j += 1;
+        while depth > 0 {
+            let t = tokens.get(j)?;
+            if t.is_punct(src, '<') {
+                depth += 1;
+            } else if t.is_punct(src, '>') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+    }
+    let trait_tok = tokens.get(j)?;
+    let trait_is_to = match trait_tok.text(src) {
+        "ToJson" => true,
+        "FromJson" => false,
+        _ => return None,
+    };
+    if trait_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    j += 1;
+    if !tokens.get(j)?.is_ident(src, "for") {
+        return None;
+    }
+    j += 1;
+    // Collect the type up to the impl body `{` (skipping a possible
+    // `where` clause), normalizing to a joined token string.
+    let mut key = String::new();
+    let mut saw_where = false;
+    let body_open = loop {
+        let t = tokens.get(j)?;
+        if t.is_punct(src, '{') {
+            break j;
+        }
+        if t.is_ident(src, "where") {
+            saw_where = true;
+        }
+        if !saw_where {
+            key.push_str(t.text(src));
+        }
+        j += 1;
+    };
+    // Find the matching close brace.
+    let mut depth = 0i32;
+    let mut k = body_open;
+    loop {
+        let t = tokens.get(k)?;
+        if t.is_punct(src, '{') {
+            depth += 1;
+        } else if t.is_punct(src, '}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        k += 1;
+    }
+    Some((
+        trait_is_to,
+        key,
+        &tokens[body_open + 1..k],
+        tokens[impl_idx].line,
+        k + 1,
+    ))
+}
+
+/// Names emitted by a `to_json` body: string literals in tuple-first
+/// position `("name", …)` where the paren does not open a call.
+fn collect_emitted(src: &str, body: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..body.len() {
+        if !body[i].is_punct(src, '(') {
+            continue;
+        }
+        if i > 0 && (body[i - 1].kind == TokenKind::Ident || body[i - 1].is_punct(src, '!')) {
+            continue; // `f("…", …)` / `format!("…", …)` — a call, not a tuple
+        }
+        let (Some(s), Some(c)) = (body.get(i + 1), body.get(i + 2)) else {
+            continue;
+        };
+        if s.kind == TokenKind::Str && c.is_punct(src, ',') {
+            if let Some(name) = str_contents(s.text(src)) {
+                names.insert(name);
+            }
+        }
+    }
+    names
+}
+
+/// Names read by a `from_json` body: arguments of the field accessors.
+fn collect_read(src: &str, body: &[Token]) -> BTreeSet<String> {
+    const ACCESSORS: [&str; 4] = ["field", "opt_field", "field_or", "get"];
+    let mut names = BTreeSet::new();
+    for i in 0..body.len() {
+        if body[i].kind != TokenKind::Ident || !ACCESSORS.contains(&body[i].text(src)) {
+            continue;
+        }
+        // Method call: `.field("…")`.
+        if i == 0 || !body[i - 1].is_punct(src, '.') {
+            continue;
+        }
+        let (Some(p), Some(s)) = (body.get(i + 1), body.get(i + 2)) else {
+            continue;
+        };
+        if p.is_punct(src, '(') && s.kind == TokenKind::Str {
+            if let Some(name) = str_contents(s.text(src)) {
+                names.insert(name);
+            }
+        }
+    }
+    names
+}
+
+/// The contents of a plain `"…"` literal token (no raw/byte forms — field
+/// names are always plain literals in-tree).
+fn str_contents(text: &str) -> Option<String> {
+    let inner = text.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('\\') {
+        return None; // escaped names don't occur; skip rather than mis-parse
+    }
+    Some(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let allows = AllowSet::new(lexed.allows);
+        let mut out = Vec::new();
+        check_json_pairs("f.rs", src, &lexed.tokens, &allows, &mut out);
+        out
+    }
+
+    const GOOD: &str = r#"
+        impl ToJson for Point {
+            fn to_json(&self) -> Json {
+                Json::object(vec![("x", self.x.to_json()), ("y", self.y.to_json())])
+            }
+        }
+        impl FromJson for Point {
+            fn from_json(v: &Json) -> Result<Self, String> {
+                Ok(Point { x: v.field("x")?, y: v.field("y")? })
+            }
+        }
+    "#;
+
+    #[test]
+    fn matching_pair_is_clean() {
+        assert!(run(GOOD).is_empty());
+    }
+
+    #[test]
+    fn renamed_field_is_flagged_both_ways() {
+        let bad = GOOD.replace("v.field(\"y\")", "v.field(\"why\")");
+        let diags = run(&bad);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule.code() == "J001"));
+        assert!(diags.iter().any(|d| d.message.contains("\"y\"")));
+        assert!(diags.iter().any(|d| d.message.contains("\"why\"")));
+    }
+
+    #[test]
+    fn one_sided_impl_is_ignored() {
+        let only_to = r#"
+            impl ToJson for Log {
+                fn to_json(&self) -> Json {
+                    Json::object(vec![("entries", self.entries.to_json())])
+                }
+            }
+        "#;
+        assert!(run(only_to).is_empty());
+    }
+
+    #[test]
+    fn custom_encoding_opts_out() {
+        let custom = r#"
+            impl ToJson for Id {
+                fn to_json(&self) -> Json { Json::from(self.0) }
+            }
+            impl FromJson for Id {
+                fn from_json(v: &Json) -> Result<Self, String> {
+                    Ok(Id(v.field("id")?))
+                }
+            }
+        "#;
+        assert!(run(custom).is_empty());
+    }
+
+    #[test]
+    fn format_macro_is_not_an_emitted_field() {
+        let src = r#"
+            impl ToJson for E {
+                fn to_json(&self) -> Json {
+                    let label = format!("not_a_field", );
+                    Json::object(vec![("kind", label.to_json())])
+                }
+            }
+            impl FromJson for E {
+                fn from_json(v: &Json) -> Result<Self, String> {
+                    Ok(E { kind: v.field("kind")? })
+                }
+            }
+        "#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn field_or_and_opt_field_count_as_reads() {
+        let src = r#"
+            impl ToJson for C {
+                fn to_json(&self) -> Json {
+                    Json::object(vec![("a", self.a.to_json()), ("b", self.b.to_json())])
+                }
+            }
+            impl FromJson for C {
+                fn from_json(v: &Json) -> Result<Self, String> {
+                    Ok(C { a: v.opt_field("a")?, b: v.field_or("b", 0)? })
+                }
+            }
+        "#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_impl_header_suppresses() {
+        let bad = GOOD.replace("v.field(\"y\")", "v.field(\"why\")");
+        let suppressed = bad
+            .replace(
+                "impl ToJson for Point",
+                "// lint:allow(J001): migration shim\n        impl ToJson for Point",
+            )
+            .replace(
+                "impl FromJson for Point",
+                "// lint:allow(J001): migration shim\n        impl FromJson for Point",
+            );
+        assert!(run(&suppressed).is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! `lockgran-lint` — determinism & policy static analysis for the
+//! lockgran workspace.
+//!
+//! The paper reproduction stands on bit-for-bit reproducibility: the
+//! Table 1 golden snapshot and the determinism tests only mean something
+//! if nothing in the simulator can produce run-to-run variation. This
+//! crate machine-checks the conventions that guard that property, using
+//! its own [Rust lexer](lexer) — no external parser, in keeping with the
+//! workspace's zero-dependency policy (which rule Z001 itself enforces).
+//!
+//! # Rule catalog
+//!
+//! | Code | Checks for | Scope |
+//! |------|------------|-------|
+//! | D001 | `HashMap`/`HashSet` (iteration-order nondeterminism) | all but `crates/bench` |
+//! | D002 | `std::time::{Instant, SystemTime}` (wall-clock reads) | all but `crates/bench` |
+//! | D003 | `==`/`!=` against a float literal | library code |
+//! | P001 | `.unwrap()` / `.expect("…")` panics | library code |
+//! | Z001 | non-local dependency in a `Cargo.toml` | all manifests |
+//! | J001 | `ToJson`/`FromJson` pairs that don't round-trip field names | all `.rs` |
+//!
+//! "Library code" excludes `tests/`, `benches/`, `examples/` directories
+//! and `#[cfg(test)]` / `#[test]` regions, where panics and exact float
+//! asserts are idiomatic.
+//!
+//! # Suppressions
+//!
+//! ```text
+//! // lint:allow(P001): poisoning is unrecoverable for a lock table
+//! ```
+//!
+//! suppresses the named rule(s) on the comment's line and through the
+//! next line holding code (so a justification may wrap over several
+//! comment lines); `// lint:allow-file(RULE): reason` suppresses for the
+//! whole file. The `: reason` tail is not parsed but is the convention —
+//! an allow without a justification should not survive review.
+
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod context;
+pub mod json_pairs;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod walk;
+
+use std::fmt;
+use std::path::Path;
+
+use allow::AllowSet;
+
+/// A rule code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash containers with nondeterministic iteration order.
+    D001,
+    /// Wall-clock reads in simulation code.
+    D002,
+    /// Exact float comparison against a literal.
+    D003,
+    /// Panicking calls in library code.
+    P001,
+    /// External dependency in a manifest.
+    Z001,
+    /// JSON impl pair that does not round-trip.
+    J001,
+}
+
+impl Rule {
+    /// The stable diagnostic code, as used in `lint:allow(...)`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D001 => "D001",
+            Rule::D002 => "D002",
+            Rule::D003 => "D003",
+            Rule::P001 => "P001",
+            Rule::Z001 => "Z001",
+            Rule::J001 => "J001",
+        }
+    }
+
+    /// Every rule in the catalog.
+    pub const ALL: [Rule; 6] = [
+        Rule::D001,
+        Rule::D002,
+        Rule::D003,
+        Rule::P001,
+        Rule::Z001,
+        Rule::J001,
+    ];
+}
+
+/// One finding, with a 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Workspace-relative path (display form, `/`-separated).
+    pub path: String,
+    /// 1-based line of the flagged token.
+    pub line: u32,
+    /// 1-based column (in characters) of the flagged token.
+    pub col: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation, including the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.code(),
+            self.message
+        )
+    }
+}
+
+/// How a file's contents should be judged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Library code: all rules apply; `#[cfg(test)]` regions within it
+    /// are exempt from the library-only rules.
+    Library,
+    /// Dedicated test/bench/example files: determinism rules apply
+    /// (a nondeterministic test flakes), panic/float rules do not.
+    TestCode,
+    /// `crates/bench`: measures wall-clock time by design; only the
+    /// JSON pairing rule applies.
+    Bench,
+}
+
+/// Classify a workspace-relative path. `None` means the file is not
+/// linted at all.
+pub fn classify(rel: &str) -> Option<Scope> {
+    if rel.contains("tests/fixtures/") {
+        return None; // rule fixtures are violations on purpose
+    }
+    if rel.starts_with("crates/bench/") {
+        return Some(Scope::Bench);
+    }
+    let in_test_dir = rel
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+    if in_test_dir {
+        Some(Scope::TestCode)
+    } else {
+        Some(Scope::Library)
+    }
+}
+
+/// Lint one Rust source file. `rel` selects the scope (see [`classify`]).
+pub fn lint_rust_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let Some(scope) = classify(rel) else {
+        return Vec::new();
+    };
+    lint_rust_source_as(rel, src, scope)
+}
+
+/// Lint Rust source under an explicit scope (used by fixture tests).
+pub fn lint_rust_source_as(rel: &str, src: &str, scope: Scope) -> Vec<Diagnostic> {
+    let mut lexed = lexer::lex(src);
+    context::mark_test_regions(&mut lexed.tokens, src);
+    let mut allows = AllowSet::new(lexed.allows);
+    let token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    allows.extend_to_code(&token_lines);
+    let mut out = Vec::new();
+    rules::check_tokens(rel, src, &lexed.tokens, scope, &allows, &mut out);
+    json_pairs::check_json_pairs(rel, src, &lexed.tokens, &allows, &mut out);
+    out
+}
+
+/// Lint one `Cargo.toml`.
+pub fn lint_manifest(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    manifest::check_manifest(rel, src, &mut out);
+    out
+}
+
+/// Lint every source file and manifest under `root`. Diagnostics come
+/// back sorted by (path, line, col, rule).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let files = walk::discover(root)?;
+    let mut out = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(&file.abs)
+            .map_err(|e| format!("read {}: {e}", file.abs.display()))?;
+        if file.rel.ends_with("Cargo.toml") {
+            out.extend(lint_manifest(&file.rel, &src));
+        } else {
+            out.extend(lint_rust_source(&file.rel, &src));
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(out)
+}
+
+/// The number of files [`lint_workspace`] would scan — exposed so the CLI
+/// can report coverage alongside the verdict.
+pub fn count_scanned(root: &Path) -> Result<usize, String> {
+    Ok(walk::discover(root)?.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_scopes() {
+        assert_eq!(classify("crates/sim/src/engine.rs"), Some(Scope::Library));
+        assert_eq!(
+            classify("crates/core/tests/protocol.rs"),
+            Some(Scope::TestCode)
+        );
+        assert_eq!(classify("tests/determinism.rs"), Some(Scope::TestCode));
+        assert_eq!(classify("crates/bench/src/lib.rs"), Some(Scope::Bench));
+        assert_eq!(classify("crates/lint/tests/fixtures/d001.rs"), None);
+    }
+
+    #[test]
+    fn rule_codes_are_stable() {
+        let codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
+        assert_eq!(codes, ["D001", "D002", "D003", "P001", "Z001", "J001"]);
+    }
+
+    #[test]
+    fn diagnostic_display_format() {
+        let d = Diagnostic {
+            path: "crates/sim/src/engine.rs".into(),
+            line: 42,
+            col: 7,
+            rule: Rule::D001,
+            message: "msg".into(),
+        };
+        assert_eq!(d.to_string(), "crates/sim/src/engine.rs:42:7: D001: msg");
+    }
+}

@@ -1,0 +1,112 @@
+//! CLI entry point: `cargo run -p lockgran-lint [-- --root DIR] [--fix-allow]`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lockgran_lint::{count_scanned, lint_workspace, Rule};
+
+const USAGE: &str = "\
+lockgran-lint — determinism & policy static analysis
+
+USAGE:
+    cargo run -p lockgran-lint [-- OPTIONS]
+
+OPTIONS:
+    --root <DIR>   Workspace root to scan (default: this workspace)
+    --fix-allow    Print ready-to-paste `// lint:allow(...)` comments
+                   for each finding instead of bare diagnostics
+    --list-rules   Print the rule catalog and exit
+    -h, --help     Show this help
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut fix_allow = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fix-allow" => fix_allow = true,
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{}", rule.code());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => default_root(),
+    };
+
+    let scanned = match count_scanned(&root) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("lockgran-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lockgran-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if diags.is_empty() {
+        println!("lockgran-lint: clean ({scanned} files scanned)");
+        return ExitCode::SUCCESS;
+    }
+
+    if fix_allow {
+        println!("# Paste the matching comment on the line above each finding");
+        println!("# (or fix the code — an allow needs a real justification).");
+        for d in &diags {
+            println!(
+                "{d}\n    // lint:allow({}): <justify: why is this safe here?>",
+                d.rule.code()
+            );
+        }
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    let files: std::collections::BTreeSet<&str> = diags.iter().map(|d| d.path.as_str()).collect();
+    eprintln!(
+        "lockgran-lint: {} violation(s) in {} file(s) ({scanned} files scanned)",
+        diags.len(),
+        files.len()
+    );
+    ExitCode::FAILURE
+}
+
+/// The workspace root when `--root` is not given: two levels above this
+/// crate's manifest (compiled in), falling back to the current directory
+/// when the binary is run outside the source tree.
+fn default_root() -> PathBuf {
+    let compiled = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match compiled.parent().and_then(|p| p.parent()) {
+        Some(ws) if ws.join("Cargo.toml").exists() => ws.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}

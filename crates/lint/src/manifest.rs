@@ -1,0 +1,220 @@
+//! Z001: the zero-dependency policy, enforced over `Cargo.toml` files.
+//!
+//! Every dependency entry in every manifest must be an in-tree path
+//! dependency (`path = "…"`) or a workspace reference
+//! (`foo.workspace = true` / `{ workspace = true }`). Anything else —
+//! a bare version string, a git or registry dependency — violates the
+//! policy that the simulator builds offline from this tree alone.
+//!
+//! The check is a purpose-built line scanner, not a TOML parser: it
+//! tracks `[section]` headers, looks only at `*dependencies*` sections,
+//! and understands the two entry shapes that occur in practice (inline
+//! `key = value` lines and `[dependencies.foo]` sub-tables). Suppression
+//! uses the same comment syntax as the Rust rules (`# lint:allow(Z001)`
+//! on the line above also works since the scan only matches on the
+//! directive text).
+
+use crate::allow::{AllowDirective, AllowSet};
+use crate::{Diagnostic, Rule};
+
+/// Run Z001 over one manifest's text.
+pub fn check_manifest(path: &str, src: &str, out: &mut Vec<Diagnostic>) {
+    // Collect allow directives from TOML comments first.
+    let mut directives = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(hash) = line.find('#') {
+            AllowDirective::scan(&line[hash..], idx as u32 + 1, &mut directives);
+        }
+    }
+    let allows = AllowSet::new(directives);
+
+    let mut section = String::new();
+    // A pending `[dependencies.foo]` sub-table: (header line, key, saw a
+    // `path`/`workspace` key yet).
+    let mut subtable: Option<(u32, String, bool)> = None;
+
+    let flush = |sub: &mut Option<(u32, String, bool)>, out: &mut Vec<Diagnostic>| {
+        if let Some((line, key, ok)) = sub.take() {
+            if !ok {
+                emit(out, &allows, path, line, 1, &key);
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            flush(&mut subtable, out);
+            section = name.trim().trim_matches('"').to_string();
+            if section.contains("dependencies.") {
+                // `[dependencies.foo]` / `[workspace.dependencies.foo]`
+                let key = section.rsplit('.').next().unwrap_or("").to_string();
+                subtable = Some((lineno, key, false));
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = &mut subtable {
+            let key = line.split('=').next().unwrap_or("").trim();
+            if key == "path" || key == "workspace" {
+                *ok = true;
+            }
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if key.ends_with(".workspace") || key.ends_with(".path") {
+            continue; // `foo.workspace = true` / `foo.path = "…"`
+        }
+        if value.starts_with('{') && inline_table_has_local_source(value) {
+            continue; // `{ path = "…" }` / `{ workspace = true }`
+        }
+        let col = raw.find(key).map(|c| c as u32 + 1).unwrap_or(1);
+        emit(out, &allows, path, lineno, col, key);
+    }
+    flush(&mut subtable, out);
+}
+
+fn emit(out: &mut Vec<Diagnostic>, allows: &AllowSet, path: &str, line: u32, col: u32, key: &str) {
+    if allows.suppresses(Rule::Z001.code(), line) {
+        return;
+    }
+    out.push(Diagnostic {
+        path: path.to_string(),
+        line,
+        col,
+        rule: Rule::Z001,
+        message: format!(
+            "dependency `{key}` is not an in-tree path or workspace \
+             reference; the zero-dependency policy requires the tree to \
+             build offline from local sources only"
+        ),
+    });
+}
+
+/// Does `[section]` hold dependency entries?
+fn is_dependency_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// Does an inline table value `{ … }` declare a local source?
+fn inline_table_has_local_source(value: &str) -> bool {
+    let inner = value.trim_start_matches('{').trim_end_matches('}');
+    inner.split(',').any(|kv| {
+        let key = kv.split('=').next().unwrap_or("").trim();
+        key == "path" || key == "workspace"
+    })
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check_manifest("Cargo.toml", src, &mut out);
+        out
+    }
+
+    #[test]
+    fn path_and_workspace_deps_are_clean() {
+        let src = r#"
+[package]
+name = "x"
+
+[dependencies]
+lockgran-sim = { path = "../sim" }
+lockgran-core.workspace = true
+other = { workspace = true }
+"#;
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn version_dep_is_flagged() {
+        let src = "[dependencies]\nserde = \"1.0\"\n";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule.code(), "Z001");
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn git_dep_is_flagged() {
+        let src = "[dependencies]\nrand = { git = \"https://example.com/rand\" }\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn dev_and_build_sections_are_checked() {
+        let src = "[dev-dependencies]\ncriterion = \"0.5\"\n[build-dependencies]\ncc = \"1\"\n";
+        assert_eq!(run(src).len(), 2);
+    }
+
+    #[test]
+    fn subtable_dep_without_path_is_flagged() {
+        let src = "[dependencies.serde]\nversion = \"1.0\"\nfeatures = [\"derive\"]\n";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn subtable_dep_with_path_is_clean() {
+        let src = "[dependencies.sim]\npath = \"../sim\"\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let src = "[package]\nname = \"x\"\nversion = \"1.0\"\n[features]\ndefault = []\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn target_specific_deps_are_checked() {
+        let src = "[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn comments_do_not_confuse_the_scan() {
+        let src = "[dependencies]\n# serde = \"1.0\"\nsim = { path = \"s\" } # ok\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "[dependencies]\n# lint:allow(Z001): vendored exception\nserde = \"1.0\"\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! `lint:allow-file` fixture: one directive silences a rule everywhere
+//! in the file, but only that rule.
+
+// lint:allow-file(D001): interop shim, hash containers required throughout
+
+use std::collections::HashMap; // suppressed by the file-wide allow
+
+pub fn build() -> HashMap<u64, u64> {
+    // suppressed
+    HashMap::new()
+}
+
+pub fn still_flagged(o: Option<u64>) -> u64 {
+    o.unwrap() // VIOLATION: the file-wide allow names D001, not P001
+}

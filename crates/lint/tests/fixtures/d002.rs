@@ -1,0 +1,14 @@
+//! D002 fixture: wall-clock reads.
+
+use std::time::Instant; // VIOLATION
+
+pub fn measure() -> u64 {
+    let started = Instant::now(); // VIOLATION
+    let _stamp = std::time::SystemTime::now(); // VIOLATION
+    // lint:allow(D002): this type is a simulated instant, not std's
+    let vouched = Instant::now(); // suppressed
+    let _ = (started, vouched);
+    // Instant in a comment is fine; "SystemTime" in a string is fine.
+    let _ = "SystemTime";
+    0
+}

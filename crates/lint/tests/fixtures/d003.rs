@@ -1,0 +1,23 @@
+//! D003 fixture: exact float comparison against a literal.
+
+pub fn check(x: f64, n: u64) -> bool {
+    let a = x == 0.5; // VIOLATION
+    let b = x != 1e-9; // VIOLATION
+    let c = 0.5 == x; // VIOLATION
+    let d = x == -2.5; // VIOLATION
+    let ok_int = n == 5; // ok: integer comparison
+    let ok_le = x <= 0.5; // ok: ordered comparison
+    let ok_ge = x >= 0.5; // ok: ordered comparison
+    let ok_mul = x * 0.5; // ok: arithmetic
+    // lint:allow(D003): sentinel propagated verbatim, never computed
+    let vouched = x == 0.25; // suppressed
+    a || b || c || d || ok_int || ok_le || ok_ge || ok_mul > 0.0 || vouched
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_asserts_are_fine_in_tests() {
+        assert!(super::check(0.5, 5) || 0.5 == 0.5); // ok: test region
+    }
+}

@@ -1,0 +1,64 @@
+//! J001 fixture: JSON impl pairs that do not round-trip.
+
+// Mismatched pair: `to_json` writes "retries", `from_json` reads
+// "attempts". Both directions are reported.
+impl ToJson for Mismatched {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("seed", self.seed.to_json()),
+            ("retries", self.retries.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Mismatched {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Mismatched {
+            seed: v.field("seed")?,
+            retries: v.field("attempts")?,
+        })
+    }
+}
+
+// Matching pair: clean.
+impl ToJson for Matching {
+    fn to_json(&self) -> Json {
+        Json::object(vec![("mpl", self.mpl.to_json())])
+    }
+}
+
+impl FromJson for Matching {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Matching {
+            mpl: v.field_or("mpl", 1)?,
+        })
+    }
+}
+
+// Custom encoding on one side: opted out of the comparison.
+impl ToJson for Opaque {
+    fn to_json(&self) -> Json {
+        Json::from(self.0)
+    }
+}
+
+impl FromJson for Opaque {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Opaque(v.field("raw")?))
+    }
+}
+
+// Suppressed pair: a deliberate rename vouched for on both headers.
+// lint:allow(J001): reads the legacy "old" spelling during migration
+impl ToJson for Vouched {
+    fn to_json(&self) -> Json {
+        Json::object(vec![("new", self.v.to_json())])
+    }
+}
+
+// lint:allow(J001): reads the legacy "old" spelling during migration
+impl FromJson for Vouched {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Vouched { v: v.field("old")? })
+    }
+}

@@ -1,0 +1,41 @@
+//! P001 fixture: panicking calls in library code.
+
+pub fn take(o: Option<u64>, r: Result<u64, String>) -> u64 {
+    let a = o.unwrap(); // VIOLATION
+    let b = r.expect("value must be present"); // VIOLATION
+    let ok_default = o.unwrap_or(0); // ok: non-panicking sibling
+    a + b + ok_default
+}
+
+pub struct Parser;
+
+impl Parser {
+    /// Domain method named `expect` — not `Option::expect`.
+    pub fn expect(&mut self, _b: u8) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+pub fn parse(p: &mut Parser) -> Result<(), String> {
+    p.expect(b'{') // ok: argument is not a string literal
+}
+
+pub fn vouched(o: Option<u64>) -> u64 {
+    // lint:allow(P001): caller checked is_some() on the hot path
+    o.unwrap() // suppressed
+}
+
+pub fn wrapped(o: Option<u64>) -> u64 {
+    o.map(|v| v + 1)
+        // lint:allow(P001): a multi-line justification that wraps across
+        // several comment lines still covers the call below it
+        .unwrap() // suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1); // ok: test region
+    }
+}

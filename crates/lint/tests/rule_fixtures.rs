@@ -1,0 +1,136 @@
+//! Integration tests: every rule against its fixture file, asserting
+//! span-accurate positive diagnostics, silent negatives, and working
+//! `lint:allow` suppressions. The fixtures live under `tests/fixtures/`,
+//! which the workspace walker excludes — they are violations on purpose.
+
+use std::path::Path;
+
+use lockgran_lint::{lint_manifest, lint_rust_source_as, Diagnostic, Scope};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+/// Lint a Rust fixture as library code and return `(line, col, code)`
+/// triples, in output order.
+fn lint_fixture(name: &str) -> Vec<(u32, u32, &'static str)> {
+    let src = fixture(name);
+    let diags = lint_rust_source_as(name, &src, Scope::Library);
+    triples(&diags)
+}
+
+fn triples(diags: &[Diagnostic]) -> Vec<(u32, u32, &'static str)> {
+    diags
+        .iter()
+        .map(|d| (d.line, d.col, d.rule.code()))
+        .collect()
+}
+
+#[test]
+fn d001_hash_containers() {
+    assert_eq!(
+        lint_fixture("d001.rs"),
+        vec![
+            (4, 23, "D001"),
+            (5, 23, "D001"),
+            (9, 16, "D001"),
+            (9, 36, "D001"),
+            // Flagged even inside #[cfg(test)]: hash iteration order can
+            // flake assertions.
+            (23, 27, "D001"),
+        ]
+    );
+}
+
+#[test]
+fn d002_wall_clock() {
+    assert_eq!(
+        lint_fixture("d002.rs"),
+        vec![(3, 16, "D002"), (6, 19, "D002"), (7, 29, "D002")]
+    );
+}
+
+#[test]
+fn d003_float_comparisons() {
+    assert_eq!(
+        lint_fixture("d003.rs"),
+        vec![
+            (4, 15, "D003"),
+            (5, 15, "D003"),
+            (6, 17, "D003"),
+            (7, 15, "D003"),
+        ]
+    );
+}
+
+#[test]
+fn p001_panicking_calls() {
+    assert_eq!(
+        lint_fixture("p001.rs"),
+        vec![(4, 15, "P001"), (5, 15, "P001")]
+    );
+}
+
+#[test]
+fn j001_round_trip() {
+    let src = fixture("j001.rs");
+    let diags = lint_rust_source_as("j001.rs", &src, Scope::Library);
+    // Position-sorting happens at the workspace level; the per-file API
+    // reports to_json-side diffs (anchored at the FromJson header, line
+    // 14) before from_json-side diffs (anchored at the ToJson header).
+    assert_eq!(
+        triples(&diags),
+        vec![(14, 1, "J001"), (5, 1, "J001")],
+        "{diags:?}"
+    );
+    // Each direction of the mismatch names the missing field.
+    assert!(diags.iter().any(|d| d.message.contains("\"retries\"")));
+    assert!(diags.iter().any(|d| d.message.contains("\"attempts\"")));
+    // The clean, opted-out and vouched pairs stay silent.
+    assert!(!diags.iter().any(|d| d.message.contains("Matching")));
+    assert!(!diags.iter().any(|d| d.message.contains("Opaque")));
+    assert!(!diags.iter().any(|d| d.message.contains("Vouched")));
+}
+
+#[test]
+fn z001_external_dependencies() {
+    let src = fixture("z001_external_dep.toml");
+    let diags = lint_manifest("z001_external_dep.toml", &src);
+    let lines: Vec<(u32, &str)> = diags.iter().map(|d| (d.line, d.rule.code())).collect();
+    assert_eq!(
+        lines,
+        vec![
+            (12, "Z001"), // serde = "1.0"
+            (13, "Z001"), // rand = { git = … }
+            (18, "Z001"), // criterion = { version = … }
+            (20, "Z001"), // [dependencies.libc] without path/workspace
+        ],
+        "{diags:?}"
+    );
+    assert!(diags.iter().any(|d| d.message.contains("serde")));
+    assert!(diags.iter().any(|d| d.message.contains("libc")));
+}
+
+#[test]
+fn allow_file_suppresses_one_rule_everywhere() {
+    assert_eq!(lint_fixture("allow_file.rs"), vec![(14, 7, "P001")]);
+}
+
+#[test]
+fn bench_scope_exempts_determinism_rules() {
+    let src = fixture("d001.rs");
+    let diags = lint_rust_source_as("d001.rs", &src, Scope::Bench);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn test_scope_exempts_panics_but_not_containers() {
+    let p = fixture("p001.rs");
+    assert!(lint_rust_source_as("p001.rs", &p, Scope::TestCode).is_empty());
+    let d = fixture("d001.rs");
+    assert!(!lint_rust_source_as("d001.rs", &d, Scope::TestCode).is_empty());
+}

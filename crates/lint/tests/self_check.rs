@@ -1,0 +1,63 @@
+//! The workspace must be lint-clean: this is the same check
+//! `scripts/verify.sh` runs via `cargo run -p lockgran-lint`, kept as a
+//! test so `cargo test` alone also catches policy regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let diags = lockgran_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_scan_covers_all_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let files = lockgran_lint::walk::discover(&root).expect("walk workspace");
+    for krate in [
+        "sim",
+        "core",
+        "lockmgr",
+        "workload",
+        "experiments",
+        "bench",
+        "lint",
+    ] {
+        assert!(
+            files
+                .iter()
+                .any(|f| f.rel.starts_with(&format!("crates/{krate}/src/"))),
+            "scan missed crates/{krate}"
+        );
+    }
+    assert!(
+        files.iter().any(|f| f.rel == "Cargo.toml"),
+        "scan missed the workspace manifest"
+    );
+    assert!(
+        !files.iter().any(|f| f.rel.contains("fixtures/")),
+        "fixtures must not be scanned"
+    );
+}

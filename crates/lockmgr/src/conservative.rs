@@ -12,7 +12,7 @@
 //! Retries are all-or-nothing as well, so the scheduler never holds a
 //! partial lock set and the no-deadlock guarantee is preserved.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::mode::LockMode;
 use crate::table::{GranuleId, LockTable, TxnId};
@@ -37,9 +37,9 @@ pub struct ConservativeScheduler {
     table: LockTable,
     /// Blocked transaction → the holder it waits for, plus its saved
     /// request for inspection.
-    blocked: HashMap<TxnId, TxnId>,
+    blocked: BTreeMap<TxnId, TxnId>,
     /// Reverse index: holder → transactions blocked on it (FIFO).
-    blocks: HashMap<TxnId, Vec<TxnId>>,
+    blocks: BTreeMap<TxnId, Vec<TxnId>>,
 }
 
 impl ConservativeScheduler {

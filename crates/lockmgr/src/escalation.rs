@@ -11,7 +11,7 @@
 //! other holders, the transaction keeps its fine locks (escalation must
 //! never introduce blocking the fine locks avoided).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::hierarchy::{GranuleTree, NodeId};
 use crate::mode::LockMode;
@@ -55,7 +55,7 @@ pub enum EscalationOutcome {
 pub struct EscalationManager {
     policy: EscalationPolicy,
     /// (txn, parent flat id) → children currently locked.
-    children: HashMap<(TxnId, GranuleId), Vec<NodeId>>,
+    children: BTreeMap<(TxnId, GranuleId), Vec<NodeId>>,
 }
 
 impl EscalationManager {
@@ -63,7 +63,7 @@ impl EscalationManager {
     pub fn new(policy: EscalationPolicy) -> Self {
         EscalationManager {
             policy,
-            children: HashMap::new(),
+            children: BTreeMap::new(),
         }
     }
 

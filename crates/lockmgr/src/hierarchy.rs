@@ -68,6 +68,9 @@ impl ToJson for GranuleTree {
     }
 }
 
+// lint:allow(J001): `level_sizes`/`level_offsets` are derived — emitted
+// for readability, deliberately recomputed from `fanouts` on read so a
+// hand-edited file cannot smuggle in an inconsistent tree
 impl FromJson for GranuleTree {
     fn from_json(v: &Json) -> Result<Self, String> {
         let fanouts: Vec<u64> = v.field("fanouts")?;
@@ -89,9 +92,10 @@ impl GranuleTree {
     pub fn new(fanouts: &[u64]) -> Self {
         assert!(fanouts.iter().all(|&f| f > 0), "fan-outs must be positive");
         let mut level_sizes = vec![1u64];
+        let mut last = 1u64;
         for &f in fanouts {
-            let last = *level_sizes.last().expect("non-empty");
-            level_sizes.push(last * f);
+            last *= f;
+            level_sizes.push(last);
         }
         let mut level_offsets = Vec::with_capacity(level_sizes.len());
         let mut acc = 0;
@@ -251,7 +255,7 @@ mod tests {
     #[test]
     fn flat_ids_are_unique_across_levels() {
         let tr = tree();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for level in 0..tr.levels() {
             for index in 0..tr.level_size(HierarchyLevel(level)) {
                 assert!(seen.insert(tr.flat_id(node(level, index))), "collision");

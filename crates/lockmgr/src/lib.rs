@@ -16,7 +16,7 @@
 //!
 //! * [`mode`] — lock modes `S`/`X` plus the intention modes `IS`/`IX`/`SIX`
 //!   with Gray's compatibility matrix.
-//! * [`table`] — a hashed lock table with granted groups and FIFO wait
+//! * [`table`] — an ordered-map lock table with granted groups and FIFO wait
 //!   queues (no starvation: a request conflicts with earlier waiters too).
 //! * [`conservative`] — static (pre-declaration) locking, the protocol the
 //!   paper simulates: all locks are acquired before any resource is used,

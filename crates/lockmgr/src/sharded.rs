@@ -14,7 +14,7 @@
 //! * callers retry at their own pace (the conservative protocol's
 //!   blocked queue lives above this layer).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -24,7 +24,7 @@ use crate::table::{GranuleId, TxnId};
 #[derive(Default)]
 struct Shard {
     /// granule → granted holders.
-    granted: HashMap<u64, Vec<(TxnId, LockMode)>>,
+    granted: BTreeMap<u64, Vec<(TxnId, LockMode)>>,
 }
 
 impl Shard {
@@ -73,9 +73,15 @@ impl ShardedLockTable {
         }
     }
 
-    fn shard_of(&self, granule: GranuleId) -> &Mutex<Shard> {
+    /// Lock the shard owning `granule`.
+    ///
+    /// A poisoned shard mutex means another thread panicked while holding
+    /// it; the table state is unknowable, so propagating the panic is the
+    /// only sound response.
+    fn shard(&self, granule: GranuleId) -> std::sync::MutexGuard<'_, Shard> {
         let idx = (granule.0 as usize) % self.shards.len();
-        &self.shards[idx]
+        // lint:allow(P001): poisoning is unrecoverable for a lock table
+        self.shards[idx].lock().expect("shard poisoned")
     }
 
     /// Attempt to acquire the whole set atomically (all-or-nothing).
@@ -93,17 +99,14 @@ impl ShardedLockTable {
         }
 
         for (i, &(g, m)) in merged.iter().enumerate() {
-            let mut shard = self.shard_of(g).lock().expect("shard poisoned");
+            let mut shard = self.shard(g);
             if shard.compatible(g.0, txn, m) {
                 shard.grant(g.0, txn, m);
             } else {
                 drop(shard);
                 // Roll back everything acquired by this attempt.
                 for &(rg, _) in &merged[..i] {
-                    self.shard_of(rg)
-                        .lock()
-                        .expect("shard poisoned")
-                        .revoke(rg.0, txn);
+                    self.shard(rg).revoke(rg.0, txn);
                 }
                 self.conflicts.fetch_add(1, Ordering::Relaxed);
                 return false;
@@ -116,18 +119,13 @@ impl ShardedLockTable {
     /// Release the given granules for `txn` (idempotent).
     pub fn unlock_all(&self, txn: TxnId, granules: &[GranuleId]) {
         for &g in granules {
-            self.shard_of(g)
-                .lock()
-                .expect("shard poisoned")
-                .revoke(g.0, txn);
+            self.shard(g).revoke(g.0, txn);
         }
     }
 
     /// Mode in which `txn` currently holds `granule`, if any.
     pub fn held_mode(&self, txn: TxnId, granule: GranuleId) -> Option<LockMode> {
-        self.shard_of(granule)
-            .lock()
-            .expect("shard poisoned")
+        self.shard(granule)
             .granted
             .get(&granule.0)
             .and_then(|hs| hs.iter().find(|(t, _)| *t == txn).map(|&(_, m)| m))
@@ -146,6 +144,7 @@ impl ShardedLockTable {
     /// Check that no granule has incompatible concurrent holders.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (si, shard) in self.shards.iter().enumerate() {
+            // lint:allow(P001): poisoning is unrecoverable for a lock table
             let shard = shard.lock().expect("shard poisoned");
             for (g, holders) in &shard.granted {
                 if *g as usize % self.shards.len() != si {

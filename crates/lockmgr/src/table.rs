@@ -1,6 +1,6 @@
 //! The lock table.
 //!
-//! A hashed map from granule id to a lock entry holding the **granted
+//! An ordered map from granule id to a lock entry holding the **granted
 //! group** (transactions currently holding the granule, with their modes)
 //! and a **FIFO wait queue**. Grant policy:
 //!
@@ -14,7 +14,7 @@
 //! * On release, the queue head is granted greedily: consecutive
 //!   compatible waiters are admitted together (e.g. a run of S requests).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::mode::LockMode;
 
@@ -71,9 +71,9 @@ impl LockEntry {
 /// A lock table (see module docs).
 #[derive(Default, Debug)]
 pub struct LockTable {
-    entries: HashMap<GranuleId, LockEntry>,
+    entries: BTreeMap<GranuleId, LockEntry>,
     /// Granules held per transaction, for O(holdings) release.
-    holdings: HashMap<TxnId, Vec<GranuleId>>,
+    holdings: BTreeMap<TxnId, Vec<GranuleId>>,
     grants: u64,
     waits: u64,
 }
@@ -84,7 +84,7 @@ impl LockTable {
         Self::default()
     }
 
-    fn add_holding(holdings: &mut HashMap<TxnId, Vec<GranuleId>>, txn: TxnId, granule: GranuleId) {
+    fn add_holding(holdings: &mut BTreeMap<TxnId, Vec<GranuleId>>, txn: TxnId, granule: GranuleId) {
         let v = holdings.entry(txn).or_default();
         if !v.contains(&granule) {
             v.push(granule);
@@ -248,7 +248,9 @@ impl LockTable {
             .map(|(g, _)| *g)
             .collect();
         for granule in granules {
-            let entry = self.entries.get_mut(&granule).expect("entry exists");
+            let Some(entry) = self.entries.get_mut(&granule) else {
+                continue;
+            };
             entry.waiting.retain(|w| w.txn != txn);
             for (t, m) in Self::promote(entry, &mut self.grants) {
                 Self::add_holding(&mut self.holdings, t, granule);
@@ -272,7 +274,8 @@ impl LockTable {
             if !ok {
                 break;
             }
-            let w = entry.waiting.pop_front().expect("front exists");
+            let w = w.clone();
+            entry.waiting.pop_front();
             // An upgrading waiter replaces its old entry.
             entry.granted.retain(|(t, _)| *t != w.txn);
             entry.granted.push((w.txn, w.mode));

@@ -10,7 +10,7 @@
 //! alternative; youngest-aborts gives deterministic, starvation-resistant
 //! behaviour with monotone transaction ids).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::deadlock::WaitsForGraph;
 use crate::mode::LockMode;
@@ -46,7 +46,7 @@ pub struct TwoPhaseScheduler {
     table: LockTable,
     graph: WaitsForGraph,
     /// Requests currently queued in the table: txn → (granule, mode).
-    waiting: HashMap<TxnId, (GranuleId, LockMode)>,
+    waiting: BTreeMap<TxnId, (GranuleId, LockMode)>,
     aborts: u64,
 }
 
@@ -76,7 +76,12 @@ impl TwoPhaseScheduler {
                     self.graph.add_edge(txn, *b);
                 }
                 if let Some(cycle) = self.graph.find_cycle_from(txn) {
-                    let victim = *cycle.iter().max().expect("cycle is non-empty");
+                    let victim = *cycle
+                        .iter()
+                        .max()
+                        // lint:allow(P001): find_cycle_from never returns an
+                        // empty cycle
+                        .expect("cycle is non-empty");
                     let granted = self.abort(victim);
                     self.aborts += 1;
                     AcquireOutcome::Deadlock { victim, granted }

@@ -128,6 +128,8 @@ impl<E> CalendarQueue<E> {
             .enumerate()
             .filter_map(|(i, b)| b.first().map(|e| (i, (e.at, e.seq))))
             .min_by_key(|&(_, key)| key)
+            // lint:allow(P001): `len > 0` was checked at entry; an empty
+            // calendar cannot reach the sparse path
             .expect("len > 0 implies a head exists");
         let entry = self.buckets[idx].remove(0);
         self.len -= 1;

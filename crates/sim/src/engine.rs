@@ -88,7 +88,9 @@ impl<E> Executor<E> {
             if at > until {
                 break;
             }
-            let (at, event) = self.queue.pop().expect("peeked event must pop");
+            let Some((at, event)) = self.queue.pop() else {
+                break;
+            };
             self.now = at;
             self.events_processed += 1;
             model.handle(at, event, self);

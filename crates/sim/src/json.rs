@@ -110,6 +110,8 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
             Json::Int(i) if i >= 0 => Some(i as u64),
+            // lint:allow(D003): integrality test — fract() is exactly 0.0
+            // for whole floats, by IEEE 754 definition
             Json::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
                 Some(f as u64)
             }
@@ -122,6 +124,8 @@ impl Json {
         match *self {
             Json::Int(i) => Some(i),
             Json::Float(f)
+                // lint:allow(D003): integrality test — fract() is exactly
+                // 0.0 for whole floats, by IEEE 754 definition
                 if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&f) =>
             {
                 Some(f as i64)
@@ -666,10 +670,9 @@ impl Parser<'_> {
                     while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .expect("input was a valid &str"),
-                    );
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
                 }
             }
         }
@@ -726,8 +729,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Json::Int(i));

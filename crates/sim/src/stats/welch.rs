@@ -49,6 +49,8 @@ pub fn suggest_truncation(smoothed: &[f64], tolerance: f64) -> Option<usize> {
     }
     let tail = &smoothed[smoothed.len() - smoothed.len() / 4..];
     let level = tail.iter().sum::<f64>() / tail.len() as f64;
+    // lint:allow(D003): division-by-zero guard for the relative-tolerance
+    // test below; any non-zero level, however small, is usable
     if level == 0.0 {
         return None;
     }

@@ -164,7 +164,7 @@ pub fn sample_granules_hot(
 
     let hot = ((skew.fraction * ltot as f64).ceil() as u64).clamp(1, ltot);
     let cold = ltot - hot;
-    let mut set = std::collections::HashSet::with_capacity(count as usize);
+    let mut set = std::collections::BTreeSet::new();
     let mut out = Vec::with_capacity(count as usize);
     // Rejection sampling with a bounded number of tries per element;
     // afterwards fill deterministically so the contract (exact count)

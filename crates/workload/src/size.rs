@@ -60,9 +60,12 @@ impl SizeDistribution {
                         return rng.uniform_inclusive(1, (*max).max(1));
                     }
                 }
-                // Floating-point slack: fall back to the last component.
-                let (_, max) = components.last().expect("mixture must be non-empty");
-                rng.uniform_inclusive(1, (*max).max(1))
+                // Floating-point slack: fall back to the last component
+                // (an empty mixture is rejected by `validate`).
+                match components.last() {
+                    Some((_, max)) => rng.uniform_inclusive(1, (*max).max(1)),
+                    None => 1,
+                }
             }
             SizeDistribution::Trace { sizes } => {
                 debug_assert!(!sizes.is_empty(), "trace must be non-empty");
@@ -270,7 +273,7 @@ mod tests {
             sizes: vec![3, 17, 250],
         };
         let mut r = rng();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..1000 {
             seen.insert(d.sample(&mut r));
         }
@@ -278,7 +281,7 @@ mod tests {
             seen,
             [3u64, 17, 250]
                 .into_iter()
-                .collect::<std::collections::HashSet<_>>()
+                .collect::<std::collections::BTreeSet<_>>()
         );
         assert_eq!(d.mean(), 90.0);
         assert_eq!(d.max(), 250);

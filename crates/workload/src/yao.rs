@@ -47,6 +47,8 @@ pub fn yao_expected_granules(d: u64, g: u64, k: u64) -> f64 {
     let mut ratio = 1.0f64;
     for i in 0..k {
         ratio *= (m - i) as f64 / (d - i) as f64;
+        // lint:allow(D003): early exit once the product underflows to
+        // exactly 0.0 — it can never recover, every factor is < 1
         if ratio == 0.0 {
             break;
         }

@@ -1,17 +1,30 @@
 #!/usr/bin/env bash
-# Offline verification gate: formatting, lints, build, tests.
+# Offline verification gate: formatting, lints, policy lint, build, tests.
 #
 # Everything runs with --offline — the workspace has no external
 # dependencies by policy (see DESIGN.md §5), so a bare toolchain with no
 # registry access must be able to pass this script end to end.
+#
+# Usage:
+#   scripts/verify.sh               full gate
+#   scripts/verify.sh --fix-allow   run only the policy lint, printing
+#                                   ready-to-paste lint:allow comments
+#                                   for each finding (triage mode)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix-allow" ]]; then
+    exec cargo run --offline -q -p lockgran-lint -- --fix-allow
+fi
 
 echo "== cargo fmt --check"
 cargo fmt --check
 
 echo "== cargo clippy (warnings denied)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== lockgran-lint (determinism & policy rules)"
+cargo run --offline -q -p lockgran-lint
 
 echo "== cargo build --release"
 cargo build --offline --release --workspace

@@ -1,0 +1,132 @@
+//! `bench_diff` — compare a fresh bench run against the committed
+//! baseline.
+//!
+//! ```text
+//! bench_diff --baseline results/bench --current /tmp/bench.XXXX [--threshold 25]
+//! ```
+//!
+//! Both directories hold the per-binary JSON reports the harness writes
+//! (`{"harness": ..., "benches": [{"id", "median_ns", ...}]}`). Every
+//! benchmark present in both is compared on `median_ns`; a slowdown
+//! beyond the threshold (percent) is a regression and the process exits
+//! nonzero. Benchmarks present on only one side are listed but never
+//! fail the run — new benches land before their baseline does.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(n) => {
+            eprintln!("bench_diff: {n} regression(s) beyond threshold");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_diff: error: {e}");
+            eprintln!();
+            eprintln!("usage: bench_diff --baseline DIR --current DIR [--threshold PCT]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<usize, String> {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut threshold = 25.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(val("--baseline")?)),
+            "--current" => current = Some(PathBuf::from(val("--current")?)),
+            "--threshold" => {
+                let s = val("--threshold")?;
+                threshold = s
+                    .parse()
+                    .map_err(|_| format!("--threshold: cannot parse '{s}'"))?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let baseline = baseline.ok_or("missing --baseline")?;
+    let current = current.ok_or("missing --current")?;
+
+    let base = load_dir(&baseline)?;
+    let cur = load_dir(&current)?;
+    if cur.is_empty() {
+        return Err(format!("no bench reports found in {}", current.display()));
+    }
+
+    let mut regressions = 0usize;
+    println!(
+        "{:<48} {:>14} {:>14} {:>9}",
+        "benchmark", "baseline", "current", "delta"
+    );
+    for (id, &cur_ns) in &cur {
+        match base.get(id) {
+            Some(&base_ns) if base_ns > 0.0 => {
+                let delta = (cur_ns - base_ns) / base_ns * 100.0;
+                let verdict = if delta > threshold {
+                    regressions += 1;
+                    "  REGRESSION"
+                } else if delta < -threshold {
+                    "  improved"
+                } else {
+                    ""
+                };
+                println!(
+                    "{id:<48} {:>11.1} ns {:>11.1} ns {delta:>+8.1}%{verdict}",
+                    base_ns, cur_ns
+                );
+            }
+            _ => println!("{id:<48} {:>14} {:>11.1} ns      new", "-", cur_ns),
+        }
+    }
+    for id in base.keys().filter(|id| !cur.contains_key(*id)) {
+        println!("{id:<48} missing from current run");
+    }
+    println!(
+        "\n{} benchmark(s) compared, threshold ±{threshold}%, {regressions} regression(s)",
+        cur.len()
+    );
+    Ok(regressions)
+}
+
+/// Map of `harness/bench_id` → median ns/iter over every report in `dir`.
+fn load_dir(dir: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let report = lockgran_sim::json::parse(&text)
+            .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        let harness = report["harness"]
+            .as_str()
+            .ok_or_else(|| format!("{}: missing \"harness\"", path.display()))?
+            .to_string();
+        let benches = report["benches"]
+            .as_array()
+            .ok_or_else(|| format!("{}: missing \"benches\"", path.display()))?;
+        for b in benches {
+            let id = b["id"]
+                .as_str()
+                .ok_or_else(|| format!("{}: bench without \"id\"", path.display()))?;
+            let median = b["median_ns"]
+                .as_f64()
+                .ok_or_else(|| format!("{}: {id}: missing \"median_ns\"", path.display()))?;
+            out.insert(format!("{harness}/{id}"), median);
+        }
+    }
+    Ok(out)
+}

@@ -17,6 +17,25 @@
 //! model can also run against a real lock table
 //! ([`crate::explicit::ExplicitConflict`]), quantifying the quality of the
 //! approximation.
+//!
+//! ## Hot-path notes
+//!
+//! `try_acquire` runs once per lock attempt — the single hottest call in
+//! the simulator. The naive implementation recomputes the partition
+//! (`k` divisions and `k` additions) on **every** attempt even though the
+//! active set only changes at admissions and completions. This module
+//! instead caches, per active transaction, the fraction `L_j/ltot`
+//! (one division at admission) and the running left-to-right prefix sums,
+//! so an attempt is a pure read-only scan.
+//!
+//! The cache is maintained so that every stored float is produced by the
+//! *identical sequence of operations* the naive loop would have executed:
+//! fractions are computed by the same `L_j as f64 / ltot as f64` division
+//! (never a reciprocal multiplication, whose rounding differs), and after
+//! a removal the prefix is recomputed from the removal point onward by
+//! the same left-to-right additions. Outputs are therefore bit-identical
+//! to the pre-cache implementation — the Table 1 golden snapshot does not
+//! move.
 
 use std::collections::BTreeMap;
 
@@ -41,8 +60,9 @@ pub enum ConflictDecision {
 ///   retry after a wake-up); it either admits the transaction or records
 ///   it as blocked on a specific active transaction.
 /// * `release` is called exactly once when an *active* transaction
-///   completes; it returns every transaction blocked on it, which the
-///   system re-enters into the lock phase (paying lock overhead again).
+///   completes; it appends every transaction blocked on it, in wake
+///   order, to a caller-provided buffer (reused across completions so the
+///   per-release allocation disappears from the hot loop).
 pub trait ConflictModel {
     /// Attempt to admit `txn`, which needs `locks` locks over the granule
     /// set `granules` (explicit models use the set; the probabilistic
@@ -55,9 +75,9 @@ pub trait ConflictModel {
         rng: &mut SimRng,
     ) -> ConflictDecision;
 
-    /// Release `txn`'s locks; returns the transactions it was blocking,
-    /// in wake order.
-    fn release(&mut self, txn: TxnSerial) -> Vec<TxnSerial>;
+    /// Release `txn`'s locks; appends the transactions it was blocking,
+    /// in wake order, to `woken` (which the caller clears and reuses).
+    fn release(&mut self, txn: TxnSerial, woken: &mut Vec<TxnSerial>);
 
     /// Number of currently active (lock-holding) transactions.
     fn active_count(&self) -> usize;
@@ -67,12 +87,22 @@ pub trait ConflictModel {
 }
 
 /// The paper's probabilistic Ries–Stonebraker conflict computation.
+#[derive(Clone, Debug)]
 pub struct ProbabilisticConflict {
     ltot: u64,
     /// Active transactions in admission order, with their lock counts.
     active: Vec<(TxnSerial, u64)>,
+    /// `fracs[i] = active[i].1 as f64 / ltot as f64`, computed once at
+    /// admission (see module docs on bit-identity).
+    fracs: Vec<f64>,
+    /// `prefix[i]` = left-to-right sum of `fracs[0..=i]`, exactly the
+    /// value the naive per-attempt loop reaches after holder `i`.
+    prefix: Vec<f64>,
     /// blocker → transactions blocked on it (FIFO).
     blocked: BTreeMap<TxnSerial, Vec<TxnSerial>>,
+    /// Retired waiter vectors, recycled so blocking never allocates in
+    /// steady state.
+    spare: Vec<Vec<TxnSerial>>,
     locks_held: u64,
 }
 
@@ -86,7 +116,10 @@ impl ProbabilisticConflict {
         ProbabilisticConflict {
             ltot,
             active: Vec::new(),
+            fracs: Vec::new(),
+            prefix: Vec::new(),
             blocked: BTreeMap::new(),
+            spare: Vec::new(),
             locks_held: 0,
         }
     }
@@ -104,30 +137,52 @@ impl ConflictModel for ProbabilisticConflict {
             !self.active.iter().any(|(t, _)| *t == txn),
             "transaction {txn} acquired twice"
         );
-        // Draw p ~ U(0,1); walk the partition (0, L1/ltot], ….
+        // Draw p ~ U(0,1); the cached prefix IS the partition
+        // (0, L1/ltot], (L1/ltot, (L1+L2)/ltot], … — no arithmetic here.
         let p = rng.uniform01();
-        let mut cum = 0.0;
-        for &(holder, held) in &self.active {
-            cum += held as f64 / self.ltot as f64;
+        for (i, &cum) in self.prefix.iter().enumerate() {
             if p < cum {
-                self.blocked.entry(holder).or_default().push(txn);
+                let holder = self.active[i].0;
+                let spare = &mut self.spare;
+                self.blocked
+                    .entry(holder)
+                    .or_insert_with(|| spare.pop().unwrap_or_default())
+                    .push(txn);
                 return ConflictDecision::BlockedBy(holder);
             }
         }
+        // Admitted: extend the partition. One division per admission —
+        // the same `held / ltot` the naive loop performed per attempt.
+        let frac = locks as f64 / self.ltot as f64;
+        let cum = self.prefix.last().copied().unwrap_or(0.0) + frac;
         self.active.push((txn, locks));
+        self.fracs.push(frac);
+        self.prefix.push(cum);
         self.locks_held += locks;
         ConflictDecision::Granted
     }
 
-    fn release(&mut self, txn: TxnSerial) -> Vec<TxnSerial> {
+    fn release(&mut self, txn: TxnSerial, woken: &mut Vec<TxnSerial>) {
         let pos = self
             .active
             .iter()
             .position(|(t, _)| *t == txn)
             .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
         let (_, locks) = self.active.remove(pos);
+        self.fracs.remove(pos);
         self.locks_held -= locks;
-        self.blocked.remove(&txn).unwrap_or_default()
+        // Rebuild the prefix from the removal point with the same
+        // left-to-right additions the naive loop would now perform.
+        self.prefix.truncate(pos);
+        let mut cum = if pos == 0 { 0.0 } else { self.prefix[pos - 1] };
+        for &f in &self.fracs[pos..] {
+            cum += f;
+            self.prefix.push(cum);
+        }
+        if let Some(mut waiters) = self.blocked.remove(&txn) {
+            woken.append(&mut waiters);
+            self.spare.push(waiters);
+        }
     }
 
     fn active_count(&self) -> usize {
@@ -145,6 +200,13 @@ mod tests {
 
     fn rng() -> SimRng {
         SimRng::new(0xC0FFEE)
+    }
+
+    /// Collect a release's wake list (test convenience).
+    fn release_vec(m: &mut impl ConflictModel, txn: TxnSerial) -> Vec<TxnSerial> {
+        let mut woken = Vec::new();
+        m.release(txn, &mut woken);
+        woken
     }
 
     #[test]
@@ -169,7 +231,7 @@ mod tests {
                 ConflictDecision::BlockedBy(1)
             );
         }
-        let woken = m.release(1);
+        let woken = release_vec(&mut m, 1);
         assert_eq!(woken, (2..20).collect::<Vec<_>>());
         assert_eq!(m.active_count(), 0);
         assert_eq!(m.locks_held(), 0);
@@ -257,14 +319,26 @@ mod tests {
         for t in [3, 9, 4] {
             let _ = m.try_acquire(t, 1, &[], &mut r);
         }
-        assert_eq!(m.release(7), vec![3, 9, 4]);
+        assert_eq!(release_vec(&mut m, 7), vec![3, 9, 4]);
+    }
+
+    #[test]
+    fn release_appends_without_clearing() {
+        // The caller owns the buffer; release must append, not replace.
+        let mut r = rng();
+        let mut m = ProbabilisticConflict::new(1);
+        let _ = m.try_acquire(1, 1, &[], &mut r);
+        let _ = m.try_acquire(2, 1, &[], &mut r);
+        let mut woken = vec![99];
+        m.release(1, &mut woken);
+        assert_eq!(woken, vec![99, 2]);
     }
 
     #[test]
     #[should_panic(expected = "release of inactive")]
     fn release_of_unknown_txn_panics() {
         let mut m = ProbabilisticConflict::new(10);
-        let _ = m.release(42);
+        m.release(42, &mut Vec::new());
     }
 
     #[test]
@@ -277,5 +351,37 @@ mod tests {
             assert_eq!(m.try_acquire(t, 0, &[], &mut r), ConflictDecision::Granted);
         }
         assert_eq!(m.active_count(), 99);
+    }
+
+    #[test]
+    fn prefix_cache_matches_naive_partition_bitwise() {
+        // Drive a random admit/release history and check, at every step,
+        // that the cached prefix equals the naive left-to-right
+        // recomputation bit for bit (the golden-snapshot guarantee).
+        let mut r = rng();
+        let mut m = ProbabilisticConflict::new(137);
+        let mut serial = 0u64;
+        let mut woken = Vec::new();
+        for step in 0..2_000u32 {
+            serial += 1;
+            let locks = u64::from(step % 9) + 1;
+            let _ = m.try_acquire(serial, locks, &[], &mut r);
+            if step % 5 == 4 && m.active_count() > 1 {
+                // Remove from the middle to exercise the rebuild path.
+                let victim = m.active[m.active.len() / 2].0;
+                woken.clear();
+                m.release(victim, &mut woken);
+                // Woken transactions vanish from this toy history.
+            }
+            let mut cum = 0.0f64;
+            for (i, &(_, held)) in m.active.iter().enumerate() {
+                cum += held as f64 / 137.0;
+                assert_eq!(
+                    cum.to_bits(),
+                    m.prefix[i].to_bits(),
+                    "prefix diverged at step {step}, holder {i}"
+                );
+            }
+        }
     }
 }

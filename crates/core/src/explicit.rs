@@ -91,18 +91,14 @@ impl ConflictModel for ExplicitConflict {
         }
     }
 
-    fn release(&mut self, txn: TxnSerial) -> Vec<TxnSerial> {
+    fn release(&mut self, txn: TxnSerial, woken: &mut Vec<TxnSerial>) {
         let locks = self
             .active_locks
             .remove(&txn)
             .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
         self.active -= 1;
         self.locks_held -= locks;
-        self.scheduler
-            .release(TxnId(txn))
-            .into_iter()
-            .map(|t| t.0)
-            .collect()
+        woken.extend(self.scheduler.release(TxnId(txn)).into_iter().map(|t| t.0));
     }
 
     fn active_count(&self) -> usize {
@@ -120,6 +116,13 @@ mod tests {
 
     fn rng() -> SimRng {
         SimRng::new(7)
+    }
+
+    /// Collect a release's wake list (test convenience).
+    fn release_vec(m: &mut impl ConflictModel, txn: TxnSerial) -> Vec<TxnSerial> {
+        let mut woken = Vec::new();
+        m.release(txn, &mut woken);
+        woken
     }
 
     #[test]
@@ -161,7 +164,7 @@ mod tests {
             m.try_acquire(2, 1, &[4], &mut r),
             ConflictDecision::BlockedBy(1)
         );
-        let woken = m.release(1);
+        let woken = release_vec(&mut m, 1);
         assert_eq!(woken, vec![2]);
         // Retry passes an *empty* slice — the saved set must be used.
         assert_eq!(m.try_acquire(2, 1, &[], &mut r), ConflictDecision::Granted);
@@ -175,7 +178,7 @@ mod tests {
         let _ = m.try_acquire(1, 2, &[0, 1], &mut r);
         let _ = m.try_acquire(2, 1, &[0], &mut r);
         let _ = m.try_acquire(3, 1, &[1], &mut r);
-        assert_eq!(m.release(1), vec![2, 3]);
+        assert_eq!(release_vec(&mut m, 1), vec![2, 3]);
         assert_eq!(m.active_count(), 0);
     }
 
@@ -196,6 +199,6 @@ mod tests {
     #[should_panic(expected = "release of inactive")]
     fn release_of_unknown_txn_panics() {
         let mut m = ExplicitConflict::new();
-        let _ = m.release(5);
+        m.release(5, &mut Vec::new());
     }
 }

@@ -138,6 +138,9 @@ pub struct System {
     lock_attempts: u64,
     lock_denials: u64,
     totcom: u64,
+    /// Reusable wake-list buffer: filled by `ConflictModel::release` at
+    /// each completion, so the hot loop never allocates for waking.
+    wake_buf: Vec<u64>,
     response: Tally,
     response_hist: Histogram,
     attempts_per_txn: Tally,
@@ -211,6 +214,7 @@ impl System {
             lock_attempts: 0,
             lock_denials: 0,
             totcom: 0,
+            wake_buf: Vec::new(),
             response: Tally::new(),
             response_hist: Histogram::new(cfg.tmax, 2_000),
             attempts_per_txn: Tally::new(),
@@ -542,16 +546,22 @@ impl System {
             self.response_hist.record(resp);
             self.attempts_per_txn.record(f64::from(txn.attempts));
         }
-        let woken = self.conflict.release(serial);
+        // Reuse the wake buffer across completions (no per-release
+        // allocation); take it out of `self` so `begin_lock_phase` can
+        // borrow `self` mutably while we iterate.
+        let mut woken = std::mem::take(&mut self.wake_buf);
+        woken.clear();
+        self.conflict.release(serial, &mut woken);
         self.active_tw
             .record(now, self.conflict.active_count() as f64);
-        for w in woken {
+        for &w in &woken {
             debug_assert_eq!(self.txns[&w].phase, TxnPhase::Blocked);
             self.trace(now, TraceEvent::Woken { serial: w });
             self.blocked_count -= 1;
             self.blocked_tw.record(now, f64::from(self.blocked_count));
             self.begin_lock_phase(now, w, ex);
         }
+        self.wake_buf = woken;
         // The finished transaction gives up its admission slot; the head
         // of the pending queue takes it.
         self.admitted -= 1;

@@ -18,7 +18,8 @@ use std::process::ExitCode;
 
 use lockgran_core::{sim, ConflictMode, ModelConfig};
 use lockgran_experiments::figures::{run_by_id, ALL_IDS, EXT_IDS};
-use lockgran_experiments::{chart, emit, RunOptions};
+use lockgran_experiments::{chart, emit, Figure, RunOptions};
+use lockgran_sim::WorkerPool;
 use lockgran_workload::{Partitioning, Placement};
 
 fn main() -> ExitCode {
@@ -36,7 +37,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   lockgran list
-  lockgran <table1|fig2..fig12|all|extA|extB|ext> [--quick] [--chart] [--seed N] [--reps N] [--tmax T] [--out DIR]
+  lockgran <table1|fig2..fig12|all|extA|extB|ext> [--quick] [--chart] [--seed N] [--reps N] [--tmax T] [--jobs N] [--out DIR]
   lockgran batch <configs.json> [--seed N] [--out FILE.csv]
   lockgran timeline [run flags] [--interval X]
   lockgran warmup [run flags] [--interval X] [--reps R]
@@ -66,17 +67,11 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "warmup" => run_warmup_cmd(&args[1..]),
         "all" => {
             let (opts, out, show_chart) = parse_fig_flags(&args[1..])?;
-            for id in ALL_IDS {
-                run_figure(id, &opts, out.as_deref(), show_chart)?;
-            }
-            Ok(())
+            run_figures(&ALL_IDS, &opts, out.as_deref(), show_chart)
         }
         "ext" => {
             let (opts, out, show_chart) = parse_fig_flags(&args[1..])?;
-            for id in EXT_IDS {
-                run_figure(id, &opts, out.as_deref(), show_chart)?;
-            }
-            Ok(())
+            run_figures(&EXT_IDS, &opts, out.as_deref(), show_chart)
         }
         id if ALL_IDS.contains(&id) || EXT_IDS.contains(&id) => {
             let (opts, out, show_chart) = parse_fig_flags(&args[1..])?;
@@ -93,12 +88,58 @@ fn run_figure(
     show_chart: bool,
 ) -> Result<(), String> {
     eprintln!(
-        "running {id} ({} mode, {} replications)…",
+        "running {id} ({} mode, {} replications, {} sweep worker(s))…",
         if opts.quick { "quick" } else { "full" },
-        opts.effective_reps()
+        opts.effective_reps(),
+        opts.effective_jobs()
     );
     let fig = run_by_id(id, opts).ok_or_else(|| format!("unknown figure '{id}'"))?;
-    print!("{}", emit::render_table(&fig));
+    render_figure(&fig, out, show_chart)
+}
+
+/// Run a batch of figures, fanning the figures themselves out across the
+/// worker budget: `outer` figures run concurrently, each with
+/// `jobs / outer` sweep workers. Results are rendered in catalogue order
+/// regardless of completion order, so the output stream is identical to
+/// the sequential run.
+fn run_figures(
+    ids: &[&str],
+    opts: &RunOptions,
+    out: Option<&std::path::Path>,
+    show_chart: bool,
+) -> Result<(), String> {
+    let jobs = opts.effective_jobs();
+    let outer = jobs.min(ids.len()).max(1);
+    let inner = (jobs / outer).max(1);
+    eprintln!(
+        "running {} figures ({} mode, {} replications, {jobs} worker(s): {outer} concurrent figure(s) × {inner} sweep worker(s))…",
+        ids.len(),
+        if opts.quick { "quick" } else { "full" },
+        opts.effective_reps(),
+    );
+    let tasks: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            let opts = opts.clone().with_jobs(inner);
+            move || run_by_id(id, &opts)
+        })
+        .collect();
+    let figs = WorkerPool::new(outer).run(tasks);
+    for (id, fig) in ids.iter().zip(figs) {
+        let fig = fig.ok_or_else(|| format!("unknown figure '{id}'"))?;
+        render_figure(&fig, out, show_chart)?;
+    }
+    Ok(())
+}
+
+/// Print a computed figure (and write artifacts) — the output side of
+/// [`run_figure`], shared with the batched path.
+fn render_figure(
+    fig: &Figure,
+    out: Option<&std::path::Path>,
+    show_chart: bool,
+) -> Result<(), String> {
+    print!("{}", emit::render_table(fig));
     println!();
     if show_chart {
         for panel in &fig.panels {
@@ -109,13 +150,11 @@ fn run_figure(
         }
     }
     if let Some(dir) = out {
-        emit::write_artifacts(&fig, dir).map_err(|e| format!("writing artifacts: {e}"))?;
+        emit::write_artifacts(fig, dir).map_err(|e| format!("writing artifacts: {e}"))?;
         eprintln!(
-            "wrote {}/{{{}.txt,{}.csv,{}.json}}",
+            "wrote {}/{{{id}.txt,{id}.csv,{id}.json}}",
             dir.display(),
-            id,
-            id,
-            id
+            id = fig.id
         );
     }
     Ok(())
@@ -133,6 +172,7 @@ fn parse_fig_flags(args: &[String]) -> Result<(RunOptions, Option<PathBuf>, bool
             "--seed" => opts.seed = next_val(&mut it, "--seed")?,
             "--reps" => opts.reps = next_val(&mut it, "--reps")?,
             "--tmax" => opts.tmax = Some(next_val(&mut it, "--tmax")?),
+            "--jobs" => opts.jobs = next_val(&mut it, "--jobs")?,
             "--out" => out = Some(PathBuf::from(next_str(&mut it, "--out")?)),
             other => return Err(format!("unknown flag '{other}'")),
         }

@@ -8,7 +8,7 @@
 //! [`crate::Series`] per secondary-dimension value.
 
 use lockgran_core::{sim, ModelConfig, RunMetrics};
-use lockgran_sim::{SimRng, Tally};
+use lockgran_sim::{SimRng, Tally, WorkerPool};
 
 use crate::metric::Metric;
 use crate::series::{Point, Series};
@@ -31,6 +31,10 @@ pub struct RunOptions {
     pub reps: u32,
     /// Override the simulated horizon (time units).
     pub tmax: Option<f64>,
+    /// Worker threads for the `(ltot, rep)` fan-out: 0 = resolve from
+    /// `LOCKGRAN_JOBS` / available parallelism, 1 = fully sequential.
+    /// Results are bit-identical at any value (see [`WorkerPool`]).
+    pub jobs: usize,
 }
 
 impl Default for RunOptions {
@@ -40,6 +44,7 @@ impl Default for RunOptions {
             seed: 0x1991_0601, // ICDE 1991
             reps: 3,
             tmax: None,
+            jobs: 0,
         }
     }
 }
@@ -81,6 +86,22 @@ impl RunOptions {
     pub fn apply(&self, cfg: ModelConfig) -> ModelConfig {
         cfg.with_tmax(self.effective_tmax())
     }
+
+    /// Worker count after resolving `jobs = 0` through `LOCKGRAN_JOBS` and
+    /// the machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        WorkerPool::resolve_jobs(if self.jobs == 0 {
+            None
+        } else {
+            Some(self.jobs)
+        })
+    }
+
+    /// These options with an explicit worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
 }
 
 /// Results at one sweep point.
@@ -113,16 +134,37 @@ impl SweepPoint {
 /// Replication seeds derive from `opts.seed` only — not from `ltot` — so
 /// every sweep point sees the same transaction streams (common random
 /// numbers: curves differ by the system response, not by workload noise).
+///
+/// All `(ltot, rep)` pairs fan out across a [`WorkerPool`] of
+/// `opts.effective_jobs()` threads. Each pair is an independent pure
+/// function of `(config, seed)` — seeds never depend on execution order —
+/// and the pool gathers results in submission order, so the output is
+/// bit-identical at any worker count (`jobs = 1` runs the exact
+/// sequential loop).
 pub fn sweep_ltot(base: &ModelConfig, opts: &RunOptions) -> Vec<SweepPoint> {
     let root = SimRng::new(opts.seed);
+    let reps = opts.effective_reps();
+    let rep_seeds: Vec<u64> = (0..reps)
+        .map(|r| root.split_index(u64::from(r)).seed())
+        .collect();
+    let tasks: Vec<_> = opts
+        .ltots()
+        .iter()
+        .flat_map(|&ltot| {
+            let cfg = opts.apply(base.clone().with_ltot(ltot));
+            rep_seeds.iter().map(move |&seed| {
+                let cfg = cfg.clone();
+                move || sim::run(&cfg, seed)
+            })
+        })
+        .collect();
+    let runs = WorkerPool::new(opts.effective_jobs()).run(tasks);
     opts.ltots()
         .iter()
-        .map(|&ltot| {
-            let cfg = opts.apply(base.clone().with_ltot(ltot));
-            let runs = (0..opts.effective_reps())
-                .map(|r| sim::run(&cfg, root.split_index(u64::from(r)).seed()))
-                .collect();
-            SweepPoint { ltot, runs }
+        .zip(runs.chunks(reps as usize))
+        .map(|(&ltot, chunk)| SweepPoint {
+            ltot,
+            runs: chunk.to_vec(),
         })
         .collect()
 }

@@ -15,6 +15,7 @@
 //! | D001 | `HashMap`/`HashSet` (iteration-order nondeterminism) | all but `crates/bench` |
 //! | D002 | `std::time::{Instant, SystemTime}` (wall-clock reads) | all but `crates/bench` |
 //! | D003 | `==`/`!=` against a float literal | library code |
+//! | D004 | raw `thread::spawn` / `mpsc` outside the worker pool | all but `crates/sim/src/pool.rs` |
 //! | P001 | `.unwrap()` / `.expect("…")` panics | library code |
 //! | Z001 | non-local dependency in a `Cargo.toml` | all manifests |
 //! | J001 | `ToJson`/`FromJson` pairs that don't round-trip field names | all `.rs` |
@@ -59,6 +60,8 @@ pub enum Rule {
     D002,
     /// Exact float comparison against a literal.
     D003,
+    /// Raw threading primitives outside the deterministic worker pool.
+    D004,
     /// Panicking calls in library code.
     P001,
     /// External dependency in a manifest.
@@ -74,6 +77,7 @@ impl Rule {
             Rule::D001 => "D001",
             Rule::D002 => "D002",
             Rule::D003 => "D003",
+            Rule::D004 => "D004",
             Rule::P001 => "P001",
             Rule::Z001 => "Z001",
             Rule::J001 => "J001",
@@ -81,10 +85,11 @@ impl Rule {
     }
 
     /// Every rule in the catalog.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::D001,
         Rule::D002,
         Rule::D003,
+        Rule::D004,
         Rule::P001,
         Rule::Z001,
         Rule::J001,
@@ -226,7 +231,10 @@ mod tests {
     #[test]
     fn rule_codes_are_stable() {
         let codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
-        assert_eq!(codes, ["D001", "D002", "D003", "P001", "Z001", "J001"]);
+        assert_eq!(
+            codes,
+            ["D001", "D002", "D003", "D004", "P001", "Z001", "J001"]
+        );
     }
 
     #[test]

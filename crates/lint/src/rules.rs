@@ -1,4 +1,4 @@
-//! The token-level rule catalog: D001, D002, D003, P001.
+//! The token-level rule catalog: D001, D002, D003, D004, P001.
 //!
 //! Each rule is a linear scan over the token stream with a small amount
 //! of lookahead/lookbehind. Rules receive the file's [`Scope`] so they
@@ -26,6 +26,13 @@ pub fn check_tokens(
     if scope == Scope::Library {
         check_float_eq(src, tokens, &mut sink);
         check_panicky_calls(src, tokens, &mut sink);
+    }
+    // D004 applies everywhere (benches and tests included — an unordered
+    // spawn in either can still produce order-dependent results) except
+    // inside the worker pool itself, which is the one sanctioned home for
+    // raw threading.
+    if path != "crates/sim/src/pool.rs" {
+        check_raw_threading(src, tokens, &mut sink);
     }
 }
 
@@ -143,6 +150,58 @@ fn check_float_eq(src: &str, tokens: &[Token], sink: &mut Sink<'_>) {
     }
 }
 
+/// D004: raw threading primitives outside `crates/sim/src/pool.rs`.
+///
+/// Flags `thread::spawn`, `thread::scope` and `thread::Builder` (however
+/// the `thread` path segment is reached), plus any use of the `mpsc`
+/// module. Ad-hoc threads and channels deliver results in completion
+/// order, which varies run to run; `lockgran_sim::pool::WorkerPool`
+/// gathers in submission order and is the one sanctioned way to fan
+/// work out.
+fn check_raw_threading(src: &str, tokens: &[Token], sink: &mut Sink<'_>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text(src);
+        if name == "mpsc" {
+            sink.emit(
+                Rule::D004,
+                t,
+                "`mpsc` channels deliver in completion order; fan work out \
+                 through `lockgran_sim::pool::WorkerPool`, which gathers \
+                 results in submission order (or add \
+                 `// lint:allow(D004): <why ordering cannot leak>`)"
+                    .to_string(),
+            );
+            continue;
+        }
+        if name != "spawn" && name != "scope" && name != "Builder" {
+            continue;
+        }
+        // Only when reached through the `thread` module: `thread::spawn`,
+        // `std::thread::Builder`, … — a local method named `spawn` or a
+        // lint `Scope` is not a finding.
+        let through_thread = i >= 3
+            && tokens[i - 1].is_punct(src, ':')
+            && tokens[i - 2].is_punct(src, ':')
+            && tokens[i - 3].is_ident(src, "thread");
+        if through_thread {
+            sink.emit(
+                Rule::D004,
+                t,
+                format!(
+                    "raw `thread::{name}` outside the worker pool; use \
+                     `lockgran_sim::pool::WorkerPool` so results gather in \
+                     submission order (or add \
+                     `// lint:allow(D004): <why ordering cannot leak>`)"
+                ),
+            );
+        }
+    }
+}
+
 /// P001: `.unwrap()` / `.expect("…")` in non-test library code. The
 /// `.expect(` form is only flagged when its first argument is a string
 /// literal — `parser.expect(b'{')` is a domain method, not a panic.
@@ -196,13 +255,17 @@ mod tests {
     use crate::context::mark_test_regions;
     use crate::lexer::lex;
 
-    fn run(src: &str, scope: Scope) -> Vec<Diagnostic> {
+    fn run_at(path: &str, src: &str, scope: Scope) -> Vec<Diagnostic> {
         let mut lexed = lex(src);
         mark_test_regions(&mut lexed.tokens, src);
         let allows = AllowSet::new(lexed.allows);
         let mut out = Vec::new();
-        check_tokens("f.rs", src, &lexed.tokens, scope, &allows, &mut out);
+        check_tokens(path, src, &lexed.tokens, scope, &allows, &mut out);
         out
+    }
+
+    fn run(src: &str, scope: Scope) -> Vec<Diagnostic> {
+        run_at("f.rs", src, scope)
     }
 
     fn codes(src: &str, scope: Scope) -> Vec<&'static str> {
@@ -256,6 +319,50 @@ mod tests {
         assert!(codes("match x { _ => 0.5 };", Scope::Library).is_empty());
         // Inside a test region: exempt.
         assert!(codes("#[test]\nfn t() { assert!(x == 0.5); }", Scope::Library).is_empty());
+    }
+
+    #[test]
+    fn d004_flags_raw_threading() {
+        assert_eq!(
+            codes("std::thread::spawn(|| {});", Scope::Library),
+            vec!["D004"]
+        );
+        assert_eq!(
+            codes("thread::scope(|s| {});", Scope::Library),
+            vec!["D004"]
+        );
+        assert_eq!(
+            codes("std::thread::Builder::new();", Scope::Library),
+            vec!["D004"]
+        );
+        assert_eq!(codes("use std::sync::mpsc;", Scope::Library), vec!["D004"]);
+        // Applies to tests and benches too: completion-order results flake.
+        assert_eq!(
+            codes("#[test]\nfn t() { thread::spawn(|| {}); }", Scope::Library),
+            vec!["D004"]
+        );
+        assert_eq!(codes("thread::spawn(f);", Scope::TestCode), vec!["D004"]);
+        assert_eq!(
+            codes("let (tx, rx) = mpsc::channel();", Scope::Bench),
+            vec!["D004"]
+        );
+    }
+
+    #[test]
+    fn d004_exempts_the_pool_and_unrelated_names() {
+        // The worker pool is the sanctioned home for raw threading.
+        assert!(run_at(
+            "crates/sim/src/pool.rs",
+            "std::thread::spawn(|| {});",
+            Scope::Library
+        )
+        .is_empty());
+        // `spawn`/`scope`/`Builder` not reached through `thread`.
+        assert!(codes("pool.spawn(task);", Scope::Library).is_empty());
+        assert!(codes("let s: Scope = scope;", Scope::Library).is_empty());
+        assert!(codes("http::Builder::new();", Scope::Library).is_empty());
+        // Sleeping is not a fan-out.
+        assert!(codes("thread::sleep(d);", Scope::Library).is_empty());
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! D004 fixture: raw threading primitives outside the worker pool.
+
+use std::sync::mpsc; // VIOLATION
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 1); // VIOLATION
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+    let b = std::thread::Builder::new(); // VIOLATION
+    // lint:allow(D004): fixture demonstrating a vouched spawn
+    let vouched = std::thread::spawn(|| 2); // suppressed
+    let _ = (handle, b, vouched);
+    // Not findings: sleep is no fan-out, a method named `spawn` is fine.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    pool.spawn(task);
+    let _ = "thread::spawn in a string never fires";
+}

@@ -68,6 +68,19 @@ fn d003_float_comparisons() {
 }
 
 #[test]
+fn d004_raw_threading() {
+    assert_eq!(
+        lint_fixture("d004.rs"),
+        vec![
+            (3, 16, "D004"),  // use std::sync::mpsc
+            (6, 31, "D004"),  // std::thread::spawn
+            (7, 18, "D004"),  // std::thread::scope
+            (10, 26, "D004"), // std::thread::Builder
+        ]
+    );
+}
+
+#[test]
 fn p001_panicking_calls() {
     assert_eq!(
         lint_fixture("p001.rs"),

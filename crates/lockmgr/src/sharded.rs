@@ -253,6 +253,8 @@ mod tests {
             .map(|tid| {
                 let table = Arc::clone(&table);
                 let owners = Arc::clone(&owners);
+                // lint:allow(D004): stress-tests the sharded table's own
+                // thread-safety; invariants are order-independent
                 std::thread::spawn(move || {
                     let mut state = tid.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
                     let mut rand = move || {
@@ -309,6 +311,8 @@ mod tests {
         let handles: Vec<_> = (1..=8u64)
             .map(|tid| {
                 let table = Arc::clone(&table);
+                // lint:allow(D004): reader-scaling stress test; every
+                // thread asserts independently, no gathered results
                 std::thread::spawn(move || {
                     let reads: Vec<(GranuleId, LockMode)> =
                         (0..16).map(|i| (GranuleId(i), S)).collect();

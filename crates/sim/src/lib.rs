@@ -25,10 +25,16 @@
 //!   workspace implements by hand (zero-dependency serialization).
 //! * [`stats`] — busy-time accounting, Welford tallies, time-weighted
 //!   levels, histograms and batch-means confidence intervals.
+//! * [`pool`] — a fixed-size worker pool ([`WorkerPool`]) with
+//!   deterministic, submission-ordered scatter/gather for running many
+//!   *independent* simulations in parallel.
 //!
-//! The kernel is intentionally synchronous and single-threaded: determinism
-//! and replayability matter far more here than parallel speed, and a full
-//! parameter sweep of the paper still completes in seconds.
+//! The kernel itself is intentionally synchronous and single-threaded:
+//! one simulation is one deterministic event loop. Parallelism lives one
+//! level up — whole `(config, seed)` runs are independent pure functions,
+//! so the experiment harness fans them out across a [`WorkerPool`] and
+//! reassembles results by submission index, which is bit-identical to
+//! running them sequentially.
 //!
 //! ## Example
 //!
@@ -62,6 +68,7 @@ pub mod calendar;
 pub mod engine;
 pub mod event;
 pub mod json;
+pub mod pool;
 pub mod rng;
 pub mod server;
 pub mod stats;
@@ -71,6 +78,7 @@ pub use calendar::CalendarQueue;
 pub use engine::{Executor, Model};
 pub use event::EventQueue;
 pub use json::{FromJson, Json, ToJson};
+pub use pool::WorkerPool;
 pub use rng::SimRng;
 pub use server::{Class, Completion, CompletionOutcome, Discipline, Job, JobId, Server, Token};
 pub use stats::{BusyTime, Histogram, Tally, TimeWeighted};

@@ -1,0 +1,202 @@
+//! Deterministic fixed-size worker pool (indexed scatter/gather).
+//!
+//! The experiment harness runs many *independent* simulations — every
+//! `(ltot, replication)` pair of a sweep, every figure of the CLI suite.
+//! Each simulation is a pure function of `(config, seed)`, so fanning the
+//! work out over threads can never change a single output bit **provided
+//! the results are reassembled by submission index, not by completion
+//! order**. [`WorkerPool`] implements exactly that discipline:
+//!
+//! * a fixed number of `std::thread` workers (no external crates, no
+//!   channels) pull task indices from a shared atomic cursor;
+//! * every result is written into the slot of its *submission* index;
+//! * [`WorkerPool::run`] returns the results in submission order, no
+//!   matter which worker finished first.
+//!
+//! With `jobs = 1` the pool degenerates to a plain in-order loop on the
+//! calling thread — byte-for-byte the sequential behavior, useful both as
+//! the reproducibility baseline and under debuggers.
+//!
+//! This module is the **only** place in the workspace allowed to touch
+//! raw threading primitives; lint rule D004 enforces that everything else
+//! goes through the pool (see `crates/lint`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the default worker count.
+pub const JOBS_ENV: &str = "LOCKGRAN_JOBS";
+
+/// A fixed-size worker pool with deterministic result ordering.
+#[derive(Clone, Debug)]
+pub struct WorkerPool {
+    jobs: usize,
+}
+
+impl WorkerPool {
+    /// A pool with exactly `jobs` workers (`0` is clamped to `1`).
+    pub fn new(jobs: usize) -> Self {
+        WorkerPool { jobs: jobs.max(1) }
+    }
+
+    /// The host's available parallelism (`1` if it cannot be queried).
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+
+    /// Resolve a job count: `Some(n)` is used as given; `None` falls back
+    /// to the `LOCKGRAN_JOBS` environment variable, then to the host's
+    /// available parallelism. The returned value is always ≥ 1.
+    pub fn resolve_jobs(requested: Option<usize>) -> usize {
+        if let Some(n) = requested {
+            return n.max(1);
+        }
+        if let Some(v) = std::env::var_os(JOBS_ENV) {
+            if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+        Self::available_parallelism()
+    }
+
+    /// Number of workers this pool runs.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Execute every task, returning results **in submission order**.
+    ///
+    /// Tasks are claimed by workers from a shared cursor (so long tasks
+    /// do not serialize behind each other), but each result lands in the
+    /// slot of its submission index; completion order is invisible to the
+    /// caller. A task panic propagates to the caller after the scope
+    /// joins.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if self.jobs == 1 || n <= 1 {
+            // Sequential baseline: exactly the pre-pool behavior.
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+
+        // Scatter: one mutex'd cell per task so a worker can take
+        // ownership of the `FnOnce` it claimed; one shared cursor hands
+        // out indices.
+        let cells: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let cursor = AtomicUsize::new(0);
+        // Gather: results accumulate per worker and merge into indexed
+        // slots, so the output order is the submission order.
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(n) {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let task = cells[i]
+                            .lock()
+                            // lint:allow(P001): a poisoned cell means a
+                            // sibling task panicked; propagating is correct
+                            .expect("task cell poisoned")
+                            .take()
+                            // lint:allow(P001): the cursor hands out each
+                            // index exactly once
+                            .expect("task claimed twice");
+                        local.push((i, task()));
+                    }
+                    let mut merged = slots
+                        .lock()
+                        // lint:allow(P001): a poisoned gather means a
+                        // sibling task panicked; propagating is correct
+                        .expect("result slots poisoned");
+                    for (i, v) in local {
+                        merged[i] = Some(v);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            // lint:allow(P001): all workers joined without panicking above
+            .expect("result slots poisoned")
+            .into_iter()
+            // lint:allow(P001): every index was claimed and merged exactly once
+            .map(|slot| slot.expect("task produced no result"))
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    /// A pool sized by [`WorkerPool::resolve_jobs`]`(None)`.
+    fn default() -> Self {
+        WorkerPool::new(Self::resolve_jobs(None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_task_list() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let tasks = |mult: u64| -> Vec<_> {
+            (0..64u64)
+                .map(|i| move || i.wrapping_mul(mult).wrapping_add(7))
+                .collect()
+        };
+        let seq = WorkerPool::new(1).run(tasks(31));
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(WorkerPool::new(jobs).run(tasks(31)), seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = WorkerPool::new(16).run((0..3u32).map(|i| move || i * i).collect::<Vec<_>>());
+        assert_eq!(out, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(WorkerPool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn resolve_explicit_request_wins() {
+        assert_eq!(WorkerPool::resolve_jobs(Some(5)), 5);
+        assert_eq!(WorkerPool::resolve_jobs(Some(0)), 1);
+    }
+
+    #[test]
+    fn results_in_submission_order_under_adversarial_timing() {
+        // Earlier tasks take the longest: completion order is roughly the
+        // reverse of submission order, so any completion-ordered gather
+        // would scramble the output.
+        let n = 24u64;
+        let tasks: Vec<_> = (0..n)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2 * (n - i)));
+                    i
+                }
+            })
+            .collect();
+        let out = WorkerPool::new(8).run(tasks);
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+}

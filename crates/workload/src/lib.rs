@@ -32,6 +32,6 @@ pub mod yao;
 
 pub use access::{AccessPattern, HotSpot};
 pub use partitioning::Partitioning;
-pub use placement::Placement;
+pub use placement::{LocksMemo, Placement};
 pub use size::SizeDistribution;
 pub use spec::{TransactionSpec, WorkloadGenerator, WorkloadParams};

@@ -118,6 +118,58 @@ impl std::fmt::Display for Placement {
     }
 }
 
+/// Memoized [`Placement::locks_required`] for fixed `(placement, ltot,
+/// dbsize)` — the per-run hot path.
+///
+/// `locks_required` is pure in `nu`, but for [`Placement::Random`] each
+/// call evaluates Yao's running product in `O(nu)` multiplications; the
+/// workload generator calls it once per spawned transaction (thousands of
+/// times per run) over at most `maxtransize` distinct `nu` values. This
+/// table computes each `nu` once, lazily, and answers repeats with an
+/// array load. Entries are exactly the function's own outputs, so
+/// memoization cannot change any simulated result.
+#[derive(Clone, Debug)]
+pub struct LocksMemo {
+    placement: Placement,
+    ltot: u64,
+    dbsize: u64,
+    /// `cache[nu] = locks_required(nu)`; `0` marks an unfilled slot
+    /// (valid because `locks_required(nu) >= 1` for `nu >= 1`, and
+    /// `nu = 0` maps to `0` locks without needing the cache).
+    cache: Vec<u64>,
+}
+
+impl LocksMemo {
+    /// A memo table for transactions of up to `max_nu` entities.
+    ///
+    /// # Panics
+    /// Panics (on first lookup) under the same conditions as
+    /// [`Placement::locks_required`].
+    pub fn new(placement: Placement, ltot: u64, dbsize: u64, max_nu: u64) -> Self {
+        LocksMemo {
+            placement,
+            ltot,
+            dbsize,
+            cache: vec![0; (max_nu as usize).saturating_add(1)],
+        }
+    }
+
+    /// Memoized `LU_i` for a transaction accessing `nu` entities. Falls
+    /// back to the direct computation for `nu` beyond the table bound.
+    pub fn locks_required(&mut self, nu: u64) -> u64 {
+        if nu == 0 {
+            return 0;
+        }
+        let Some(slot) = self.cache.get_mut(nu as usize) else {
+            return self.placement.locks_required(nu, self.ltot, self.dbsize);
+        };
+        if *slot == 0 {
+            *slot = self.placement.locks_required(nu, self.ltot, self.dbsize);
+        }
+        *slot
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +259,18 @@ mod tests {
         // ltot = 1: every strategy requires exactly the single lock.
         for p in Placement::ALL {
             assert_eq!(p.locks_required(250, 1, DB), 1);
+        }
+    }
+
+    #[test]
+    fn memo_agrees_with_direct_computation() {
+        for p in Placement::ALL {
+            let mut memo = LocksMemo::new(p, 100, DB, 500);
+            for nu in [0u64, 1, 2, 49, 250, 499, 500, 777, 5000] {
+                // Twice: first fill, then the cached load.
+                assert_eq!(memo.locks_required(nu), p.locks_required(nu, 100, DB));
+                assert_eq!(memo.locks_required(nu), p.locks_required(nu, 100, DB));
+            }
         }
     }
 

@@ -8,7 +8,7 @@
 use lockgran_sim::{FromJson, Json, SimRng, ToJson};
 
 use crate::partitioning::Partitioning;
-use crate::placement::Placement;
+use crate::placement::{LocksMemo, Placement};
 use crate::size::SizeDistribution;
 
 /// Static parameters of the workload (paper §2 input parameters that
@@ -111,6 +111,11 @@ pub struct WorkloadGenerator {
     params: WorkloadParams,
     size_rng: SimRng,
     part_rng: SimRng,
+    /// Memoized `nu → LU` mapping — `locks_required` is pure in `nu` for
+    /// this generator's fixed `(placement, ltot, dbsize)`, and Yao's
+    /// formula (random placement) is `O(nu)` per evaluation, so repeats
+    /// are answered from the table.
+    locks_memo: LocksMemo,
     generated: u64,
 }
 
@@ -129,6 +134,12 @@ impl WorkloadGenerator {
         WorkloadGenerator {
             size_rng: rng.split("workload.size"),
             part_rng: rng.split("workload.partitioning"),
+            locks_memo: LocksMemo::new(
+                params.placement,
+                params.ltot,
+                params.dbsize,
+                params.size.max(),
+            ),
             params,
             generated: 0,
         }
@@ -148,10 +159,7 @@ impl WorkloadGenerator {
     pub fn next_spec(&mut self) -> TransactionSpec {
         self.generated += 1;
         let entities = self.params.size.sample(&mut self.size_rng);
-        let locks =
-            self.params
-                .placement
-                .locks_required(entities, self.params.ltot, self.params.dbsize);
+        let locks = self.locks_memo.locks_required(entities);
         let processors = self
             .params
             .partitioning

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and diff it against the committed baseline.
+#
+# A fresh full (or quick) bench run writes its JSON reports to a scratch
+# directory; `bench_diff` then compares every benchmark's median ns/iter
+# against `results/bench/` and fails on slowdowns beyond the threshold.
+#
+# Usage:
+#   scripts/bench.sh                         full run, diff vs baseline
+#   LOCKGRAN_BENCH_QUICK=1 scripts/bench.sh  smoke-scale run (CI)
+#   LOCKGRAN_BENCH_THRESHOLD=40 scripts/bench.sh   widen the tolerance
+#   scripts/bench.sh --update                full run, then overwrite the
+#                                            committed baseline with it
+#
+# Quick mode shrinks sample counts so medians are noisy — the threshold
+# still applies, so use it as a smoke test, not as a perf gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${LOCKGRAN_BENCH_THRESHOLD:-25}"
+BASELINE="results/bench"
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/lockgran-bench.XXXXXX")"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== cargo bench (reports -> $OUT)"
+LOCKGRAN_BENCH_OUT="$OUT" cargo bench --offline -p lockgran-bench
+
+if [[ "${1:-}" == "--update" ]]; then
+    echo "== updating baseline $BASELINE"
+    mkdir -p "$BASELINE"
+    cp "$OUT"/*.json "$BASELINE"/
+    echo "baseline updated; review and commit results/bench/*.json"
+    exit 0
+fi
+
+echo "== bench_diff (threshold ±${THRESHOLD}%)"
+cargo run --offline -q -p lockgran-bench --bin bench_diff -- \
+    --baseline "$BASELINE" --current "$OUT" --threshold "$THRESHOLD"

@@ -32,4 +32,10 @@ cargo build --offline --release --workspace
 echo "== cargo test"
 cargo test --offline --workspace -q
 
+echo "== determinism under parallelism (jobs = 1/2/8 byte-identical)"
+cargo test --offline -q --test parallel_determinism
+
+echo "== bench smoke (quick scale, diff vs committed baseline)"
+LOCKGRAN_BENCH_QUICK=1 LOCKGRAN_BENCH_THRESHOLD=10000 scripts/bench.sh
+
 echo "verify: OK"

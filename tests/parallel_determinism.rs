@@ -1,0 +1,71 @@
+//! Determinism under parallelism: the sweep fan-out must be a pure
+//! performance knob. `sweep_ltot` at any `--jobs` value has to produce
+//! the same bytes as the sequential run — same seeds, same float
+//! rounding, same ordering.
+
+use lockgran_core::ModelConfig;
+use lockgran_experiments::sweep::sweep_ltot;
+use lockgran_experiments::{RunOptions, SweepPoint};
+use lockgran_sim::ToJson;
+
+/// Serialize a sweep to JSON text — `RunMetrics` has no `PartialEq`, and
+/// byte-identical serialized output is the stronger claim anyway (it is
+/// exactly what the committed figure artifacts are made of).
+fn fingerprint(points: &[SweepPoint]) -> String {
+    let mut s = String::new();
+    for p in points {
+        s.push_str(&format!("ltot={}\n", p.ltot));
+        for m in &p.runs {
+            s.push_str(&m.to_json().to_string());
+            s.push('\n');
+        }
+    }
+    s
+}
+
+fn sweep_with_jobs(jobs: usize) -> Vec<SweepPoint> {
+    let base = ModelConfig::table1();
+    let mut opts = RunOptions::quick();
+    opts.jobs = jobs;
+    sweep_ltot(&base, &opts)
+}
+
+/// The tentpole guarantee: jobs = 1, 2 and 8 produce byte-identical
+/// metrics for every `(ltot, rep)` cell.
+#[test]
+fn sweep_is_byte_identical_across_job_counts() {
+    let sequential = fingerprint(&sweep_with_jobs(1));
+    for jobs in [2, 8] {
+        let parallel = fingerprint(&sweep_with_jobs(jobs));
+        assert_eq!(sequential, parallel, "sweep output diverged at jobs={jobs}");
+    }
+}
+
+/// Multi-replication sweeps gather `(ltot, rep)` cells in submission
+/// order even when reps interleave across workers.
+#[test]
+fn replicated_sweep_identical_across_job_counts() {
+    let base = ModelConfig::table1();
+    let sweep = |jobs: usize| {
+        let opts = RunOptions {
+            quick: false,
+            reps: 3,
+            tmax: Some(400.0),
+            jobs,
+            ..RunOptions::default()
+        };
+        sweep_ltot(&base, &opts)
+    };
+    let a = fingerprint(&sweep(1));
+    let b = fingerprint(&sweep(4));
+    assert_eq!(a, b);
+}
+
+/// `jobs = 0` resolves to a concrete worker count and still matches the
+/// sequential run (the default configuration is the parallel one).
+#[test]
+fn auto_jobs_matches_sequential() {
+    let auto = fingerprint(&sweep_with_jobs(0));
+    let sequential = fingerprint(&sweep_with_jobs(1));
+    assert_eq!(auto, sequential);
+}

@@ -8,7 +8,9 @@
 //! long enough for the closed system to reach steady state).
 
 use lockgran_sim::{FromJson, Json, ToJson};
-use lockgran_workload::{HotSpot, Partitioning, Placement, SizeDistribution, WorkloadParams};
+use lockgran_workload::{
+    FailureSpec, HotSpot, Partitioning, Placement, SizeDistribution, WorkloadParams,
+};
 
 /// Service order for queued sub-transaction work at the resources
 /// (JSON-friendly mirror of [`lockgran_sim::Discipline`]).
@@ -346,6 +348,10 @@ pub struct ModelConfig {
     /// this instant are discarded. The paper uses none (0.0). Optional in
     /// JSON (defaults to `0.0`).
     pub warmup: f64,
+    /// Optional processor failure/repair process (exponential MTBF/MTTR
+    /// per processor). `None` — the paper's model — is bit-identical to
+    /// the pre-extension behavior. Optional in JSON (defaults to `None`).
+    pub failure: Option<FailureSpec>,
 }
 
 impl ToJson for ModelConfig {
@@ -371,6 +377,7 @@ impl ToJson for ModelConfig {
             ("lock_preemption", self.lock_preemption.to_json()),
             ("mpl_limit", self.mpl_limit.to_json()),
             ("warmup", self.warmup.to_json()),
+            ("failure", self.failure.to_json()),
         ])
     }
 }
@@ -402,6 +409,7 @@ impl FromJson for ModelConfig {
             lock_preemption: v.field_or("lock_preemption", true)?,
             mpl_limit: v.opt_field("mpl_limit")?,
             warmup: v.field_or("warmup", 0.0)?,
+            failure: v.opt_field("failure")?,
         })
     }
 }
@@ -432,6 +440,7 @@ impl ModelConfig {
             lock_preemption: true,
             mpl_limit: None,
             warmup: 0.0,
+            failure: None,
         }
     }
 
@@ -537,6 +546,12 @@ impl ModelConfig {
         self.warmup = warmup;
         self
     }
+    /// Enable (or disable with `None`) the processor failure process.
+    #[must_use]
+    pub fn with_failure(mut self, failure: Option<FailureSpec>) -> Self {
+        self.failure = failure;
+        self
+    }
 
     /// The workload-generation view of this configuration.
     pub fn workload_params(&self) -> WorkloadParams {
@@ -598,6 +613,9 @@ impl ModelConfig {
                 "warmup ({}) must be smaller than tmax ({})",
                 self.warmup, self.tmax
             ));
+        }
+        if let Some(f) = &self.failure {
+            f.validate()?;
         }
         Ok(())
     }
@@ -682,6 +700,7 @@ mod tests {
             .with_hot_spot(Some(HotSpot::eighty_twenty()))
             .with_mpl_limit(Some(5))
             .with_lock_preemption(false)
+            .with_failure(Some(FailureSpec::new(2000.0, 50.0)))
             .with_warmup(100.0);
         let text = c.to_json().pretty();
         let back = ModelConfig::from_json(&lockgran_sim::json::parse(&text).unwrap()).unwrap();
@@ -709,6 +728,19 @@ mod tests {
         assert!(c.lock_preemption);
         assert_eq!(c.mpl_limit, None);
         assert_eq!(c.warmup, 0.0);
+        assert_eq!(c.failure, None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_failure_spec() {
+        assert!(ModelConfig::table1()
+            .with_failure(Some(FailureSpec::new(0.0, 50.0)))
+            .validate()
+            .is_err());
+        assert!(ModelConfig::table1()
+            .with_failure(Some(FailureSpec::new(2000.0, 50.0)))
+            .validate()
+            .is_ok());
     }
 
     #[test]

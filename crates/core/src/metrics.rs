@@ -63,6 +63,13 @@ pub struct RunMetrics {
     pub response_time_p95: f64,
     /// Mean number of lock request attempts per completed transaction.
     pub attempts_per_txn: f64,
+    /// Transactions aborted because a processor hosting one of their
+    /// sub-transactions failed (failure extension; 0 without a
+    /// `FailureSpec`).
+    pub aborts: u64,
+    /// Processor failure events within the measurement window (failure
+    /// extension; 0 without a `FailureSpec`).
+    pub failures: u64,
 }
 
 impl ToJson for RunMetrics {
@@ -89,6 +96,8 @@ impl ToJson for RunMetrics {
             ("response_time_std", self.response_time_std.to_json()),
             ("response_time_p95", self.response_time_p95.to_json()),
             ("attempts_per_txn", self.attempts_per_txn.to_json()),
+            ("aborts", self.aborts.to_json()),
+            ("failures", self.failures.to_json()),
         ])
     }
 }

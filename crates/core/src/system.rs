@@ -25,7 +25,7 @@ use lockgran_sim::{
     Class, Completion, CompletionOutcome, Dur, Executor, Histogram, Job, JobId, Model, Server,
     SimRng, Tally, Time, TimeWeighted, Token,
 };
-use lockgran_workload::{access, HotSpot, WorkloadGenerator};
+use lockgran_workload::{access, FailureSpec, HotSpot, WorkloadGenerator};
 
 use crate::config::{ConflictMode, LockDistribution, ModelConfig, ServiceVariability};
 use crate::conflict::{ConflictDecision, ConflictModel, ProbabilisticConflict};
@@ -58,6 +58,16 @@ pub enum Event {
     WarmupReached,
     /// A timeline sampling tick.
     SampleTick,
+    /// Processor `proc` fails (failure extension).
+    Fail {
+        /// Processor index.
+        proc: u32,
+    },
+    /// Processor `proc` comes back from repair (failure extension).
+    Repair {
+        /// Processor index.
+        proc: u32,
+    },
 }
 
 fn mk_server(preemptive: bool, discipline: crate::config::QueueDiscipline) -> Server {
@@ -91,6 +101,47 @@ struct CounterSnapshot {
     io_busy_lock: Dur,
     lock_attempts: u64,
     lock_denials: u64,
+    aborts: u64,
+    failures: u64,
+}
+
+/// Live state of the optional processor fail/repair process. Exists only
+/// when the configuration carries a [`FailureSpec`], so the default model
+/// draws no extra random numbers and stays bit-identical to the
+/// pre-extension behavior.
+struct FailureState {
+    mtbf: Dur,
+    mttr: Dur,
+    /// Dedicated stream (`root.split("failure")`) so up/down draws never
+    /// perturb the workload / conflict / service streams.
+    rng: SimRng,
+    /// Per-processor down flag.
+    down: Vec<bool>,
+    /// Jobs submitted to a down processor's CPU, replayed at repair in
+    /// submission order.
+    stalled_cpu: Vec<Vec<Job>>,
+    /// Jobs submitted to a down processor's disk, replayed at repair.
+    stalled_io: Vec<Vec<Job>>,
+}
+
+impl FailureState {
+    fn new(spec: &FailureSpec, npros: u32, rng: SimRng) -> Self {
+        FailureState {
+            mtbf: Dur::from_units(spec.mtbf),
+            mttr: Dur::from_units(spec.mttr),
+            rng,
+            down: vec![false; npros as usize],
+            stalled_cpu: (0..npros).map(|_| Vec::new()).collect(),
+            stalled_io: (0..npros).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Exponential draw with the given mean, at least one tick.
+    fn draw(&mut self, mean: Dur) -> Dur {
+        let u: f64 = self.rng.uniform01();
+        let ticks = (-(1.0 - u).ln() * mean.ticks() as f64).round() as u64;
+        Dur::from_ticks(ticks.max(1))
+    }
 }
 
 /// The complete model state (see module docs).
@@ -134,10 +185,15 @@ pub struct System {
     pending: VecDeque<u64>,
     pending_tw: TimeWeighted,
 
+    // --- failure extension ---
+    failure: Option<FailureState>,
+
     // --- measurement ---
     lock_attempts: u64,
     lock_denials: u64,
     totcom: u64,
+    aborts: u64,
+    failures: u64,
     /// Reusable wake-list buffer: filled by `ConflictModel::release` at
     /// each completion, so the hot loop never allocates for waking.
     wake_buf: Vec<u64>,
@@ -178,6 +234,17 @@ impl System {
             ex.schedule(warmup, Event::WarmupReached);
         }
 
+        // Failure extension: every processor gets an independent first
+        // failure time from the dedicated stream.
+        let failure = cfg.failure.as_ref().map(|spec| {
+            let mut f = FailureState::new(spec, cfg.npros, root.split("failure"));
+            for p in 0..cfg.npros {
+                let at = Time::ZERO + f.draw(f.mtbf);
+                ex.schedule(at, Event::Fail { proc: p });
+            }
+            f
+        });
+
         System {
             npros: cfg.npros,
             cputime: Dur::from_units(cfg.cputime),
@@ -211,9 +278,12 @@ impl System {
             mpl_limit: cfg.mpl_limit,
             pending: VecDeque::new(),
             pending_tw: TimeWeighted::new(),
+            failure,
             lock_attempts: 0,
             lock_denials: 0,
             totcom: 0,
+            aborts: 0,
+            failures: 0,
             wake_buf: Vec::new(),
             response: Tally::new(),
             response_hist: Histogram::new(cfg.tmax, 2_000),
@@ -381,9 +451,7 @@ impl System {
                 demand: d,
                 class: Class::Lock,
             };
-            if let Some(c) = self.cpu[p].submit(now, job) {
-                Self::schedule_cpu(ex, p as u32, c);
-            }
+            self.submit_cpu(now, p as u32, job, ex);
         }
         for (p, d) in io_shares.into_iter().enumerate() {
             if d.is_zero() {
@@ -394,9 +462,35 @@ impl System {
                 demand: d,
                 class: Class::Lock,
             };
-            if let Some(c) = self.io[p].submit(now, job) {
-                Self::schedule_io(ex, p as u32, c);
+            self.submit_io(now, p as u32, job, ex);
+        }
+    }
+
+    /// Submit a job to processor `proc`'s CPU, unless the processor is
+    /// down — then the job waits in the stall buffer until repair.
+    fn submit_cpu(&mut self, now: Time, proc: u32, job: Job, ex: &mut Executor<Event>) {
+        if let Some(f) = &mut self.failure {
+            if f.down[proc as usize] {
+                f.stalled_cpu[proc as usize].push(job);
+                return;
             }
+        }
+        if let Some(c) = self.cpu[proc as usize].submit(now, job) {
+            Self::schedule_cpu(ex, proc, c);
+        }
+    }
+
+    /// Submit a job to processor `proc`'s disk, unless the processor is
+    /// down — then the job waits in the stall buffer until repair.
+    fn submit_io(&mut self, now: Time, proc: u32, job: Job, ex: &mut Executor<Event>) {
+        if let Some(f) = &mut self.failure {
+            if f.down[proc as usize] {
+                f.stalled_io[proc as usize].push(job);
+                return;
+            }
+        }
+        if let Some(c) = self.io[proc as usize].submit(now, job) {
+            Self::schedule_io(ex, proc, c);
         }
     }
 
@@ -483,9 +577,7 @@ impl System {
                 demand: io_shares[i],
                 class: Class::Transaction,
             };
-            if let Some(c) = self.io[p as usize].submit(now, job) {
-                Self::schedule_io(ex, p, c);
-            }
+            self.submit_io(now, p, job, ex);
         }
     }
 
@@ -510,9 +602,7 @@ impl System {
             demand,
             class: Class::Transaction,
         };
-        if let Some(c) = self.cpu[proc as usize].submit(now, job) {
-            Self::schedule_cpu(ex, proc, c);
-        }
+        self.submit_cpu(now, proc, job, ex);
     }
 
     /// A sub-transaction finished its CPU stage: join, and complete the
@@ -574,6 +664,123 @@ impl System {
         self.spawn_transaction(now, ex);
     }
 
+    /// Processor `proc` fails: mark it down, schedule the repair, and
+    /// abort every *running* transaction with a sub-transaction there.
+    /// Blocked and lock-phase transactions survive (they hold no
+    /// sub-transaction work); their new submissions to this processor
+    /// stall until repair.
+    fn fail_processor(&mut self, now: Time, proc: u32, ex: &mut Executor<Event>) {
+        let Some(f) = &mut self.failure else {
+            return;
+        };
+        debug_assert!(!f.down[proc as usize], "Fail event for a down processor");
+        f.down[proc as usize] = true;
+        let repair_in = f.draw(f.mttr);
+        ex.schedule(now + repair_in, Event::Repair { proc });
+        self.trace(now, TraceEvent::Failed { proc });
+        if self.measuring(now) {
+            self.failures += 1;
+        }
+        // Collect victims before mutating: the wake-ups triggered by each
+        // abort move transactions Blocked → LockPhase, never into Running,
+        // so the victim set cannot grow under our feet.
+        let victims: Vec<u64> = self
+            .txns
+            .iter()
+            .filter(|(_, t)| t.phase == TxnPhase::Running && t.spec.processors.contains(&proc))
+            .map(|(&s, _)| s)
+            .collect();
+        for serial in victims {
+            self.abort(now, serial, ex);
+        }
+    }
+
+    /// Processor `proc` is repaired: replay stalled submissions in their
+    /// original order and schedule the next failure.
+    fn repair_processor(&mut self, now: Time, proc: u32, ex: &mut Executor<Event>) {
+        self.trace(now, TraceEvent::Repaired { proc });
+        let Some(f) = &mut self.failure else {
+            return;
+        };
+        debug_assert!(f.down[proc as usize], "Repair event for an up processor");
+        f.down[proc as usize] = false;
+        let fail_in = f.draw(f.mtbf);
+        ex.schedule(now + fail_in, Event::Fail { proc });
+        let stalled_io = std::mem::take(&mut f.stalled_io[proc as usize]);
+        let stalled_cpu = std::mem::take(&mut f.stalled_cpu[proc as usize]);
+        for job in stalled_io {
+            if let Some(c) = self.io[proc as usize].submit(now, job) {
+                Self::schedule_io(ex, proc, c);
+            }
+        }
+        for job in stalled_cpu {
+            if let Some(c) = self.cpu[proc as usize].submit(now, job) {
+                Self::schedule_cpu(ex, proc, c);
+            }
+        }
+    }
+
+    /// Abort a running transaction because a processor hosting one of its
+    /// sub-transactions failed: withdraw its in-flight work, release all
+    /// its locks through the ordinary wake path (conservative locking —
+    /// no partial writes exist, so no undo is needed), and re-enter the
+    /// lock-request cycle. The transaction keeps its admission slot and
+    /// its arrival time (the paper's response time spans the whole stay).
+    fn abort(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+        self.trace(now, TraceEvent::Aborted { serial });
+        if self.measuring(now) {
+            self.aborts += 1;
+        }
+        let processors = self.txn(serial).spec.processors.clone();
+        let io_id = job_id(serial, KIND_SUB_IO);
+        let cpu_id = job_id(serial, KIND_SUB_CPU);
+        for &p in &processors {
+            if let lockgran_sim::CancelOutcome::InService { next: Some(c), .. } =
+                self.io[p as usize].cancel(now, io_id)
+            {
+                Self::schedule_io(ex, p, c);
+            }
+            if let lockgran_sim::CancelOutcome::InService { next: Some(c), .. } =
+                self.cpu[p as usize].cancel(now, cpu_id)
+            {
+                Self::schedule_cpu(ex, p, c);
+            }
+        }
+        // Sub-transaction work parked behind *another* down processor must
+        // not resurface at its repair.
+        if let Some(f) = &mut self.failure {
+            for buf in &mut f.stalled_io {
+                buf.retain(|j| j.id != io_id);
+            }
+            for buf in &mut f.stalled_cpu {
+                buf.retain(|j| j.id != cpu_id);
+            }
+        }
+        {
+            let txn = self.txn_mut(serial);
+            debug_assert_eq!(txn.phase, TxnPhase::Running);
+            txn.subtxns_outstanding = 0;
+            txn.cpu_shares.clear();
+        }
+        // Release locks and wake waiters — the same dance as `complete`.
+        let mut woken = std::mem::take(&mut self.wake_buf);
+        woken.clear();
+        self.conflict.release(serial, &mut woken);
+        self.active_tw
+            .record(now, self.conflict.active_count() as f64);
+        for &w in &woken {
+            debug_assert_eq!(self.txns[&w].phase, TxnPhase::Blocked);
+            self.trace(now, TraceEvent::Woken { serial: w });
+            self.blocked_count -= 1;
+            self.blocked_tw.record(now, f64::from(self.blocked_count));
+            self.begin_lock_phase(now, w, ex);
+        }
+        self.wake_buf = woken;
+        // Re-execute from the lock request (a fresh attempt, so the
+        // repeated lock overhead is charged again).
+        self.begin_lock_phase(now, serial, ex);
+    }
+
     fn take_snapshot(&mut self, now: Time) {
         for s in self.cpu.iter_mut().chain(self.io.iter_mut()) {
             s.flush(now);
@@ -587,6 +794,8 @@ impl System {
             io_busy_lock: sum(&self.io, &|s| s.busy_time(Class::Lock)),
             lock_attempts: self.lock_attempts,
             lock_denials: self.lock_denials,
+            aborts: self.aborts,
+            failures: self.failures,
         };
         self.active_tw.reset(now);
         self.blocked_tw.reset(now);
@@ -638,6 +847,8 @@ impl System {
             response_time_std: self.response.std_dev(),
             response_time_p95: self.response_hist.quantile(0.95).unwrap_or(0.0),
             attempts_per_txn: self.attempts_per_txn.mean(),
+            aborts: self.aborts - self.snapshot.aborts,
+            failures: self.failures - self.snapshot.failures,
         }
     }
 
@@ -666,6 +877,8 @@ impl Model for System {
             Event::Arrive => self.spawn_transaction(now, ex),
             Event::WarmupReached => self.take_snapshot(now),
             Event::SampleTick => self.sample_tick(now, ex),
+            Event::Fail { proc } => self.fail_processor(now, proc, ex),
+            Event::Repair { proc } => self.repair_processor(now, proc, ex),
             Event::CpuDone { proc, token } => {
                 match self.cpu[proc as usize].on_completion(now, token) {
                     CompletionOutcome::Stale => {}

@@ -60,11 +60,29 @@ pub enum TraceEvent {
         /// Transaction serial.
         serial: u64,
     },
+    /// A running transaction was aborted (a processor hosting one of its
+    /// sub-transactions failed); its locks were released and it will
+    /// re-request.
+    Aborted {
+        /// Transaction serial.
+        serial: u64,
+    },
+    /// A processor failed; its CPU and disk stall until repair.
+    Failed {
+        /// Processor index.
+        proc: u32,
+    },
+    /// A failed processor came back; stalled work resumes.
+    Repaired {
+        /// Processor index.
+        proc: u32,
+    },
 }
 
 impl TraceEvent {
-    /// The transaction this event belongs to.
-    pub fn serial(&self) -> u64 {
+    /// The transaction this event belongs to, if any (`Failed` and
+    /// `Repaired` are machine-level events with no owning transaction).
+    pub fn serial(&self) -> Option<u64> {
         match *self {
             TraceEvent::Arrived { serial }
             | TraceEvent::LockRequested { serial, .. }
@@ -73,7 +91,9 @@ impl TraceEvent {
             | TraceEvent::Woken { serial }
             | TraceEvent::SubIoDone { serial, .. }
             | TraceEvent::SubCpuDone { serial, .. }
-            | TraceEvent::Completed { serial } => serial,
+            | TraceEvent::Completed { serial }
+            | TraceEvent::Aborted { serial } => Some(serial),
+            TraceEvent::Failed { .. } | TraceEvent::Repaired { .. } => None,
         }
     }
 }
@@ -111,7 +131,7 @@ impl VecTracer {
     pub fn of(&self, serial: u64) -> Vec<&TraceEvent> {
         self.events
             .iter()
-            .filter(|(_, e)| e.serial() == serial)
+            .filter(|(_, e)| e.serial() == Some(serial))
             .map(|(_, e)| e)
             .collect()
     }
@@ -137,11 +157,20 @@ impl VecTracer {
             if !matches!(evs.last(), Some(Completed { .. })) {
                 return Err(format!("txn {serial}: does not end with Completed"));
             }
-            // 2. Exactly one grant; every denial is followed by a wake
-            //    then a new request; attempts number consecutively.
-            let mut granted = 0;
+            // 2. Grant/abort accounting: each abort forces a re-execution,
+            //    so a completed transaction has exactly `aborts + 1`
+            //    grants. Every denial is followed by a wake then a new
+            //    request; attempts number consecutively. Resource work is
+            //    only legal while holding locks (between a grant and its
+            //    completion/abort), and within each execution cycle the
+            //    CPU stage on a processor comes strictly after its I/O
+            //    stage.
+            let mut granted = 0u32;
+            let mut aborted = 0u32;
             let mut expect_attempt = 1;
             let mut last_was_denied = false;
+            let mut holding = false;
+            let mut io_procs = Vec::new();
             for e in &evs {
                 match e {
                     LockRequested { attempt, .. } => {
@@ -155,6 +184,8 @@ impl VecTracer {
                     Granted { .. } => {
                         granted += 1;
                         last_was_denied = false;
+                        holding = true;
+                        io_procs.clear();
                     }
                     Denied { .. } => last_was_denied = true,
                     Woken { .. } => {
@@ -163,34 +194,44 @@ impl VecTracer {
                         }
                         last_was_denied = false;
                     }
-                    _ => {}
-                }
-            }
-            if granted != 1 {
-                return Err(format!("txn {serial}: granted {granted} times"));
-            }
-            // 3. No sub-transaction work before the grant.
-            let Some(grant_pos) = evs.iter().position(|e| matches!(e, Granted { .. })) else {
-                return Err(format!("txn {serial}: grant counted but not found"));
-            };
-            if evs[..grant_pos]
-                .iter()
-                .any(|e| matches!(e, SubIoDone { .. } | SubCpuDone { .. }))
-            {
-                return Err(format!("txn {serial}: resource work before grant"));
-            }
-            // 4. Per processor: CPU stage strictly after the I/O stage.
-            let mut io_procs = Vec::new();
-            for e in &evs[grant_pos..] {
-                match e {
-                    SubIoDone { proc, .. } => io_procs.push(*proc),
-                    SubCpuDone { proc, .. } if !io_procs.contains(proc) => {
-                        return Err(format!(
-                            "txn {serial}: CPU stage on proc {proc} before its I/O stage"
-                        ));
+                    Aborted { .. } => {
+                        if !holding {
+                            return Err(format!("txn {serial}: aborted without holding locks"));
+                        }
+                        aborted += 1;
+                        holding = false;
+                        last_was_denied = false;
+                        io_procs.clear();
+                    }
+                    SubIoDone { proc, .. } => {
+                        if !holding {
+                            return Err(format!("txn {serial}: resource work before grant"));
+                        }
+                        io_procs.push(*proc);
+                    }
+                    SubCpuDone { proc, .. } => {
+                        if !holding {
+                            return Err(format!("txn {serial}: resource work before grant"));
+                        }
+                        if !io_procs.contains(proc) {
+                            return Err(format!(
+                                "txn {serial}: CPU stage on proc {proc} before its I/O stage"
+                            ));
+                        }
+                    }
+                    Completed { .. } => {
+                        if !holding {
+                            return Err(format!("txn {serial}: completed without holding locks"));
+                        }
+                        holding = false;
                     }
                     _ => {}
                 }
+            }
+            if granted != aborted + 1 {
+                return Err(format!(
+                    "txn {serial}: granted {granted} times with {aborted} aborts"
+                ));
             }
         }
         Ok(())
@@ -342,6 +383,103 @@ mod tests {
             .check_protocol()
             .unwrap_err()
             .contains("woken without denial"));
+    }
+
+    #[test]
+    fn protocol_accepts_abort_and_reexecution() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
+            Granted { serial: 1 },
+            SubIoDone { serial: 1, proc: 0 },
+            Failed { proc: 1 },
+            Aborted { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 2,
+            },
+            Granted { serial: 1 },
+            SubIoDone { serial: 1, proc: 0 },
+            SubCpuDone { serial: 1, proc: 0 },
+            Repaired { proc: 1 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        tr.check_protocol().unwrap();
+    }
+
+    #[test]
+    fn protocol_rejects_work_between_abort_and_regrant() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
+            Granted { serial: 1 },
+            Aborted { serial: 1 },
+            SubIoDone { serial: 1, proc: 0 },
+            LockRequested {
+                serial: 1,
+                attempt: 2,
+            },
+            Granted { serial: 1 },
+            SubIoDone { serial: 1, proc: 0 },
+            SubCpuDone { serial: 1, proc: 0 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        assert!(tr
+            .check_protocol()
+            .unwrap_err()
+            .contains("resource work before grant"));
+    }
+
+    #[test]
+    fn protocol_requires_cpu_after_io_per_execution_cycle() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        // The I/O stage from the first (aborted) execution must not
+        // satisfy the CPU-after-I/O rule of the second execution.
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
+            Granted { serial: 1 },
+            SubIoDone { serial: 1, proc: 0 },
+            Aborted { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 2,
+            },
+            Granted { serial: 1 },
+            SubCpuDone { serial: 1, proc: 0 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        assert!(tr
+            .check_protocol()
+            .unwrap_err()
+            .contains("before its I/O stage"));
+    }
+
+    #[test]
+    fn machine_events_have_no_serial() {
+        assert_eq!(TraceEvent::Failed { proc: 3 }.serial(), None);
+        assert_eq!(TraceEvent::Repaired { proc: 3 }.serial(), None);
+        assert_eq!(TraceEvent::Aborted { serial: 9 }.serial(), Some(9));
     }
 
     #[test]

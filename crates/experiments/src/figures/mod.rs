@@ -8,6 +8,7 @@
 pub mod ext_admission;
 pub mod ext_conflict;
 pub mod ext_discipline;
+pub mod ext_failure;
 pub mod ext_hotspot;
 pub mod ext_resource_balance;
 pub mod fig02;
@@ -109,6 +110,7 @@ pub fn run_by_id(id: &str, opts: &RunOptions) -> Option<Figure> {
         "extC" => ext_discipline::run(opts),
         "extD" => ext_hotspot::run(opts),
         "extE" => ext_resource_balance::run(opts),
+        "extF" => ext_failure::run(opts),
         _ => return None,
     })
 }
@@ -120,4 +122,4 @@ pub const ALL_IDS: [&str; 12] = [
 ];
 
 /// Extension experiments beyond the paper.
-pub const EXT_IDS: [&str; 5] = ["extA", "extB", "extC", "extD", "extE"];
+pub const EXT_IDS: [&str; 6] = ["extA", "extB", "extC", "extD", "extE", "extF"];

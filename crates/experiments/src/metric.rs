@@ -32,11 +32,13 @@ pub enum Metric {
     CpuUtilization,
     /// Mean I/O utilization.
     IoUtilization,
+    /// Failure-induced transaction aborts (failure extension).
+    Aborts,
 }
 
 impl Metric {
     /// All metrics, for CLI listings.
-    pub const ALL: [Metric; 11] = [
+    pub const ALL: [Metric; 12] = [
         Metric::Throughput,
         Metric::ResponseTime,
         Metric::UsefulCpu,
@@ -48,6 +50,7 @@ impl Metric {
         Metric::MeanActive,
         Metric::CpuUtilization,
         Metric::IoUtilization,
+        Metric::Aborts,
     ];
 
     /// Extract this metric from a run.
@@ -64,6 +67,7 @@ impl Metric {
             Metric::MeanActive => m.mean_active,
             Metric::CpuUtilization => m.cpu_utilization,
             Metric::IoUtilization => m.io_utilization,
+            Metric::Aborts => m.aborts as f64,
         }
     }
 
@@ -81,6 +85,7 @@ impl Metric {
             Metric::MeanActive => "mean_active",
             Metric::CpuUtilization => "cpu_utilization",
             Metric::IoUtilization => "io_utilization",
+            Metric::Aborts => "aborts",
         }
     }
 }
@@ -102,6 +107,7 @@ impl ToJson for Metric {
                 Metric::MeanActive => "MeanActive",
                 Metric::CpuUtilization => "CpuUtilization",
                 Metric::IoUtilization => "IoUtilization",
+                Metric::Aborts => "Aborts",
             }
             .to_string(),
         )
@@ -122,6 +128,7 @@ impl FromJson for Metric {
             Some("MeanActive") => Ok(Metric::MeanActive),
             Some("CpuUtilization") => Ok(Metric::CpuUtilization),
             Some("IoUtilization") => Ok(Metric::IoUtilization),
+            Some("Aborts") => Ok(Metric::Aborts),
             _ => Err(format!("expected metric variant name, got {v}")),
         }
     }

@@ -141,6 +141,12 @@ impl SweepPoint {
 /// and the pool gathers results in submission order, so the output is
 /// bit-identical at any worker count (`jobs = 1` runs the exact
 /// sequential loop).
+///
+/// Fault isolation: each `(ltot, rep)` task runs under
+/// [`WorkerPool::try_run`], so one poisoned pair degrades its sweep point
+/// (a stderr warning, one fewer replication) instead of aborting the
+/// whole sweep. Only a point losing *every* replication panics — there is
+/// no honest way to report a sweep point with no data.
 pub fn sweep_ltot(base: &ModelConfig, opts: &RunOptions) -> Vec<SweepPoint> {
     let root = SimRng::new(opts.seed);
     let reps = opts.effective_reps();
@@ -158,13 +164,31 @@ pub fn sweep_ltot(base: &ModelConfig, opts: &RunOptions) -> Vec<SweepPoint> {
             })
         })
         .collect();
-    let runs = WorkerPool::new(opts.effective_jobs()).run(tasks);
+    let results = WorkerPool::new(opts.effective_jobs()).try_run(tasks);
     opts.ltots()
         .iter()
-        .zip(runs.chunks(reps as usize))
-        .map(|(&ltot, chunk)| SweepPoint {
-            ltot,
-            runs: chunk.to_vec(),
+        .zip(results.chunks(reps as usize))
+        .map(|(&ltot, chunk)| {
+            let runs: Vec<RunMetrics> = chunk
+                .iter()
+                .filter_map(|r| match r {
+                    Ok(m) => Some(m.clone()),
+                    Err(p) => {
+                        eprintln!(
+                            "warning: sweep point ltot={ltot}: {p}; dropping this replication"
+                        );
+                        None
+                    }
+                })
+                .collect();
+            if runs.is_empty() {
+                // lint:allow(P001): a point that lost every replication
+                // has no data to report; the caller's fault isolation
+                // (try_run around the figure) turns this into a figure-
+                // level error instead of a process abort
+                panic!("sweep point ltot={ltot}: every replication panicked");
+            }
+            SweepPoint { ltot, runs }
         })
         .collect()
 }

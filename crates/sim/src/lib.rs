@@ -78,8 +78,10 @@ pub use calendar::CalendarQueue;
 pub use engine::{Executor, Model};
 pub use event::EventQueue;
 pub use json::{FromJson, Json, ToJson};
-pub use pool::WorkerPool;
+pub use pool::{TaskPanic, WorkerPool};
 pub use rng::SimRng;
-pub use server::{Class, Completion, CompletionOutcome, Discipline, Job, JobId, Server, Token};
+pub use server::{
+    CancelOutcome, Class, Completion, CompletionOutcome, Discipline, Job, JobId, Server, Token,
+};
 pub use stats::{BusyTime, Histogram, Tally, TimeWeighted};
 pub use time::{Dur, Time, TICKS_PER_UNIT};

@@ -21,11 +21,39 @@
 //! raw threading primitives; lint rule D004 enforces that everything else
 //! goes through the pool (see `crates/lint`).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "LOCKGRAN_JOBS";
+
+/// A task that panicked inside [`WorkerPool::try_run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Submission index of the failed task.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str` / `String` payloads
+    /// verbatim; anything else as a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task #{} panicked: {}", self.index, self.message)
+    }
+}
+
+/// Render a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A fixed-size worker pool with deterministic result ordering.
 #[derive(Clone, Debug)]
@@ -47,16 +75,35 @@ impl WorkerPool {
     /// Resolve a job count: `Some(n)` is used as given; `None` falls back
     /// to the `LOCKGRAN_JOBS` environment variable, then to the host's
     /// available parallelism. The returned value is always ≥ 1.
+    ///
+    /// A set-but-unparsable `LOCKGRAN_JOBS` is *not* silently ignored: a
+    /// one-line warning goes to stderr before falling back, so a typo like
+    /// `LOCKGRAN_JOBS=4x` is visible instead of quietly changing the
+    /// worker count.
     pub fn resolve_jobs(requested: Option<usize>) -> usize {
         if let Some(n) = requested {
             return n.max(1);
         }
         if let Some(v) = std::env::var_os(JOBS_ENV) {
-            if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
-                return n.max(1);
+            match Self::parse_jobs(&v.to_string_lossy()) {
+                Ok(n) => return n,
+                Err(e) => eprintln!(
+                    "warning: ignoring {JOBS_ENV}={}: {e}; falling back to available parallelism",
+                    v.to_string_lossy()
+                ),
             }
         }
         Self::available_parallelism()
+    }
+
+    /// Parse a `LOCKGRAN_JOBS`-style value into a worker count ≥ 1.
+    /// Factored out of [`WorkerPool::resolve_jobs`] so the parse rules are
+    /// testable without mutating process-global environment state.
+    pub fn parse_jobs(value: &str) -> Result<usize, String> {
+        match value.trim().parse::<usize>() {
+            Ok(n) => Ok(n.max(1)),
+            Err(_) => Err(format!("expected a non-negative integer, got '{value}'")),
+        }
     }
 
     /// Number of workers this pool runs.
@@ -132,6 +179,35 @@ impl WorkerPool {
             .map(|slot| slot.expect("task produced no result"))
             .collect()
     }
+
+    /// Execute every task with per-task panic isolation, returning one
+    /// `Result` per task **in submission order**.
+    ///
+    /// Unlike [`WorkerPool::run`], a panicking task does not abort the
+    /// batch (or poison sibling workers): each task runs under
+    /// `catch_unwind`, so a poisoned input degrades to an `Err` carrying
+    /// the submission index and the panic payload while every other task
+    /// completes normally. The scheduling discipline (shared cursor,
+    /// indexed gather, sequential `jobs = 1` baseline) is exactly `run`'s.
+    pub fn try_run<T, F>(&self, tasks: Vec<F>) -> Vec<Result<T, TaskPanic>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let wrapped: Vec<_> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(index, task)| {
+                move || {
+                    catch_unwind(AssertUnwindSafe(task)).map_err(|payload| TaskPanic {
+                        index,
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            })
+            .collect();
+        self.run(wrapped)
+    }
 }
 
 impl Default for WorkerPool {
@@ -180,6 +256,64 @@ mod tests {
     fn resolve_explicit_request_wins() {
         assert_eq!(WorkerPool::resolve_jobs(Some(5)), 5);
         assert_eq!(WorkerPool::resolve_jobs(Some(0)), 1);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_integers_and_clamps_zero() {
+        assert_eq!(WorkerPool::parse_jobs("4"), Ok(4));
+        assert_eq!(WorkerPool::parse_jobs(" 8 "), Ok(8));
+        assert_eq!(WorkerPool::parse_jobs("0"), Ok(1));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_garbage() {
+        assert!(WorkerPool::parse_jobs("4x").is_err());
+        assert!(WorkerPool::parse_jobs("").is_err());
+        assert!(WorkerPool::parse_jobs("-2").is_err());
+    }
+
+    #[test]
+    fn try_run_isolates_a_panicking_task() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..6u32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("poisoned input {i}");
+                    }
+                    i * 10
+                }) as Box<dyn FnOnce() -> u32 + Send>
+            })
+            .collect();
+        let out = WorkerPool::new(4).try_run(tasks);
+        assert_eq!(out.len(), 6);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let err = r.as_ref().unwrap_err();
+                assert_eq!(err.index, 3);
+                assert_eq!(err.message, "poisoned input 3");
+                assert_eq!(err.to_string(), "task #3 panicked: poisoned input 3");
+            } else {
+                assert_eq!(*r, Ok(i as u32 * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_sequential_path_also_isolates_panics() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| panic!("first")), Box::new(|| 7)];
+        let out = WorkerPool::new(1).try_run(tasks);
+        assert!(out[0].is_err());
+        assert_eq!(out[1], Ok(7));
+    }
+
+    #[test]
+    fn try_run_all_ok_matches_run() {
+        let mk = || (0..16u64).map(|i| move || i * i).collect::<Vec<_>>();
+        let plain = WorkerPool::new(4).run(mk());
+        let tried = WorkerPool::new(4).try_run(mk());
+        let unwrapped: Vec<u64> = tried.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(plain, unwrapped);
     }
 
     #[test]

@@ -105,6 +105,25 @@ pub enum CompletionOutcome {
     },
 }
 
+/// Result of cancelling a job by id (see [`Server::cancel`]).
+#[derive(Debug)]
+pub enum CancelOutcome {
+    /// No job with that id is queued or in service.
+    NotFound,
+    /// The job was waiting in a queue; it never received service.
+    Dequeued(Job),
+    /// The job was in service. Its partial service is charged as busy
+    /// time (the work is genuinely wasted, not refunded), its completion
+    /// token is now stale, and if another job started service its
+    /// completion must be scheduled.
+    InService {
+        /// The cancelled job with its *remaining* (unserved) demand.
+        job: Job,
+        /// Completion of the next job now in service, if any.
+        next: Option<Completion>,
+    },
+}
+
 struct InService {
     job: Job,
     segment_start: Time,
@@ -272,6 +291,43 @@ impl Server {
                 }
             }
             _ => CompletionOutcome::Stale,
+        }
+    }
+
+    /// Remove a job by id, wherever it is (in service or queued).
+    ///
+    /// Used by the failure model to withdraw a dead transaction's work. A
+    /// queued job simply leaves its queue; an in-service job has its
+    /// segment closed at `now` (charging the partial service as busy
+    /// time — failed work costs real resource time) and the next
+    /// head-of-line job, if any, enters service. The cancelled job's old
+    /// completion token becomes stale automatically, since only the
+    /// current segment's token is honoured by [`Server::on_completion`].
+    pub fn cancel(&mut self, now: Time, id: JobId) -> CancelOutcome {
+        if self.current.as_ref().is_some_and(|cur| cur.job.id == id) {
+            let job = self.close_segment(now);
+            let next = self
+                .lock_queue
+                .pop_front()
+                .or_else(|| self.pop_txn())
+                .map(|j| self.start(now, j));
+            self.population.record(now, self.jobs_present() as f64);
+            return CancelOutcome::InService { job, next };
+        }
+        let dequeued = [&mut self.lock_queue, &mut self.txn_queue]
+            .into_iter()
+            .find_map(|queue| {
+                queue
+                    .iter()
+                    .position(|j| j.id == id)
+                    .and_then(|pos| queue.remove(pos))
+            });
+        match dequeued {
+            Some(job) => {
+                self.population.record(now, self.jobs_present() as f64);
+                CancelOutcome::Dequeued(job)
+            }
+            None => CancelOutcome::NotFound,
         }
     }
 
@@ -573,6 +629,101 @@ mod tests {
                 (33, JobId(2), Class::Transaction),
             ]
         );
+    }
+
+    #[test]
+    fn cancel_in_service_charges_partial_busy_and_starts_next() {
+        let mut server = Server::new();
+        let c1 = server
+            .submit(Time::from_ticks(0), job(1, 10, Class::Transaction))
+            .unwrap();
+        assert!(server
+            .submit(Time::from_ticks(1), job(2, 4, Class::Transaction))
+            .is_none());
+        match server.cancel(Time::from_ticks(6), JobId(1)) {
+            CancelOutcome::InService { job: j, next } => {
+                assert_eq!(j.id, JobId(1));
+                assert_eq!(j.demand, Dur::from_ticks(4)); // 10 − 6 unserved
+                let next = next.expect("queued job should enter service");
+                assert_eq!(next.at, Time::from_ticks(10)); // 6 + 4
+                                                           // The cancelled job's old token is now stale.
+                match server.on_completion(Time::from_ticks(10), c1.token) {
+                    CompletionOutcome::Stale => {}
+                    other => panic!("expected Stale, got {other:?}"),
+                }
+                match server.on_completion(Time::from_ticks(10), next.token) {
+                    CompletionOutcome::Finished { job: j2, next } => {
+                        assert_eq!(j2.id, JobId(2));
+                        assert!(next.is_none());
+                    }
+                    other => panic!("expected Finished, got {other:?}"),
+                }
+            }
+            other => panic!("expected InService, got {other:?}"),
+        }
+        // 6 ticks of wasted service on job 1 + 4 ticks on job 2.
+        assert_eq!(server.busy_time(Class::Transaction), Dur::from_ticks(10));
+        assert_eq!(server.completed(Class::Transaction), 1);
+        assert!(server.is_idle());
+    }
+
+    #[test]
+    fn cancel_queued_job_leaves_service_untouched() {
+        let mut server = Server::new();
+        let c1 = server
+            .submit(Time::from_ticks(0), job(1, 10, Class::Transaction))
+            .unwrap();
+        assert!(server
+            .submit(Time::from_ticks(1), job(2, 4, Class::Transaction))
+            .is_none());
+        match server.cancel(Time::from_ticks(3), JobId(2)) {
+            CancelOutcome::Dequeued(j) => {
+                assert_eq!(j.id, JobId(2));
+                assert_eq!(j.demand, Dur::from_ticks(4)); // never served
+            }
+            other => panic!("expected Dequeued, got {other:?}"),
+        }
+        // Job 1 still completes on its original schedule.
+        match server.on_completion(Time::from_ticks(10), c1.token) {
+            CompletionOutcome::Finished { job: j, next } => {
+                assert_eq!(j.id, JobId(1));
+                assert!(next.is_none());
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_missing_job_is_not_found() {
+        let mut server = Server::new();
+        server.submit(Time::from_ticks(0), job(1, 10, Class::Transaction));
+        assert!(matches!(
+            server.cancel(Time::from_ticks(2), JobId(99)),
+            CancelOutcome::NotFound
+        ));
+    }
+
+    #[test]
+    fn cancel_queued_lock_job() {
+        let mut server = Server::new();
+        server.submit(Time::from_ticks(0), job(1, 10, Class::Lock));
+        assert!(server
+            .submit(Time::from_ticks(1), job(2, 3, Class::Lock))
+            .is_none());
+        match server.cancel(Time::from_ticks(2), JobId(2)) {
+            CancelOutcome::Dequeued(j) => assert_eq!(j.id, JobId(2)),
+            other => panic!("expected Dequeued, got {other:?}"),
+        }
+        assert_eq!(server.jobs_present(), 1);
+    }
+
+    #[test]
+    fn cancel_idle_server_is_not_found() {
+        let mut server = Server::new();
+        assert!(matches!(
+            server.cancel(Time::from_ticks(0), JobId(1)),
+            CancelOutcome::NotFound
+        ));
     }
 
     #[test]

@@ -20,10 +20,13 @@
 //!   used to validate that approximation.
 //! * [`spec`] — the [`TransactionSpec`] produced for each new transaction,
 //!   plus the [`WorkloadGenerator`] that draws them.
+//! * [`failure`] — the optional processor fail/repair process
+//!   ([`FailureSpec`], exponential MTBF/MTTR), default off.
 
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod failure;
 pub mod partitioning;
 pub mod placement;
 pub mod size;
@@ -31,6 +34,7 @@ pub mod spec;
 pub mod yao;
 
 pub use access::{AccessPattern, HotSpot};
+pub use failure::FailureSpec;
 pub use partitioning::Partitioning;
 pub use placement::{LocksMemo, Placement};
 pub use size::SizeDistribution;

@@ -58,5 +58,5 @@ pub mod prelude {
         ServiceVariability, TimelinePoint,
     };
     pub use lockgran_experiments::{Figure, Metric, RunOptions};
-    pub use lockgran_workload::{HotSpot, Partitioning, Placement, SizeDistribution};
+    pub use lockgran_workload::{FailureSpec, HotSpot, Partitioning, Placement, SizeDistribution};
 }

@@ -1,0 +1,138 @@
+//! Properties of the failure/abort path (failure extension).
+//!
+//! With a `FailureSpec` enabled, processors fail and repair; every
+//! running transaction with a sub-transaction on a failed processor
+//! aborts, releases its locks through the ordinary wake path, and
+//! re-executes. These tests pin the protocol-level guarantees: locks are
+//! acquired/released in strict alternation (released exactly once per
+//! grant), the trace satisfies the abort-aware protocol checker, the
+//! `aborts`/`failures` counters agree with the trace, and the whole thing
+//! is deterministic.
+
+use lockgran::prelude::*;
+use lockgran::sim::ToJson;
+use lockgran_core::sim::run_traced;
+use lockgran_core::TraceEvent;
+
+/// An aggressive failure regime over a short horizon: several failures
+/// per processor, so aborts actually happen.
+fn failing_config() -> ModelConfig {
+    ModelConfig::table1()
+        .with_tmax(800.0)
+        .with_failure(Some(FailureSpec::new(150.0, 30.0)))
+}
+
+#[test]
+fn failure_run_satisfies_abort_aware_protocol() {
+    let (metrics, trace) = run_traced(&failing_config(), 42);
+    trace.check_protocol().unwrap();
+    metrics.check_consistency(10).unwrap();
+    assert!(
+        metrics.failures > 0,
+        "the failure regime produced no failures"
+    );
+    assert!(metrics.aborts > 0, "the failure regime produced no aborts");
+}
+
+/// With warmup 0, the metric counters must equal the trace event counts.
+#[test]
+fn abort_and_failure_counters_match_trace() {
+    let (metrics, trace) = run_traced(&failing_config(), 7);
+    let aborted = trace
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::Aborted { .. }))
+        .count() as u64;
+    let failed = trace
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::Failed { .. }))
+        .count() as u64;
+    assert_eq!(metrics.aborts, aborted);
+    assert_eq!(metrics.failures, failed);
+}
+
+/// Locks are released exactly once per acquisition: for every
+/// transaction, the Granted / Aborted / Completed events alternate
+/// strictly — a grant is always closed by exactly one abort or
+/// completion before the next grant. A double release or a leaked hold
+/// would break the alternation.
+#[test]
+fn locks_released_exactly_once_per_grant() {
+    let (_, trace) = run_traced(&failing_config(), 11);
+    let mut serials: Vec<u64> = trace
+        .events
+        .iter()
+        .filter_map(|(_, e)| e.serial())
+        .collect();
+    serials.sort_unstable();
+    serials.dedup();
+    let mut saw_abort = false;
+    for serial in serials {
+        let mut holding = false;
+        for e in trace.of(serial) {
+            match e {
+                TraceEvent::Granted { .. } => {
+                    assert!(!holding, "txn {serial}: granted while already holding");
+                    holding = true;
+                }
+                TraceEvent::Aborted { .. } => {
+                    assert!(holding, "txn {serial}: aborted while not holding");
+                    holding = false;
+                    saw_abort = true;
+                }
+                TraceEvent::Completed { .. } => {
+                    assert!(holding, "txn {serial}: completed while not holding");
+                    holding = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(saw_abort, "no abort exercised the alternation check");
+}
+
+/// Every failure is eventually followed by the matching repair (within
+/// the horizon), and per processor they alternate strictly.
+#[test]
+fn failures_and_repairs_alternate_per_processor() {
+    let (_, trace) = run_traced(&failing_config(), 3);
+    for proc in 0..10u32 {
+        let mut down = false;
+        for (_, e) in &trace.events {
+            match e {
+                TraceEvent::Failed { proc: p } if *p == proc => {
+                    assert!(!down, "proc {proc}: failed while down");
+                    down = true;
+                }
+                TraceEvent::Repaired { proc: p } if *p == proc => {
+                    assert!(down, "proc {proc}: repaired while up");
+                    down = false;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The failure path is deterministic: same seed, same metrics bytes.
+#[test]
+fn failure_runs_are_deterministic() {
+    let a = run(&failing_config(), 99).to_json().to_string();
+    let b = run(&failing_config(), 99).to_json().to_string();
+    assert_eq!(a, b);
+}
+
+/// Without a `FailureSpec` nothing fails and nothing aborts — and the
+/// extension fields sit at zero.
+#[test]
+fn no_failure_spec_means_no_aborts() {
+    let cfg = ModelConfig::table1().with_tmax(800.0);
+    let (metrics, trace) = run_traced(&cfg, 42);
+    assert_eq!(metrics.aborts, 0);
+    assert_eq!(metrics.failures, 0);
+    assert!(!trace.events.iter().any(|(_, e)| matches!(
+        e,
+        TraceEvent::Failed { .. } | TraceEvent::Repaired { .. } | TraceEvent::Aborted { .. }
+    )));
+}

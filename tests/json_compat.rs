@@ -65,7 +65,8 @@ fn table1_pretty_emit_is_stable() {
   \"hot_spot\": null,
   \"lock_preemption\": true,
   \"mpl_limit\": null,
-  \"warmup\": 0.0
+  \"warmup\": 0.0,
+  \"failure\": null
 }";
     assert_eq!(ModelConfig::table1().to_json().pretty(), expected);
 }

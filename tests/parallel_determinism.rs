@@ -7,6 +7,7 @@ use lockgran_core::ModelConfig;
 use lockgran_experiments::sweep::sweep_ltot;
 use lockgran_experiments::{RunOptions, SweepPoint};
 use lockgran_sim::ToJson;
+use lockgran_workload::FailureSpec;
 
 /// Serialize a sweep to JSON text — `RunMetrics` has no `PartialEq`, and
 /// byte-identical serialized output is the stronger claim anyway (it is
@@ -68,4 +69,25 @@ fn auto_jobs_matches_sequential() {
     let auto = fingerprint(&sweep_with_jobs(0));
     let sequential = fingerprint(&sweep_with_jobs(1));
     assert_eq!(auto, sequential);
+}
+
+/// The failure extension keeps the guarantee: an extF-style sweep with
+/// processors failing and transactions aborting is byte-identical at
+/// `--jobs 1` and `--jobs 4`. Failure randomness comes from the run's
+/// own seed, never from worker scheduling.
+#[test]
+fn failure_sweep_identical_across_job_counts() {
+    let base = ModelConfig::table1().with_failure(Some(FailureSpec::new(150.0, 30.0)));
+    let sweep = |jobs: usize| {
+        let mut opts = RunOptions::quick();
+        opts.jobs = jobs;
+        sweep_ltot(&base, &opts)
+    };
+    let a = fingerprint(&sweep(1));
+    let b = fingerprint(&sweep(4));
+    assert_eq!(a, b, "failure-mode sweep diverged across job counts");
+    assert!(
+        a.contains("\"aborts\":"),
+        "fingerprint should include the aborts counter"
+    );
 }

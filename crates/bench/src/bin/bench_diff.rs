@@ -2,7 +2,8 @@
 //! baseline.
 //!
 //! ```text
-//! bench_diff --baseline results/bench --current /tmp/bench.XXXX [--threshold 25]
+//! bench_diff --baseline results/bench --current /tmp/bench.XXXX \
+//!     [--threshold 25] [--summary BENCH_5.json]
 //! ```
 //!
 //! Both directories hold the per-binary JSON reports the harness writes
@@ -11,10 +12,17 @@
 //! beyond the threshold (percent) is a regression and the process exits
 //! nonzero. Benchmarks present on only one side are listed but never
 //! fail the run — new benches land before their baseline does.
+//!
+//! `--summary PATH` additionally writes a machine-readable snapshot of
+//! the comparison (per-benchmark baseline/current median ns/iter and the
+//! percentage delta) so each PR can commit a `BENCH_<n>.json` at the repo
+//! root and the perf trajectory stays on the record.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use lockgran_sim::json::Json;
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -26,7 +34,10 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("bench_diff: error: {e}");
             eprintln!();
-            eprintln!("usage: bench_diff --baseline DIR --current DIR [--threshold PCT]");
+            eprintln!(
+                "usage: bench_diff --baseline DIR --current DIR [--threshold PCT] \
+                 [--summary FILE]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -35,6 +46,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<usize, String> {
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
+    let mut summary: Option<PathBuf> = None;
     let mut threshold = 25.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -44,6 +56,7 @@ fn run(args: &[String]) -> Result<usize, String> {
         match a.as_str() {
             "--baseline" => baseline = Some(PathBuf::from(val("--baseline")?)),
             "--current" => current = Some(PathBuf::from(val("--current")?)),
+            "--summary" => summary = Some(PathBuf::from(val("--summary")?)),
             "--threshold" => {
                 let s = val("--threshold")?;
                 threshold = s
@@ -94,7 +107,45 @@ fn run(args: &[String]) -> Result<usize, String> {
         "\n{} benchmark(s) compared, threshold ±{threshold}%, {regressions} regression(s)",
         cur.len()
     );
+    if let Some(path) = summary {
+        write_summary(&path, &base, &cur, threshold)?;
+        println!("summary written to {}", path.display());
+    }
     Ok(regressions)
+}
+
+/// Serialize the comparison to `path`: one record per current benchmark
+/// with baseline/current median ns/iter and the percent delta (`null`
+/// where the baseline has no entry).
+fn write_summary(
+    path: &Path,
+    base: &BTreeMap<String, f64>,
+    cur: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> Result<(), String> {
+    let benches: Vec<Json> = cur
+        .iter()
+        .map(|(id, &cur_ns)| {
+            let base_ns = base.get(id).copied();
+            let delta = base_ns
+                .filter(|&b| b > 0.0)
+                .map(|b| (cur_ns - b) / b * 100.0);
+            let num = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
+            Json::object(vec![
+                ("id", Json::Str(id.clone())),
+                ("baseline_median_ns", num(base_ns)),
+                ("current_median_ns", Json::Float(cur_ns)),
+                ("delta_pct", num(delta)),
+            ])
+        })
+        .collect();
+    let doc = Json::object(vec![
+        ("schema", Json::Str("lockgran-bench-summary/v1".to_string())),
+        ("threshold_pct", Json::Float(threshold)),
+        ("benches", Json::Array(benches)),
+    ]);
+    std::fs::write(path, format!("{}\n", doc.pretty()))
+        .map_err(|e| format!("writing {}: {e}", path.display()))
 }
 
 /// Map of `harness/bench_id` → median ns/iter over every report in `dir`.

@@ -36,8 +36,11 @@
 //! the same left-to-right additions. Outputs are therefore bit-identical
 //! to the pre-cache implementation — the Table 1 golden snapshot does not
 //! move.
-
-use std::collections::BTreeMap;
+//!
+//! Waiter lists are embedded directly in the active entries (the blocker's
+//! index is already in hand when the partition draw lands on it), so
+//! blocking a transaction is an O(1) push into a recycled `Vec` — no
+//! keyed map, no per-block node allocation in steady state.
 
 use lockgran_sim::SimRng;
 
@@ -86,20 +89,29 @@ pub trait ConflictModel {
     fn locks_held(&self) -> u64;
 }
 
+/// One lock-holding transaction: its key, lock count, and the FIFO list
+/// of transactions blocked on it.
+#[derive(Clone, Debug)]
+struct Holder {
+    txn: TxnSerial,
+    locks: u64,
+    /// Transactions blocked on this holder, in block order. The backing
+    /// `Vec` is recycled through the spare pool when the holder releases.
+    waiters: Vec<TxnSerial>,
+}
+
 /// The paper's probabilistic Ries–Stonebraker conflict computation.
 #[derive(Clone, Debug)]
 pub struct ProbabilisticConflict {
     ltot: u64,
-    /// Active transactions in admission order, with their lock counts.
-    active: Vec<(TxnSerial, u64)>,
-    /// `fracs[i] = active[i].1 as f64 / ltot as f64`, computed once at
+    /// Active transactions in admission order.
+    active: Vec<Holder>,
+    /// `fracs[i] = active[i].locks as f64 / ltot as f64`, computed once at
     /// admission (see module docs on bit-identity).
     fracs: Vec<f64>,
     /// `prefix[i]` = left-to-right sum of `fracs[0..=i]`, exactly the
     /// value the naive per-attempt loop reaches after holder `i`.
     prefix: Vec<f64>,
-    /// blocker → transactions blocked on it (FIFO).
-    blocked: BTreeMap<TxnSerial, Vec<TxnSerial>>,
     /// Retired waiter vectors, recycled so blocking never allocates in
     /// steady state.
     spare: Vec<Vec<TxnSerial>>,
@@ -118,7 +130,6 @@ impl ProbabilisticConflict {
             active: Vec::new(),
             fracs: Vec::new(),
             prefix: Vec::new(),
-            blocked: BTreeMap::new(),
             spare: Vec::new(),
             locks_held: 0,
         }
@@ -134,7 +145,7 @@ impl ConflictModel for ProbabilisticConflict {
         rng: &mut SimRng,
     ) -> ConflictDecision {
         debug_assert!(
-            !self.active.iter().any(|(t, _)| *t == txn),
+            !self.active.iter().any(|h| h.txn == txn),
             "transaction {txn} acquired twice"
         );
         // Draw p ~ U(0,1); the cached prefix IS the partition
@@ -142,20 +153,27 @@ impl ConflictModel for ProbabilisticConflict {
         let p = rng.uniform01();
         for (i, &cum) in self.prefix.iter().enumerate() {
             if p < cum {
-                let holder = self.active[i].0;
-                let spare = &mut self.spare;
-                self.blocked
-                    .entry(holder)
-                    .or_insert_with(|| spare.pop().unwrap_or_default())
-                    .push(txn);
-                return ConflictDecision::BlockedBy(holder);
+                // The blocker's index is in hand: attach the waiter right
+                // here, O(1), into the holder's own (recycled) list.
+                let holder = &mut self.active[i];
+                if holder.waiters.capacity() == 0 {
+                    if let Some(recycled) = self.spare.pop() {
+                        holder.waiters = recycled;
+                    }
+                }
+                holder.waiters.push(txn);
+                return ConflictDecision::BlockedBy(holder.txn);
             }
         }
         // Admitted: extend the partition. One division per admission —
         // the same `held / ltot` the naive loop performed per attempt.
         let frac = locks as f64 / self.ltot as f64;
         let cum = self.prefix.last().copied().unwrap_or(0.0) + frac;
-        self.active.push((txn, locks));
+        self.active.push(Holder {
+            txn,
+            locks,
+            waiters: self.spare.pop().unwrap_or_default(),
+        });
         self.fracs.push(frac);
         self.prefix.push(cum);
         self.locks_held += locks;
@@ -166,11 +184,11 @@ impl ConflictModel for ProbabilisticConflict {
         let pos = self
             .active
             .iter()
-            .position(|(t, _)| *t == txn)
+            .position(|h| h.txn == txn)
             .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
-        let (_, locks) = self.active.remove(pos);
+        let mut holder = self.active.remove(pos);
         self.fracs.remove(pos);
-        self.locks_held -= locks;
+        self.locks_held -= holder.locks;
         // Rebuild the prefix from the removal point with the same
         // left-to-right additions the naive loop would now perform.
         self.prefix.truncate(pos);
@@ -179,10 +197,8 @@ impl ConflictModel for ProbabilisticConflict {
             cum += f;
             self.prefix.push(cum);
         }
-        if let Some(mut waiters) = self.blocked.remove(&txn) {
-            woken.append(&mut waiters);
-            self.spare.push(waiters);
-        }
+        woken.append(&mut holder.waiters);
+        self.spare.push(holder.waiters);
     }
 
     fn active_count(&self) -> usize {
@@ -386,14 +402,14 @@ mod tests {
             let _ = m.try_acquire(serial, locks, &[], &mut r);
             if step % 5 == 4 && m.active_count() > 1 {
                 // Remove from the middle to exercise the rebuild path.
-                let victim = m.active[m.active.len() / 2].0;
+                let victim = m.active[m.active.len() / 2].txn;
                 woken.clear();
                 m.release(victim, &mut woken);
                 // Woken transactions vanish from this toy history.
             }
             let mut cum = 0.0f64;
-            for (i, &(_, held)) in m.active.iter().enumerate() {
-                cum += held as f64 / 137.0;
+            for (i, h) in m.active.iter().enumerate() {
+                cum += h.locks as f64 / 137.0;
                 assert_eq!(
                     cum.to_bits(),
                     m.prefix[i].to_bits(),

@@ -5,7 +5,7 @@
 //! replications (different seeds) and reports confidence intervals, which
 //! the experiment harness uses to draw stable curves.
 
-use lockgran_sim::{Executor, SimRng, Tally};
+use lockgran_sim::{Executor, FelKind, SimRng, Tally};
 
 use crate::config::ModelConfig;
 use crate::metrics::RunMetrics;
@@ -21,7 +21,21 @@ use crate::trace::VecTracer;
 /// # Panics
 /// Panics if `cfg.validate()` fails.
 pub fn run(cfg: &ModelConfig, seed: u64) -> RunMetrics {
-    let mut ex = Executor::new();
+    run_with_fel(cfg, seed, FelKind::Calendar)
+}
+
+/// Run one simulation with an explicit future-event-list choice.
+///
+/// Production paths use the calendar queue (O(1) amortized); the binary
+/// heap remains available as the reference implementation. Both order
+/// events by the same stable `(time, seq)` key, so the returned metrics
+/// are bit-identical across kinds — `tests/fel_identity.rs` holds the
+/// engine to exactly that.
+///
+/// # Panics
+/// Panics if `cfg.validate()` fails.
+pub fn run_with_fel(cfg: &ModelConfig, seed: u64, fel: FelKind) -> RunMetrics {
+    let mut ex = Executor::with_fel(fel);
     let mut system = System::new(cfg, seed, &mut ex);
     let horizon = system.tmax();
     let end = ex.run(&mut system, horizon);
@@ -35,7 +49,7 @@ pub fn run(cfg: &ModelConfig, seed: u64) -> RunMetrics {
 /// # Panics
 /// Panics if `cfg.validate()` fails.
 pub fn run_traced(cfg: &ModelConfig, seed: u64) -> (RunMetrics, VecTracer) {
-    let mut ex = Executor::new();
+    let mut ex = Executor::with_fel(FelKind::Calendar);
     let mut system = System::new(cfg, seed, &mut ex);
     system.enable_tracing();
     let horizon = system.tmax();
@@ -58,7 +72,7 @@ pub fn run_timeline(
     interval: f64,
 ) -> (RunMetrics, Vec<TimelinePoint>) {
     assert!(interval > 0.0, "sampling interval must be positive");
-    let mut ex = Executor::new();
+    let mut ex = Executor::with_fel(FelKind::Calendar);
     let mut system = System::new(cfg, seed, &mut ex);
     system.enable_timeline(interval, &mut ex);
     let horizon = system.tmax();

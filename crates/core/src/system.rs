@@ -19,13 +19,13 @@
 //!    again), and is replaced by a freshly drawn transaction — the closed
 //!    model keeps exactly `ntrans` transactions in the system.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use lockgran_sim::{
     Class, Completion, CompletionOutcome, Dur, Executor, Histogram, Job, JobId, Model, Server,
     SimRng, Tally, Time, TimeWeighted, Token,
 };
-use lockgran_workload::{access, FailureSpec, HotSpot, WorkloadGenerator};
+use lockgran_workload::{access, FailureSpec, HotSpot, TransactionSpec, WorkloadGenerator};
 
 use crate::config::{ConflictMode, LockDistribution, ModelConfig, ServiceVariability};
 use crate::conflict::{ConflictDecision, ConflictModel, ProbabilisticConflict};
@@ -79,17 +79,22 @@ fn mk_server(preemptive: bool, discipline: crate::config::QueueDiscipline) -> Se
     s.with_discipline(discipline.to_sim())
 }
 
-/// Job-id encoding: `serial * 4 + kind`.
+/// Job-id encoding: `slot * 4 + kind`, where `slot` is the transaction's
+/// slab index. A completion decodes straight back to the slab slot — no
+/// search, no map lookup. Slots are recycled only at completion, and a
+/// completing transaction has no jobs left anywhere (every share and
+/// sub-transaction joined, aborts withdraw theirs), so a recycled slot can
+/// never be aliased by a stale in-flight job.
 const KIND_LOCK_CPU: u64 = 0;
 const KIND_LOCK_IO: u64 = 1;
 const KIND_SUB_IO: u64 = 2;
 const KIND_SUB_CPU: u64 = 3;
 
-fn job_id(serial: u64, kind: u64) -> JobId {
-    JobId(serial * 4 + kind)
+fn job_id(slot: u32, kind: u64) -> JobId {
+    JobId(u64::from(slot) * 4 + kind)
 }
-fn decode(id: JobId) -> (u64, u64) {
-    (id.0 / 4, id.0 % 4)
+fn decode(id: JobId) -> (u32, u64) {
+    ((id.0 / 4) as u32, id.0 % 4)
 }
 
 /// Counter snapshot used to subtract warm-up activity from final totals.
@@ -175,14 +180,23 @@ pub struct System {
     io: Vec<Server>,
 
     // --- transactions ---
-    txns: BTreeMap<u64, Transaction>,
+    /// Slot-recycling slab of live transactions. The closed model keeps
+    /// exactly `ntrans` resident, so after the initial arrivals the slab
+    /// never grows; events address transactions by slot (see `job_id`).
+    slab: Vec<Option<Transaction>>,
+    /// LIFO free list of vacated slab slots.
+    free_slots: Vec<u32>,
+    /// Carcass of the most recently completed transaction; the next spawn
+    /// reuses its heap buffers (`spec.processors`, `granules`,
+    /// `cpu_shares`) so the closed-model replacement allocates nothing.
+    retired: Option<Transaction>,
     next_serial: u64,
     blocked_count: u32,
     /// Admission control (`mpl_limit`): transactions holding a slot.
     admitted: u32,
     mpl_limit: Option<u32>,
-    /// FIFO of transactions waiting for an admission slot.
-    pending: VecDeque<u64>,
+    /// FIFO of transaction slots waiting for an admission slot.
+    pending: VecDeque<u32>,
     pending_tw: TimeWeighted,
 
     // --- failure extension ---
@@ -196,7 +210,14 @@ pub struct System {
     failures: u64,
     /// Reusable wake-list buffer: filled by `ConflictModel::release` at
     /// each completion, so the hot loop never allocates for waking.
+    /// Entries are slab slots (the conflict models key by slot).
     wake_buf: Vec<u64>,
+    /// Reusable per-processor lock-overhead share buffers (CPU, I/O).
+    lock_cpu_buf: Vec<Dur>,
+    lock_io_buf: Vec<Dur>,
+    /// Reusable sub-transaction stage-demand buffers.
+    io_share_buf: Vec<Dur>,
+    cpu_share_buf: Vec<Dur>,
     response: Tally,
     response_hist: Histogram,
     attempts_per_txn: Tally,
@@ -271,7 +292,9 @@ impl System {
             io: (0..cfg.npros)
                 .map(|_| mk_server(cfg.lock_preemption, cfg.discipline))
                 .collect(),
-            txns: BTreeMap::new(),
+            slab: Vec::new(),
+            free_slots: Vec::new(),
+            retired: None,
             next_serial: 0,
             blocked_count: 0,
             admitted: 0,
@@ -285,6 +308,10 @@ impl System {
             aborts: 0,
             failures: 0,
             wake_buf: Vec::new(),
+            lock_cpu_buf: Vec::new(),
+            lock_io_buf: Vec::new(),
+            io_share_buf: Vec::new(),
+            cpu_share_buf: Vec::new(),
             response: Tally::new(),
             response_hist: Histogram::new(cfg.tmax, 2_000),
             attempts_per_txn: Tally::new(),
@@ -337,23 +364,23 @@ impl System {
         self.tracer.replace(VecTracer::default())
     }
 
-    /// Look up a live transaction by serial.
+    /// Look up a live transaction by slab slot.
     ///
-    /// Every event carries the serial of a transaction the system itself
-    /// scheduled, and serials are removed only at completion — after which
+    /// Every event carries the slot of a transaction the system itself
+    /// scheduled, and slots are vacated only at completion — after which
     /// no further events for them exist. A miss is therefore a simulator
     /// logic error, not a recoverable condition.
-    fn txn(&self, serial: u64) -> &Transaction {
-        self.txns
-            .get(&serial)
+    fn txn(&self, slot: u32) -> &Transaction {
+        self.slab[slot as usize]
+            .as_ref()
             // lint:allow(P001): invariant — events never outlive their transaction
             .expect("event refers to a departed transaction")
     }
 
     /// Mutable counterpart of [`Self::txn`].
-    fn txn_mut(&mut self, serial: u64) -> &mut Transaction {
-        self.txns
-            .get_mut(&serial)
+    fn txn_mut(&mut self, slot: u32) -> &mut Transaction {
+        self.slab[slot as usize]
+            .as_mut()
             // lint:allow(P001): invariant — events never outlive their transaction
             .expect("event refers to a departed transaction")
     }
@@ -370,46 +397,78 @@ impl System {
     }
 
     /// Create a fresh transaction (closed-model replacement or initial
-    /// arrival) and start its lock phase.
+    /// arrival) and start its lock phase. Reuses the retired carcass's
+    /// buffers when one is available, so the steady-state replacement
+    /// performs no heap allocation.
     fn spawn_transaction(&mut self, now: Time, ex: &mut Executor<Event>) {
         let serial = self.next_serial;
         self.next_serial += 1;
-        let spec = self.generator.next_spec();
-        let granules = match self.conflict_mode {
-            ConflictMode::Probabilistic => Vec::new(),
-            ConflictMode::Explicit => match self.hot_spot {
-                None => access::sample_granules(
-                    &mut self.access_rng,
-                    self.generator.params().placement,
-                    spec.entities,
-                    self.ltot,
-                    self.dbsize,
-                ),
-                Some(skew) => access::sample_granules_hot(
-                    &mut self.access_rng,
-                    self.generator.params().placement,
-                    spec.entities,
-                    self.ltot,
-                    self.dbsize,
-                    skew,
-                ),
-            },
+        let mut txn = self.retired.take().unwrap_or_else(|| {
+            Transaction::new(
+                0,
+                TransactionSpec {
+                    entities: 0,
+                    locks: 0,
+                    processors: Vec::new(),
+                },
+                Vec::new(),
+                now,
+            )
+        });
+        txn.serial = serial;
+        txn.arrived = now;
+        txn.attempts = 0;
+        txn.phase = TxnPhase::LockPhase;
+        txn.lock_shares_outstanding = 0;
+        txn.subtxns_outstanding = 0;
+        txn.cpu_shares.clear();
+        // Same draw order as before the slab: spec first, then granules.
+        self.generator.next_spec_into(&mut txn.spec);
+        match self.conflict_mode {
+            ConflictMode::Probabilistic => txn.granules.clear(),
+            ConflictMode::Explicit => {
+                txn.granules = match self.hot_spot {
+                    None => access::sample_granules(
+                        &mut self.access_rng,
+                        self.generator.params().placement,
+                        txn.spec.entities,
+                        self.ltot,
+                        self.dbsize,
+                    ),
+                    Some(skew) => access::sample_granules_hot(
+                        &mut self.access_rng,
+                        self.generator.params().placement,
+                        txn.spec.entities,
+                        self.ltot,
+                        self.dbsize,
+                        skew,
+                    ),
+                };
+            }
+        }
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(txn);
+                s
+            }
+            None => {
+                self.slab.push(Some(txn));
+                (self.slab.len() - 1) as u32
+            }
         };
-        let txn = Transaction::new(serial, spec, granules, now);
-        self.txns.insert(serial, txn);
         self.trace(now, TraceEvent::Arrived { serial });
-        self.admit_or_enqueue(now, serial, ex);
+        self.admit_or_enqueue(now, slot, ex);
     }
 
     /// Admission control: hand the transaction a slot (and start its lock
     /// phase) if the multiprogramming cap allows, otherwise queue it.
-    fn admit_or_enqueue(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+    fn admit_or_enqueue(&mut self, now: Time, slot: u32, ex: &mut Executor<Event>) {
         let open = self.mpl_limit.is_none_or(|cap| self.admitted < cap);
         if open {
             self.admitted += 1;
-            self.begin_lock_phase(now, serial, ex);
+            self.begin_lock_phase(now, slot, ex);
         } else {
-            self.pending.push_back(serial);
+            self.pending.push_back(slot);
             self.pending_tw.record(now, self.pending.len() as f64);
         }
     }
@@ -417,53 +476,65 @@ impl System {
     /// Issue a lock request attempt: charge the lock overhead across all
     /// processors as preemptive high-priority work; the admission decision
     /// happens when the last share completes.
-    fn begin_lock_phase(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+    fn begin_lock_phase(&mut self, now: Time, slot: u32, ex: &mut Executor<Event>) {
         let (lcputime, liotime) = (self.lcputime, self.liotime);
-        let (cpu_total, io_total) = {
-            let txn = self.txn_mut(serial);
+        let (cpu_total, io_total, serial, attempt) = {
+            let txn = self.txn_mut(slot);
             txn.phase = TxnPhase::LockPhase;
             txn.attempts += 1;
-            (txn.lock_cpu_demand(lcputime), txn.lock_io_demand(liotime))
+            (
+                txn.lock_cpu_demand(lcputime),
+                txn.lock_io_demand(liotime),
+                txn.serial,
+                txn.attempts,
+            )
         };
         if self.measuring(now) {
             self.lock_attempts += 1;
         }
-        let attempt = self.txn(serial).attempts;
         self.trace(now, TraceEvent::LockRequested { serial, attempt });
 
-        let (cpu_shares, io_shares) = self.lock_shares(serial, cpu_total, io_total);
+        // Fill the reusable share buffers (taken out of `self` so the
+        // submission loop below can borrow `self` mutably).
+        let mut cpu_shares = std::mem::take(&mut self.lock_cpu_buf);
+        let mut io_shares = std::mem::take(&mut self.lock_io_buf);
+        self.lock_shares_into(slot, cpu_total, io_total, &mut cpu_shares, &mut io_shares);
         let outstanding = cpu_shares.iter().filter(|d| !d.is_zero()).count()
             + io_shares.iter().filter(|d| !d.is_zero()).count();
-        self.txn_mut(serial).lock_shares_outstanding = outstanding as u32;
+        self.txn_mut(slot).lock_shares_outstanding = outstanding as u32;
 
         if outstanding == 0 {
             // Zero-cost locking (lcputime = liotime = 0, or LU = 0): the
             // decision is immediate.
-            self.decide(now, serial, ex);
+            self.lock_cpu_buf = cpu_shares;
+            self.lock_io_buf = io_shares;
+            self.decide(now, slot, ex);
             return;
         }
-        for (p, d) in cpu_shares.into_iter().enumerate() {
+        for (p, &d) in cpu_shares.iter().enumerate() {
             if d.is_zero() {
                 continue;
             }
             let job = Job {
-                id: job_id(serial, KIND_LOCK_CPU),
+                id: job_id(slot, KIND_LOCK_CPU),
                 demand: d,
                 class: Class::Lock,
             };
             self.submit_cpu(now, p as u32, job, ex);
         }
-        for (p, d) in io_shares.into_iter().enumerate() {
+        for (p, &d) in io_shares.iter().enumerate() {
             if d.is_zero() {
                 continue;
             }
             let job = Job {
-                id: job_id(serial, KIND_LOCK_IO),
+                id: job_id(slot, KIND_LOCK_IO),
                 demand: d,
                 class: Class::Lock,
             };
             self.submit_io(now, p as u32, job, ex);
         }
+        self.lock_cpu_buf = cpu_shares;
+        self.lock_io_buf = io_shares;
     }
 
     /// Submit a job to processor `proc`'s CPU, unless the processor is
@@ -514,27 +585,35 @@ impl System {
     }
 
     /// The lock overhead is paid: ask the conflict model for a verdict.
-    fn decide(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
-        let (locks, granules) = {
-            let txn = self.txn(serial);
-            (txn.spec.locks, txn.granules.clone())
-        };
-        match self
-            .conflict
-            .try_acquire(serial, locks, &granules, &mut self.conflict_rng)
-        {
+    fn decide(&mut self, now: Time, slot: u32, ex: &mut Executor<Event>) {
+        // Disjoint field borrows: the conflict model reads the granule set
+        // straight out of the slab (no clone) while drawing from the
+        // conflict stream. The model keys holders and waiters by slot.
+        let txn = self.slab[slot as usize]
+            .as_ref()
+            // lint:allow(P001): invariant — events never outlive their transaction
+            .expect("event refers to a departed transaction");
+        let decision = self.conflict.try_acquire(
+            u64::from(slot),
+            txn.spec.locks,
+            &txn.granules,
+            &mut self.conflict_rng,
+        );
+        let serial = txn.serial;
+        match decision {
             ConflictDecision::Granted => {
                 self.trace(now, TraceEvent::Granted { serial });
                 self.active_tw
                     .record(now, self.conflict.active_count() as f64);
-                self.start_subtransactions(now, serial, ex);
+                self.start_subtransactions(now, slot, ex);
             }
-            ConflictDecision::BlockedBy(blocker) => {
+            ConflictDecision::BlockedBy(blocker_slot) => {
+                let blocker = self.txn(blocker_slot as u32).serial;
                 self.trace(now, TraceEvent::Denied { serial, blocker });
                 if self.measuring(now) {
                     self.lock_denials += 1;
                 }
-                let txn = self.txn_mut(serial);
+                let txn = self.txn_mut(slot);
                 txn.phase = TxnPhase::Blocked;
                 self.blocked_count += 1;
                 self.blocked_tw.record(now, f64::from(self.blocked_count));
@@ -549,44 +628,55 @@ impl System {
     /// sub-transactions carry one extra entity; the surplus rotates
     /// across processors between transactions so no processor is
     /// systematically hotter.
-    fn start_subtransactions(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+    fn start_subtransactions(&mut self, now: Time, slot: u32, ex: &mut Executor<Event>) {
         let rot = self.lock_rr; // reuse the rotating offset
         let (fanout, entities) = {
-            let txn = self.txn_mut(serial);
+            let txn = self.txn_mut(slot);
             txn.phase = TxnPhase::Running;
             (u64::from(txn.fanout()), txn.spec.entities)
         };
         let base = entities / fanout;
         let extra = entities % fanout;
         let entities_at = |i: u64| base + u64::from((i + rot) % fanout < extra);
-        let io_shares: Vec<Dur> = (0..fanout)
-            .map(|i| self.stage_demand(self.iotime, entities_at(i)))
-            .collect();
-        let cpu_shares: Vec<Dur> = (0..fanout)
-            .map(|i| self.stage_demand(self.cputime, entities_at(i)))
-            .collect();
-        let processors = {
-            let txn = self.txn_mut(serial);
+        // Fill the reusable stage buffers; same draw order as ever (all
+        // I/O shares, then all CPU shares).
+        let mut io_shares = std::mem::take(&mut self.io_share_buf);
+        io_shares.clear();
+        for i in 0..fanout {
+            let d = self.stage_demand(self.iotime, entities_at(i));
+            io_shares.push(d);
+        }
+        let mut cpu_shares = std::mem::take(&mut self.cpu_share_buf);
+        cpu_shares.clear();
+        for i in 0..fanout {
+            let d = self.stage_demand(self.cputime, entities_at(i));
+            cpu_shares.push(d);
+        }
+        {
+            let txn = self.txn_mut(slot);
             txn.subtxns_outstanding = txn.fanout();
-            txn.cpu_shares = cpu_shares;
-            txn.spec.processors.clone()
-        };
-        for (i, &p) in processors.iter().enumerate() {
+            // Swap the filled buffer in; the transaction's previous
+            // (cleared) vector becomes the next reusable buffer.
+            std::mem::swap(&mut txn.cpu_shares, &mut cpu_shares);
+        }
+        self.cpu_share_buf = cpu_shares;
+        for i in 0..fanout as usize {
+            let p = self.txn(slot).spec.processors[i];
             let job = Job {
-                id: job_id(serial, KIND_SUB_IO),
+                id: job_id(slot, KIND_SUB_IO),
                 demand: io_shares[i],
                 class: Class::Transaction,
             };
             self.submit_io(now, p, job, ex);
         }
+        self.io_share_buf = io_shares;
     }
 
     /// A sub-transaction finished its I/O stage on `proc`: submit its CPU
     /// stage there.
-    fn subtxn_io_done(&mut self, now: Time, serial: u64, proc: u32, ex: &mut Executor<Event>) {
-        self.trace(now, TraceEvent::SubIoDone { serial, proc });
-        let demand = {
-            let txn = self.txn(serial);
+    fn subtxn_io_done(&mut self, now: Time, slot: u32, proc: u32, ex: &mut Executor<Event>) {
+        let (serial, demand) = {
+            let txn = self.txn(slot);
             let idx = txn
                 .spec
                 .processors
@@ -595,10 +685,11 @@ impl System {
                 // lint:allow(P001): SubIoDone events are only scheduled on
                 // the processors the spec assigned at dispatch
                 .expect("sub-transaction ran on an assigned processor");
-            txn.cpu_shares[idx]
+            (txn.serial, txn.cpu_shares[idx])
         };
+        self.trace(now, TraceEvent::SubIoDone { serial, proc });
         let job = Job {
-            id: job_id(serial, KIND_SUB_CPU),
+            id: job_id(slot, KIND_SUB_CPU),
             demand,
             class: Class::Transaction,
         };
@@ -607,28 +698,28 @@ impl System {
 
     /// A sub-transaction finished its CPU stage: join, and complete the
     /// parent when the last one is in.
-    fn subtxn_cpu_done(&mut self, now: Time, serial: u64, proc: u32, ex: &mut Executor<Event>) {
-        self.trace(now, TraceEvent::SubCpuDone { serial, proc });
-        let done = {
-            let txn = self.txn_mut(serial);
+    fn subtxn_cpu_done(&mut self, now: Time, slot: u32, proc: u32, ex: &mut Executor<Event>) {
+        let (serial, done) = {
+            let txn = self.txn_mut(slot);
             txn.subtxns_outstanding -= 1;
-            txn.subtxns_outstanding == 0
+            (txn.serial, txn.subtxns_outstanding == 0)
         };
+        self.trace(now, TraceEvent::SubCpuDone { serial, proc });
         if done {
-            self.complete(now, serial, ex);
+            self.complete(now, slot, ex);
         }
     }
 
     /// Transaction completion: release locks, wake blocked transactions,
     /// record statistics, spawn the closed-model replacement.
-    fn complete(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
-        let txn = self
-            .txns
-            .remove(&serial)
+    fn complete(&mut self, now: Time, slot: u32, ex: &mut Executor<Event>) {
+        let txn = self.slab[slot as usize]
+            .take()
             // lint:allow(P001): invariant — a transaction completes exactly once
             .expect("completion for a departed transaction");
+        self.free_slots.push(slot);
         debug_assert_eq!(txn.phase, TxnPhase::Running);
-        self.trace(now, TraceEvent::Completed { serial });
+        self.trace(now, TraceEvent::Completed { serial: txn.serial });
         if self.measuring(now) {
             self.totcom += 1;
             let resp = now.since(txn.arrived).units();
@@ -636,17 +727,22 @@ impl System {
             self.response_hist.record(resp);
             self.attempts_per_txn.record(f64::from(txn.attempts));
         }
+        // Retire the carcass: the replacement spawned below reuses its
+        // heap buffers instead of allocating.
+        self.retired = Some(txn);
         // Reuse the wake buffer across completions (no per-release
         // allocation); take it out of `self` so `begin_lock_phase` can
         // borrow `self` mutably while we iterate.
         let mut woken = std::mem::take(&mut self.wake_buf);
         woken.clear();
-        self.conflict.release(serial, &mut woken);
+        self.conflict.release(u64::from(slot), &mut woken);
         self.active_tw
             .record(now, self.conflict.active_count() as f64);
         for &w in &woken {
-            debug_assert_eq!(self.txns[&w].phase, TxnPhase::Blocked);
-            self.trace(now, TraceEvent::Woken { serial: w });
+            let w = w as u32;
+            debug_assert_eq!(self.txn(w).phase, TxnPhase::Blocked);
+            let serial = self.txn(w).serial;
+            self.trace(now, TraceEvent::Woken { serial });
             self.blocked_count -= 1;
             self.blocked_tw.record(now, f64::from(self.blocked_count));
             self.begin_lock_phase(now, w, ex);
@@ -683,15 +779,21 @@ impl System {
         }
         // Collect victims before mutating: the wake-ups triggered by each
         // abort move transactions Blocked → LockPhase, never into Running,
-        // so the victim set cannot grow under our feet.
-        let victims: Vec<u64> = self
-            .txns
+        // so the victim set cannot grow under our feet. Abort in *serial*
+        // order — the order the former BTreeMap iteration produced — so
+        // the abort-triggered RNG draws replay identically even though
+        // recycled slots are not serial-ordered.
+        let mut victims: Vec<(u64, u32)> = self
+            .slab
             .iter()
+            .enumerate()
+            .filter_map(|(slot, t)| t.as_ref().map(|t| (slot, t)))
             .filter(|(_, t)| t.phase == TxnPhase::Running && t.spec.processors.contains(&proc))
-            .map(|(&s, _)| s)
+            .map(|(slot, t)| (t.serial, slot as u32))
             .collect();
-        for serial in victims {
-            self.abort(now, serial, ex);
+        victims.sort_unstable_by_key(|&(serial, _)| serial);
+        for (_, slot) in victims {
+            self.abort(now, slot, ex);
         }
     }
 
@@ -726,15 +828,17 @@ impl System {
     /// no partial writes exist, so no undo is needed), and re-enter the
     /// lock-request cycle. The transaction keeps its admission slot and
     /// its arrival time (the paper's response time spans the whole stay).
-    fn abort(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+    fn abort(&mut self, now: Time, slot: u32, ex: &mut Executor<Event>) {
+        let serial = self.txn(slot).serial;
         self.trace(now, TraceEvent::Aborted { serial });
         if self.measuring(now) {
             self.aborts += 1;
         }
-        let processors = self.txn(serial).spec.processors.clone();
-        let io_id = job_id(serial, KIND_SUB_IO);
-        let cpu_id = job_id(serial, KIND_SUB_CPU);
-        for &p in &processors {
+        let io_id = job_id(slot, KIND_SUB_IO);
+        let cpu_id = job_id(slot, KIND_SUB_CPU);
+        let fanout = self.txn(slot).fanout() as usize;
+        for i in 0..fanout {
+            let p = self.txn(slot).spec.processors[i];
             if let lockgran_sim::CancelOutcome::InService { next: Some(c), .. } =
                 self.io[p as usize].cancel(now, io_id)
             {
@@ -757,7 +861,7 @@ impl System {
             }
         }
         {
-            let txn = self.txn_mut(serial);
+            let txn = self.txn_mut(slot);
             debug_assert_eq!(txn.phase, TxnPhase::Running);
             txn.subtxns_outstanding = 0;
             txn.cpu_shares.clear();
@@ -765,12 +869,14 @@ impl System {
         // Release locks and wake waiters — the same dance as `complete`.
         let mut woken = std::mem::take(&mut self.wake_buf);
         woken.clear();
-        self.conflict.release(serial, &mut woken);
+        self.conflict.release(u64::from(slot), &mut woken);
         self.active_tw
             .record(now, self.conflict.active_count() as f64);
         for &w in &woken {
-            debug_assert_eq!(self.txns[&w].phase, TxnPhase::Blocked);
-            self.trace(now, TraceEvent::Woken { serial: w });
+            let w = w as u32;
+            debug_assert_eq!(self.txn(w).phase, TxnPhase::Blocked);
+            let woken_serial = self.txn(w).serial;
+            self.trace(now, TraceEvent::Woken { serial: woken_serial });
             self.blocked_count -= 1;
             self.blocked_tw.record(now, f64::from(self.blocked_count));
             self.begin_lock_phase(now, w, ex);
@@ -778,7 +884,7 @@ impl System {
         self.wake_buf = woken;
         // Re-execute from the lock request (a fresh attempt, so the
         // repeated lock overhead is charged again).
-        self.begin_lock_phase(now, serial, ex);
+        self.begin_lock_phase(now, slot, ex);
     }
 
     fn take_snapshot(&mut self, now: Time) {
@@ -855,7 +961,7 @@ impl System {
     /// Number of transactions currently resident (always `ntrans` once the
     /// initial arrivals are in).
     pub fn resident_transactions(&self) -> usize {
-        self.txns.len()
+        self.slab.iter().filter(|s| s.is_some()).count()
     }
 
     /// Number of transactions currently blocked.
@@ -886,10 +992,10 @@ impl Model for System {
                         if let Some(c) = next {
                             Self::schedule_cpu(ex, proc, c);
                         }
-                        let (serial, kind) = decode(job.id);
+                        let (slot, kind) = decode(job.id);
                         match kind {
-                            KIND_LOCK_CPU => self.lock_share_done(now, serial, ex),
-                            KIND_SUB_CPU => self.subtxn_cpu_done(now, serial, proc, ex),
+                            KIND_LOCK_CPU => self.lock_share_done(now, slot, ex),
+                            KIND_SUB_CPU => self.subtxn_cpu_done(now, slot, proc, ex),
                             other => unreachable!("CPU server finished job kind {other}"),
                         }
                     }
@@ -902,10 +1008,10 @@ impl Model for System {
                         if let Some(c) = next {
                             Self::schedule_io(ex, proc, c);
                         }
-                        let (serial, kind) = decode(job.id);
+                        let (slot, kind) = decode(job.id);
                         match kind {
-                            KIND_LOCK_IO => self.lock_share_done(now, serial, ex),
-                            KIND_SUB_IO => self.subtxn_io_done(now, serial, proc, ex),
+                            KIND_LOCK_IO => self.lock_share_done(now, slot, ex),
+                            KIND_SUB_IO => self.subtxn_io_done(now, slot, proc, ex),
                             other => unreachable!("I/O server finished job kind {other}"),
                         }
                     }
@@ -935,30 +1041,39 @@ impl System {
     }
 
     /// Distribute one request's lock overhead over the processors
-    /// according to the configured [`LockDistribution`]. Returns
-    /// per-processor (CPU, I/O) demands; totals are conserved exactly.
-    fn lock_shares(&mut self, serial: u64, cpu_total: Dur, io_total: Dur) -> (Vec<Dur>, Vec<Dur>) {
+    /// according to the configured [`LockDistribution`], filling the
+    /// caller's per-processor (CPU, I/O) demand buffers (cleared first);
+    /// totals are conserved exactly.
+    fn lock_shares_into(
+        &mut self,
+        slot: u32,
+        cpu_total: Dur,
+        io_total: Dur,
+        cpu: &mut Vec<Dur>,
+        io: &mut Vec<Dur>,
+    ) {
+        cpu.clear();
+        io.clear();
         let npros = u64::from(self.npros);
         match self.lock_distribution {
-            LockDistribution::EvenSplit => (
-                cpu_total.split_even(npros).collect(),
-                io_total.split_even(npros).collect(),
-            ),
+            LockDistribution::EvenSplit => {
+                cpu.extend(cpu_total.split_even(npros));
+                io.extend(io_total.split_even(npros));
+            }
             LockDistribution::SingleProcessor => {
                 let target = (self.lock_rr % npros) as usize;
                 self.lock_rr += 1;
-                let mut cpu = vec![Dur::ZERO; npros as usize];
-                let mut io = vec![Dur::ZERO; npros as usize];
+                cpu.resize(npros as usize, Dur::ZERO);
+                io.resize(npros as usize, Dur::ZERO);
                 cpu[target] = cpu_total;
                 io[target] = io_total;
-                (cpu, io)
             }
             LockDistribution::PerOperation => {
                 // LU indivisible lock operations land round-robin on the
                 // processors holding the granules, starting at a rotating
                 // offset; processor p gets ops_p operations, hence
                 // ops_p * lcputime CPU and ops_p * liotime I/O.
-                let lu = self.txn(serial).spec.locks;
+                let lu = self.txn(slot).spec.locks;
                 let start = self.lock_rr % npros;
                 self.lock_rr += lu.max(1);
                 let base = lu.checked_div(npros).unwrap_or(0);
@@ -969,21 +1084,20 @@ impl System {
                     let rel = (p + npros - start) % npros;
                     base + u64::from(rel < extra)
                 };
-                let cpu = (0..npros).map(|p| lcpu.times(ops(p))).collect();
-                let io = (0..npros).map(|p| lio.times(ops(p))).collect();
-                (cpu, io)
+                cpu.extend((0..npros).map(|p| lcpu.times(ops(p))));
+                io.extend((0..npros).map(|p| lio.times(ops(p))));
             }
         }
     }
 
-    fn lock_share_done(&mut self, now: Time, serial: u64, ex: &mut Executor<Event>) {
+    fn lock_share_done(&mut self, now: Time, slot: u32, ex: &mut Executor<Event>) {
         let done = {
-            let txn = self.txn_mut(serial);
+            let txn = self.txn_mut(slot);
             txn.lock_shares_outstanding -= 1;
             txn.lock_shares_outstanding == 0
         };
         if done {
-            self.decide(now, serial, ex);
+            self.decide(now, slot, ex);
         }
     }
 }

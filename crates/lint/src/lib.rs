@@ -17,6 +17,7 @@
 //! | D003 | `==`/`!=` against a float literal | library code |
 //! | D004 | raw `thread::spawn` / `mpsc` outside the worker pool | all but `crates/sim/src/pool.rs` |
 //! | P001 | `.unwrap()` / `.expect("…")` panics | library code |
+//! | P002 | `.remove(0)` front-shift (use `VecDeque::pop_front`) | library code |
 //! | Z001 | non-local dependency in a `Cargo.toml` | all manifests |
 //! | J001 | `ToJson`/`FromJson` pairs that don't round-trip field names | all `.rs` |
 //!
@@ -64,6 +65,8 @@ pub enum Rule {
     D004,
     /// Panicking calls in library code.
     P001,
+    /// O(n) front-removal from a `Vec` in library code.
+    P002,
     /// External dependency in a manifest.
     Z001,
     /// JSON impl pair that does not round-trip.
@@ -79,18 +82,20 @@ impl Rule {
             Rule::D003 => "D003",
             Rule::D004 => "D004",
             Rule::P001 => "P001",
+            Rule::P002 => "P002",
             Rule::Z001 => "Z001",
             Rule::J001 => "J001",
         }
     }
 
     /// Every rule in the catalog.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::D001,
         Rule::D002,
         Rule::D003,
         Rule::D004,
         Rule::P001,
+        Rule::P002,
         Rule::Z001,
         Rule::J001,
     ];
@@ -233,7 +238,7 @@ mod tests {
         let codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
         assert_eq!(
             codes,
-            ["D001", "D002", "D003", "D004", "P001", "Z001", "J001"]
+            ["D001", "D002", "D003", "D004", "P001", "P002", "Z001", "J001"]
         );
     }
 

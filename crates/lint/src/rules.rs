@@ -1,4 +1,4 @@
-//! The token-level rule catalog: D001, D002, D003, D004, P001.
+//! The token-level rule catalog: D001, D002, D003, D004, P001, P002.
 //!
 //! Each rule is a linear scan over the token stream with a small amount
 //! of lookahead/lookbehind. Rules receive the file's [`Scope`] so they
@@ -26,6 +26,7 @@ pub fn check_tokens(
     if scope == Scope::Library {
         check_float_eq(src, tokens, &mut sink);
         check_panicky_calls(src, tokens, &mut sink);
+        check_front_removal(src, tokens, &mut sink);
     }
     // D004 applies everywhere (benches and tests included — an unordered
     // spawn in either can still produce order-dependent results) except
@@ -249,6 +250,46 @@ fn check_panicky_calls(src: &str, tokens: &[Token], sink: &mut Sink<'_>) {
     }
 }
 
+/// P002: `.remove(0)` in non-test library code. On a `Vec` this shifts
+/// every remaining element left — O(n) per call, O(n²) when used to
+/// drain — which is exactly the hidden cost that sat in the calendar
+/// queue's `pop` until PR 5. The deque-shaped fix is
+/// `VecDeque::pop_front`; positional `Vec` use cases usually want
+/// `swap_remove(0)` (order-free) or a reversed iteration.
+fn check_front_removal(src: &str, tokens: &[Token], sink: &mut Sink<'_>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test || t.kind != TokenKind::Ident || t.text(src) != "remove" {
+            continue;
+        }
+        // Must be the method call `.remove(0)`: preceded by `.`, followed
+        // by `(`, a literal zero, `)`. Other arguments are positional
+        // removals with no cheaper general substitute, and `map.remove(0)`
+        // on a keyed container takes `&0` or a non-literal key.
+        if i == 0 || !tokens[i - 1].is_punct(src, '.') {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct(src, '(')) {
+            continue;
+        }
+        let zero = tokens
+            .get(i + 2)
+            .is_some_and(|n| n.kind == TokenKind::Int && n.text(src) == "0");
+        if !zero || !tokens.get(i + 3).is_some_and(|n| n.is_punct(src, ')')) {
+            continue;
+        }
+        sink.emit(
+            Rule::P002,
+            t,
+            "`.remove(0)` shifts every element left (O(n) per call); use a \
+             `VecDeque` with `pop_front()`, or `swap_remove(0)` if order \
+             does not matter (or add `// lint:allow(P002): <why O(n) is \
+             acceptable here>`)"
+                .to_string(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +424,30 @@ mod tests {
         assert!(codes("o.unwrap();", Scope::TestCode).is_empty());
         // unwrap_or is a different method.
         assert!(codes("o.unwrap_or(1);", Scope::Library).is_empty());
+    }
+
+    #[test]
+    fn p002_flags_front_removal() {
+        assert_eq!(codes("let x = v.remove(0);", Scope::Library), vec!["P002"]);
+        assert_eq!(codes("queue.remove(0);", Scope::Library), vec!["P002"]);
+    }
+
+    #[test]
+    fn p002_ignores_other_removals_and_tests() {
+        // Positional removal elsewhere has no cheaper general substitute.
+        assert!(codes("v.remove(1);", Scope::Library).is_empty());
+        assert!(codes("v.remove(idx);", Scope::Library).is_empty());
+        // Keyed containers take a reference or a non-literal key.
+        assert!(codes("map.remove(&0);", Scope::Library).is_empty());
+        // Not a method call.
+        assert!(codes("remove(0);", Scope::Library).is_empty());
+        // Test regions and test files are exempt.
+        assert!(codes("#[test]\nfn t() { v.remove(0); }", Scope::Library).is_empty());
+        assert!(codes("v.remove(0);", Scope::TestCode).is_empty());
+        assert!(codes("v.remove(0);", Scope::Bench).is_empty());
+        // Suppression works.
+        let allowed = "// lint:allow(P002): three-element fixed list\nv.remove(0);";
+        assert!(codes(allowed, Scope::Library).is_empty());
     }
 
     #[test]

@@ -89,6 +89,21 @@ fn p001_panicking_calls() {
 }
 
 #[test]
+fn p002_front_removal() {
+    assert_eq!(
+        lint_fixture("p002.rs"),
+        vec![(7, 12, "P002"), (12, 27, "P002")]
+    );
+}
+
+#[test]
+fn p002_exempt_outside_library_scope() {
+    let src = fixture("p002.rs");
+    assert!(lint_rust_source_as("p002.rs", &src, Scope::TestCode).is_empty());
+    assert!(lint_rust_source_as("p002.rs", &src, Scope::Bench).is_empty());
+}
+
+#[test]
 fn j001_round_trip() {
     let src = fixture("j001.rs");
     let diags = lint_rust_source_as("j001.rs", &src, Scope::Library);

@@ -6,7 +6,14 @@
 //! to the model, repeat until the horizon. Everything interesting —
 //! queues, servers, blocking — lives in the model, which keeps this kernel
 //! reusable and trivially testable.
+//!
+//! The future-event list is pluggable via [`FelKind`]: the binary-heap
+//! [`EventQueue`] (O(log n) per op, zero tuning) or the bucketed
+//! [`CalendarQueue`] (O(1) amortized). Both order events by the same
+//! stable `(time, seq)` key, so a model observes the identical event
+//! sequence — and therefore makes the identical RNG draws — under either.
 
+use crate::calendar::CalendarQueue;
 use crate::event::EventQueue;
 use crate::time::{Dur, Time};
 
@@ -21,9 +28,59 @@ pub trait Model {
     fn handle(&mut self, now: Time, event: Self::Event, ex: &mut Executor<Self::Event>);
 }
 
+/// Which future-event list implementation an [`Executor`] pumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FelKind {
+    /// Binary-heap [`EventQueue`]: O(log n), no tuning, the reference.
+    Heap,
+    /// [`CalendarQueue`]: O(1) amortized, self-resizing buckets.
+    Calendar,
+}
+
+/// The future-event list behind an executor. Both variants share the
+/// stable `(time, seq)` total order, so they are interchangeable without
+/// perturbing event order (the bit-identity contract DESIGN.md §9
+/// documents).
+enum Fel<E> {
+    Heap(EventQueue<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> Fel<E> {
+    fn push(&mut self, at: Time, event: E) {
+        match self {
+            Fel::Heap(q) => q.push(at, event),
+            Fel::Calendar(q) => q.push(at, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        match self {
+            Fel::Heap(q) => q.pop(),
+            Fel::Calendar(q) => q.pop(),
+        }
+    }
+
+    /// `&mut` because the calendar's peek advances its day cursor (the
+    /// contents are untouched and the result is stable across calls).
+    fn peek_time(&mut self) -> Option<Time> {
+        match self {
+            Fel::Heap(q) => q.peek_time(),
+            Fel::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Fel::Heap(q) => q.len(),
+            Fel::Calendar(q) => q.len(),
+        }
+    }
+}
+
 /// The simulation executor: clock plus future-event list.
 pub struct Executor<E> {
-    queue: EventQueue<E>,
+    queue: Fel<E>,
     now: Time,
     events_processed: u64,
 }
@@ -35,10 +92,21 @@ impl<E> Default for Executor<E> {
 }
 
 impl<E> Executor<E> {
-    /// A fresh executor with the clock at [`Time::ZERO`].
+    /// A fresh executor with the clock at [`Time::ZERO`], pumping the
+    /// binary-heap FEL (the no-tuning reference; production runs use
+    /// [`Executor::with_fel`] to pick the calendar).
     pub fn new() -> Self {
+        Self::with_fel(FelKind::Heap)
+    }
+
+    /// A fresh executor pumping the chosen future-event list.
+    pub fn with_fel(kind: FelKind) -> Self {
+        let queue = match kind {
+            FelKind::Heap => Fel::Heap(EventQueue::new()),
+            FelKind::Calendar => Fel::Calendar(CalendarQueue::new()),
+        };
         Executor {
-            queue: EventQueue::new(),
+            queue,
             now: Time::ZERO,
             events_processed: 0,
         }
@@ -202,5 +270,22 @@ mod tests {
         let end = ex.run(&mut m, Time::from_ticks(100));
         assert_eq!(end, Time::from_ticks(100));
         assert_eq!(ex.now(), Time::from_ticks(100));
+    }
+
+    /// Both FEL kinds drive a model through the identical event sequence —
+    /// including FIFO ties — which is the bit-identity foundation the
+    /// production engine relies on.
+    #[test]
+    fn heap_and_calendar_executors_see_identical_sequences() {
+        let run = |kind: FelKind| {
+            let mut m = Recorder::default();
+            let mut ex = Executor::with_fel(kind);
+            for i in 0..50u32 {
+                ex.schedule(Time::from_ticks(u64::from(i % 7) * 10), Tagged(i));
+            }
+            ex.run(&mut m, Time::from_ticks(1_000));
+            m.seen
+        };
+        assert_eq!(run(FelKind::Heap), run(FelKind::Calendar));
     }
 }

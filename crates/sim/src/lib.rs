@@ -75,7 +75,7 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarQueue;
-pub use engine::{Executor, Model};
+pub use engine::{Executor, FelKind, Model};
 pub use event::EventQueue;
 pub use json::{FromJson, Json, ToJson};
 pub use pool::{TaskPanic, WorkerPool};

@@ -34,15 +34,37 @@ impl Partitioning {
     /// # Panics
     /// Panics if `npros == 0`.
     pub fn assign_processors(self, rng: &mut SimRng, npros: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.assign_processors_into(rng, npros, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Partitioning::assign_processors`]: fills
+    /// `out` (cleared first) so the per-transaction draw reuses one buffer
+    /// across the whole run. Consumes the RNG identically to the
+    /// allocating form — the processor sequence is bit-for-bit the same.
+    ///
+    /// # Panics
+    /// Panics if `npros == 0`.
+    pub fn assign_processors_into(self, rng: &mut SimRng, npros: u32, out: &mut Vec<u32>) {
         assert!(npros > 0, "need at least one processor");
+        out.clear();
         match self {
-            Partitioning::Horizontal => (0..npros).collect(),
+            Partitioning::Horizontal => out.extend(0..npros),
             Partitioning::Random => {
-                let fanout = rng.uniform_inclusive(1, u64::from(npros)) as u32;
-                rng.sample_distinct(u64::from(npros), u64::from(fanout))
-                    .into_iter()
-                    .map(|p| p as u32)
-                    .collect()
+                let fanout = rng.uniform_inclusive(1, u64::from(npros));
+                // Floyd's algorithm, draw-identical to
+                // `SimRng::sample_distinct` (one `uniform_inclusive(0, j)`
+                // per selected element, in the same j order).
+                let n = u64::from(npros);
+                for j in (n - fanout)..n {
+                    let t = rng.uniform_inclusive(0, j) as u32;
+                    if out.contains(&t) {
+                        out.push(j as u32);
+                    } else {
+                        out.push(t);
+                    }
+                }
             }
         }
     }
@@ -147,6 +169,26 @@ mod tests {
         let mean = total as f64 / n as f64;
         assert!((mean - 5.5).abs() < 0.1, "mean fan-out {mean}");
         assert_eq!(Partitioning::Random.mean_fanout(10), 5.5);
+    }
+
+    #[test]
+    fn random_assignment_matches_sample_distinct_draws() {
+        // The in-place Floyd loop must consume the RNG exactly like the
+        // historical `sample_distinct`-based implementation — this is what
+        // keeps every committed artifact bit-identical.
+        let mut a = SimRng::new(77);
+        let mut b = SimRng::new(77);
+        let mut buf = Vec::new();
+        for _ in 0..500 {
+            Partitioning::Random.assign_processors_into(&mut a, 10, &mut buf);
+            let fanout = b.uniform_inclusive(1, 10);
+            let reference: Vec<u32> = b
+                .sample_distinct(10, fanout)
+                .into_iter()
+                .map(|p| p as u32)
+                .collect();
+            assert_eq!(buf, reference);
+        }
     }
 
     #[test]

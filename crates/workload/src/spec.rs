@@ -157,18 +157,27 @@ impl WorkloadGenerator {
 
     /// Draw the next transaction.
     pub fn next_spec(&mut self) -> TransactionSpec {
+        let mut spec = TransactionSpec {
+            entities: 0,
+            locks: 0,
+            processors: Vec::new(),
+        };
+        self.next_spec_into(&mut spec);
+        spec
+    }
+
+    /// Allocation-free form of [`WorkloadGenerator::next_spec`]: overwrites
+    /// `spec` in place, reusing its `processors` buffer. Consumes the RNG
+    /// streams identically to the allocating form.
+    pub fn next_spec_into(&mut self, spec: &mut TransactionSpec) {
         self.generated += 1;
-        let entities = self.params.size.sample(&mut self.size_rng);
-        let locks = self.locks_memo.locks_required(entities);
-        let processors = self
-            .params
-            .partitioning
-            .assign_processors(&mut self.part_rng, self.params.npros);
-        TransactionSpec {
-            entities,
-            locks,
-            processors,
-        }
+        spec.entities = self.params.size.sample(&mut self.size_rng);
+        spec.locks = self.locks_memo.locks_required(spec.entities);
+        self.params.partitioning.assign_processors_into(
+            &mut self.part_rng,
+            self.params.npros,
+            &mut spec.processors,
+        );
     }
 }
 

@@ -9,8 +9,13 @@
 #   scripts/bench.sh                         full run, diff vs baseline
 #   LOCKGRAN_BENCH_QUICK=1 scripts/bench.sh  smoke-scale run (CI)
 #   LOCKGRAN_BENCH_THRESHOLD=40 scripts/bench.sh   widen the tolerance
-#   scripts/bench.sh --update                full run, then overwrite the
-#                                            committed baseline with it
+#   LOCKGRAN_BENCH_SUMMARY=BENCH_5.json scripts/bench.sh
+#                                            also write the machine-readable
+#                                            comparison summary to that path
+#   scripts/bench.sh --update                full run, summary + diff vs the
+#                                            old baseline (informational),
+#                                            then overwrite the committed
+#                                            baseline with the fresh run
 #
 # Quick mode shrinks sample counts so medians are noisy — the threshold
 # still applies, so use it as a smoke test, not as a perf gate.
@@ -22,10 +27,22 @@ BASELINE="results/bench"
 OUT="$(mktemp -d "${TMPDIR:-/tmp}/lockgran-bench.XXXXXX")"
 trap 'rm -rf "$OUT"' EXIT
 
+SUMMARY_ARGS=()
+if [[ -n "${LOCKGRAN_BENCH_SUMMARY:-}" ]]; then
+    SUMMARY_ARGS=(--summary "$LOCKGRAN_BENCH_SUMMARY")
+fi
+
 echo "== cargo bench (reports -> $OUT)"
 LOCKGRAN_BENCH_OUT="$OUT" cargo bench --offline -p lockgran-bench
 
 if [[ "${1:-}" == "--update" ]]; then
+    # Record how the fresh run compares against the baseline being
+    # replaced (and write the summary, if requested) before overwriting.
+    # Informational: an intentional re-pin is allowed to move numbers.
+    echo "== bench_diff vs outgoing baseline (informational)"
+    cargo run --offline -q -p lockgran-bench --bin bench_diff -- \
+        --baseline "$BASELINE" --current "$OUT" --threshold "$THRESHOLD" \
+        "${SUMMARY_ARGS[@]}" || true
     echo "== updating baseline $BASELINE"
     mkdir -p "$BASELINE"
     cp "$OUT"/*.json "$BASELINE"/
@@ -35,4 +52,5 @@ fi
 
 echo "== bench_diff (threshold ±${THRESHOLD}%)"
 cargo run --offline -q -p lockgran-bench --bin bench_diff -- \
-    --baseline "$BASELINE" --current "$OUT" --threshold "$THRESHOLD"
+    --baseline "$BASELINE" --current "$OUT" --threshold "$THRESHOLD" \
+    "${SUMMARY_ARGS[@]}"

@@ -1,0 +1,81 @@
+//! Steady-state allocation audit: once a Table 1 run is past its start-up
+//! transient, the event loop must touch the heap **zero** times — no
+//! per-event, per-transaction, or per-request allocation at all.
+//!
+//! Every hot-path buffer is recycled: the slab reuses transaction slots
+//! and one retired carcass, `TransactionSpec::processors` is drawn
+//! in-place, lock/stage share vectors are taken and restored around each
+//! submission, conflict waiter lists are recycled through a spare pool,
+//! and both FELs reuse their backing storage once capacities settle.
+//! This test is the proof: a `#[global_allocator]` wrapper counts every
+//! `alloc`/`realloc`, and the count must not move across the measured
+//! half of the run.
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lockgran_core::system::System;
+use lockgran_core::ModelConfig;
+use lockgran_sim::{Executor, FelKind, Time};
+
+/// Passthrough allocator that counts heap acquisitions (`alloc` and
+/// `realloc`; `dealloc` is free to run — returning memory is not the
+/// failure mode this test polices).
+struct CountingAlloc;
+
+static HEAP_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        HEAP_ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        SystemAlloc.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        SystemAlloc.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        HEAP_ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        SystemAlloc.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Drive the Table 1 baseline through a warm half (capacities settle,
+/// the calendar queue finds its bucket count, server queues reach their
+/// high-water marks) and then a measured half that must be allocation-free.
+#[test]
+fn table1_steady_state_allocates_nothing() {
+    let cfg = ModelConfig::table1().with_tmax(4_000.0);
+    let mut ex = Executor::with_fel(FelKind::Calendar);
+    let mut system = System::new(&cfg, 42, &mut ex);
+    let horizon = system.tmax();
+
+    // Start-up transient: arrivals fill the slab, buffers and queues grow
+    // to their working sizes. Allocation here is expected and amortized.
+    let mid = Time::from_units(2_000.0);
+    ex.run(&mut system, mid);
+    let events_before = ex.events_processed();
+    let allocs_before = HEAP_ACQUISITIONS.load(Ordering::Relaxed);
+
+    // Steady state: every buffer is recycled, so the heap must be silent.
+    let end = ex.run(&mut system, horizon);
+    let events = ex.events_processed() - events_before;
+    let allocs = HEAP_ACQUISITIONS.load(Ordering::Relaxed) - allocs_before;
+
+    assert!(
+        events > 1_000,
+        "measured half processed only {events} events — not a meaningful audit"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady state performed {allocs} heap acquisitions over {events} events"
+    );
+
+    // The run itself must still be a valid, completing simulation.
+    let metrics = system.finish(end);
+    assert!(metrics.totcom > 0, "no transactions completed");
+}

@@ -8,7 +8,7 @@
 use lockgran_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use lockgran_core::conflict::{ConflictDecision, ConflictModel, ProbabilisticConflict};
+use lockgran_core::conflict::{ConcurrencyControl, ConflictDecision, ProbabilisticConflict};
 use lockgran_sim::SimRng;
 
 const LTOT: u64 = 5000;

@@ -88,17 +88,26 @@ pub enum ConflictMode {
     Probabilistic,
     /// A real lock table with explicit granule sets (validation mode).
     Explicit,
+    /// Multigranularity locking over a database → area → granule
+    /// hierarchy: IS/IX intention locks above S/X leaf locks, with
+    /// optional lock escalation (see [`HierarchySpec`]).
+    Hierarchical,
 }
 
 impl ConflictMode {
-    /// Both modes.
-    pub const ALL: [ConflictMode; 2] = [ConflictMode::Probabilistic, ConflictMode::Explicit];
+    /// All modes.
+    pub const ALL: [ConflictMode; 3] = [
+        ConflictMode::Probabilistic,
+        ConflictMode::Explicit,
+        ConflictMode::Hierarchical,
+    ];
 
     /// Short lowercase name used in reports and CLI arguments.
     pub fn name(self) -> &'static str {
         match self {
             ConflictMode::Probabilistic => "probabilistic",
             ConflictMode::Explicit => "explicit",
+            ConflictMode::Hierarchical => "hierarchical",
         }
     }
 }
@@ -109,6 +118,7 @@ impl ToJson for ConflictMode {
             match self {
                 ConflictMode::Probabilistic => "Probabilistic",
                 ConflictMode::Explicit => "Explicit",
+                ConflictMode::Hierarchical => "Hierarchical",
             }
             .to_string(),
         )
@@ -120,8 +130,9 @@ impl FromJson for ConflictMode {
         match v.as_str() {
             Some("Probabilistic") => Ok(ConflictMode::Probabilistic),
             Some("Explicit") => Ok(ConflictMode::Explicit),
+            Some("Hierarchical") => Ok(ConflictMode::Hierarchical),
             _ => Err(format!(
-                "expected conflict mode (Probabilistic|Explicit), got {v}"
+                "expected conflict mode (Probabilistic|Explicit|Hierarchical), got {v}"
             )),
         }
     }
@@ -133,10 +144,85 @@ impl std::str::FromStr for ConflictMode {
         match s.to_ascii_lowercase().as_str() {
             "probabilistic" | "prob" => Ok(ConflictMode::Probabilistic),
             "explicit" | "table" => Ok(ConflictMode::Explicit),
+            "hierarchical" | "hier" => Ok(ConflictMode::Hierarchical),
             other => Err(format!(
-                "unknown conflict mode '{other}' (probabilistic|explicit)"
+                "unknown conflict mode '{other}' (probabilistic|explicit|hierarchical)"
             )),
         }
+    }
+}
+
+/// Parameters of the [`ConflictMode::Hierarchical`] protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchySpec {
+    /// Number of areas the granule space is partitioned into (the middle
+    /// level of the database → area → granule tree). Clamped to `ltot`
+    /// when larger — every area must hold at least one granule.
+    pub areas: u64,
+    /// Per-transaction escalation threshold: once a transaction declares
+    /// at least this many granules under one area, it locks the whole
+    /// area instead (cascading up to the database when the area locks
+    /// themselves cluster). `None` never escalates — pure
+    /// multigranularity locking; `Some(1)` degenerates to whole-database
+    /// locking.
+    pub escalation_threshold: Option<u64>,
+}
+
+impl Default for HierarchySpec {
+    fn default() -> Self {
+        HierarchySpec {
+            areas: 16,
+            escalation_threshold: None,
+        }
+    }
+}
+
+impl HierarchySpec {
+    /// Set the area count.
+    #[must_use]
+    pub fn with_areas(mut self, areas: u64) -> Self {
+        self.areas = areas;
+        self
+    }
+
+    /// Set (or clear) the escalation threshold.
+    #[must_use]
+    pub fn with_escalation_threshold(mut self, threshold: Option<u64>) -> Self {
+        self.escalation_threshold = threshold;
+        self
+    }
+
+    /// Validate the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.areas == 0 {
+            return Err("hierarchy areas must be positive".into());
+        }
+        if self.escalation_threshold == Some(0) {
+            return Err(
+                "escalation threshold of 0 is meaningless (use 1 for immediate escalation, \
+                 None for never)"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for HierarchySpec {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("areas", self.areas.to_json()),
+            ("escalation_threshold", self.escalation_threshold.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HierarchySpec {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(HierarchySpec {
+            areas: v.field("areas")?,
+            escalation_threshold: v.opt_field("escalation_threshold")?,
+        })
     }
 }
 
@@ -352,6 +438,11 @@ pub struct ModelConfig {
     /// per processor). `None` — the paper's model — is bit-identical to
     /// the pre-extension behavior. Optional in JSON (defaults to `None`).
     pub failure: Option<FailureSpec>,
+    /// Parameters for the hierarchical conflict mode. `None` with
+    /// [`ConflictMode::Hierarchical`] uses [`HierarchySpec::default`];
+    /// setting it with any other mode fails validation. Optional in JSON
+    /// (defaults to `None`).
+    pub hierarchy: Option<HierarchySpec>,
 }
 
 impl ToJson for ModelConfig {
@@ -378,6 +469,7 @@ impl ToJson for ModelConfig {
             ("mpl_limit", self.mpl_limit.to_json()),
             ("warmup", self.warmup.to_json()),
             ("failure", self.failure.to_json()),
+            ("hierarchy", self.hierarchy.to_json()),
         ])
     }
 }
@@ -410,6 +502,7 @@ impl FromJson for ModelConfig {
             mpl_limit: v.opt_field("mpl_limit")?,
             warmup: v.field_or("warmup", 0.0)?,
             failure: v.opt_field("failure")?,
+            hierarchy: v.opt_field("hierarchy")?,
         })
     }
 }
@@ -441,6 +534,7 @@ impl ModelConfig {
             mpl_limit: None,
             warmup: 0.0,
             failure: None,
+            hierarchy: None,
         }
     }
 
@@ -552,6 +646,19 @@ impl ModelConfig {
         self.failure = failure;
         self
     }
+    /// Set the hierarchical-mode parameters (hierarchical conflict mode
+    /// only).
+    #[must_use]
+    pub fn with_hierarchy(mut self, hierarchy: Option<HierarchySpec>) -> Self {
+        self.hierarchy = hierarchy;
+        self
+    }
+
+    /// The hierarchical-mode parameters in effect: the configured spec, or
+    /// the defaults when the configuration leaves them unset.
+    pub fn hierarchy_spec(&self) -> HierarchySpec {
+        self.hierarchy.unwrap_or_default()
+    }
 
     /// The workload-generation view of this configuration.
     pub fn workload_params(&self) -> WorkloadParams {
@@ -599,10 +706,16 @@ impl ModelConfig {
             h.validate()?;
             if self.conflict == ConflictMode::Probabilistic {
                 return Err(
-                    "hot-spot skew requires the explicit conflict model: the probabilistic \
-                     partition draw assumes uniform access"
+                    "hot-spot skew requires a lock-table conflict model (explicit or \
+                     hierarchical): the probabilistic partition draw assumes uniform access"
                         .into(),
                 );
+            }
+        }
+        if let Some(h) = &self.hierarchy {
+            h.validate()?;
+            if self.conflict != ConflictMode::Hierarchical {
+                return Err("hierarchy parameters require the hierarchical conflict mode".into());
             }
         }
         if self.mpl_limit == Some(0) {
@@ -753,6 +866,66 @@ mod tests {
             "explicit".parse::<ConflictMode>().unwrap(),
             ConflictMode::Explicit
         );
+        assert_eq!(
+            "hier".parse::<ConflictMode>().unwrap(),
+            ConflictMode::Hierarchical
+        );
+        assert_eq!(
+            "hierarchical".parse::<ConflictMode>().unwrap(),
+            ConflictMode::Hierarchical
+        );
         assert!("fuzzy".parse::<ConflictMode>().is_err());
+    }
+
+    #[test]
+    fn hierarchy_json_round_trip() {
+        let c = ModelConfig::table1()
+            .with_conflict(ConflictMode::Hierarchical)
+            .with_hierarchy(Some(HierarchySpec {
+                areas: 8,
+                escalation_threshold: Some(4),
+            }));
+        let text = c.to_json().to_string_compact();
+        let back = ModelConfig::from_json(&lockgran_sim::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, c);
+
+        // Threshold None (never escalate) survives the round trip too.
+        let c = c.with_hierarchy(Some(HierarchySpec::default()));
+        let text = c.to_json().pretty();
+        let back = ModelConfig::from_json(&lockgran_sim::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn hierarchy_validation() {
+        // Defaults apply when the spec is unset.
+        let c = ModelConfig::table1().with_conflict(ConflictMode::Hierarchical);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.hierarchy_spec(), HierarchySpec::default());
+
+        // Explicit spec must accompany the hierarchical mode.
+        assert!(ModelConfig::table1()
+            .with_hierarchy(Some(HierarchySpec::default()))
+            .validate()
+            .is_err());
+        // Degenerate parameters are rejected.
+        let bad_areas = HierarchySpec::default().with_areas(0);
+        assert!(ModelConfig::table1()
+            .with_conflict(ConflictMode::Hierarchical)
+            .with_hierarchy(Some(bad_areas))
+            .validate()
+            .is_err());
+        let bad_threshold = HierarchySpec::default().with_escalation_threshold(Some(0));
+        assert!(ModelConfig::table1()
+            .with_conflict(ConflictMode::Hierarchical)
+            .with_hierarchy(Some(bad_threshold))
+            .validate()
+            .is_err());
+        // Hot-spot skew is allowed with the hierarchical table.
+        assert!(ModelConfig::table1()
+            .with_conflict(ConflictMode::Hierarchical)
+            .with_hot_spot(Some(HotSpot::eighty_twenty()))
+            .validate()
+            .is_ok());
     }
 }

@@ -13,10 +13,13 @@
 //! requester **on `T_j`**, who will wake it at completion; landing in the
 //! remainder admits it. [`ProbabilisticConflict`] implements exactly this.
 //!
-//! The [`ConflictModel`] trait abstracts the decision so the same system
-//! model can also run against a real lock table
-//! ([`crate::explicit::ExplicitConflict`]), quantifying the quality of the
-//! approximation.
+//! The [`ConcurrencyControl`] trait abstracts the whole protocol seam —
+//! declared-access registration, admission, release/wake lists, protocol
+//! statistics — so the same system model can also run against a real lock
+//! table ([`crate::explicit::ExplicitConflict`]) or a multigranularity
+//! hierarchy with intention locks and escalation
+//! ([`crate::hierarchical::HierarchicalConflict`]), quantifying the
+//! quality of the approximation.
 //!
 //! ## Hot-path notes
 //!
@@ -43,6 +46,9 @@
 //! keyed map, no per-block node allocation in steady state.
 
 use lockgran_sim::SimRng;
+use lockgran_workload::{access, HotSpot, Placement};
+
+use crate::config::{ConflictMode, ModelConfig};
 
 /// Identifies a transaction instance within a run (monotone serial).
 pub type TxnSerial = u64;
@@ -56,9 +62,70 @@ pub enum ConflictDecision {
     BlockedBy(TxnSerial),
 }
 
-/// A pluggable lock-conflict computation.
+/// Protocol statistics a [`ConcurrencyControl`] implementation
+/// accumulates over a run. Flat protocols (probabilistic, explicit)
+/// report zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CcStats {
+    /// Lock escalations performed: a coarse (area or database) lock was
+    /// substituted for a group of fine granule locks.
+    pub escalations: u64,
+    /// Intention locks (IS/IX) granted on non-leaf hierarchy nodes.
+    pub intent_locks: u64,
+}
+
+/// How a protocol materializes a transaction's declared granule set
+/// (everything [`ConcurrencyControl::register_access`] needs from the
+/// configuration).
+#[derive(Clone, Copy, Debug)]
+pub struct AccessSampler {
+    /// Placement model (determines set size and shape).
+    pub placement: Placement,
+    /// Number of granule locks in the system.
+    pub ltot: u64,
+    /// Database size in entities.
+    pub dbsize: u64,
+    /// Optional hot-spot access skew.
+    pub hot_spot: Option<HotSpot>,
+}
+
+impl AccessSampler {
+    /// The sampler a configuration implies.
+    pub fn from_config(cfg: &ModelConfig) -> Self {
+        AccessSampler {
+            placement: cfg.placement,
+            ltot: cfg.ltot,
+            dbsize: cfg.dbsize,
+            hot_spot: cfg.hot_spot,
+        }
+    }
+
+    /// Sample the declared granule set of a transaction touching
+    /// `entities` entities into `out` (replacing its contents). Identical
+    /// draw sequence to the pre-trait system model: plain or hot-spot
+    /// sampling, from the caller's access stream only.
+    pub fn sample_into(&self, rng: &mut SimRng, entities: u64, out: &mut Vec<u64>) {
+        *out = match self.hot_spot {
+            None => access::sample_granules(rng, self.placement, entities, self.ltot, self.dbsize),
+            Some(skew) => access::sample_granules_hot(
+                rng,
+                self.placement,
+                entities,
+                self.ltot,
+                self.dbsize,
+                skew,
+            ),
+        };
+    }
+}
+
+/// A pluggable concurrency-control protocol.
 ///
 /// The contract mirrors the paper's protocol:
+/// * `register_access` is called exactly once per transaction, at spawn:
+///   the protocol materializes whatever declared-access state it needs
+///   (a concrete granule set for lock-table protocols; nothing for the
+///   probabilistic draw). It may draw only from the passed access stream.
 /// * `try_acquire` is called once per **attempt** (first request and every
 ///   retry after a wake-up); it either admits the transaction or records
 ///   it as blocked on a specific active transaction.
@@ -66,9 +133,20 @@ pub enum ConflictDecision {
 ///   completes; it appends every transaction blocked on it, in wake
 ///   order, to a caller-provided buffer (reused across completions so the
 ///   per-release allocation disappears from the hot loop).
-pub trait ConflictModel {
+/// * `stats` reports cumulative protocol counters (escalations,
+///   intention locks) for the run metrics.
+pub trait ConcurrencyControl {
+    /// Materialize the declared access set of a freshly spawned
+    /// transaction touching `entities` entities into `granules`
+    /// (replacing its contents). The default clears the set — the
+    /// protocol needs no concrete granules.
+    fn register_access(&mut self, rng: &mut SimRng, entities: u64, granules: &mut Vec<u64>) {
+        let _ = (rng, entities);
+        granules.clear();
+    }
+
     /// Attempt to admit `txn`, which needs `locks` locks over the granule
-    /// set `granules` (explicit models use the set; the probabilistic
+    /// set `granules` (lock-table models use the set; the probabilistic
     /// model uses only the count).
     fn try_acquire(
         &mut self,
@@ -87,6 +165,28 @@ pub trait ConflictModel {
 
     /// Total locks currently held across active transactions.
     fn locks_held(&self) -> u64;
+
+    /// Cumulative protocol statistics. The default reports zeros.
+    fn stats(&self) -> CcStats {
+        CcStats::default()
+    }
+}
+
+/// Build the concurrency-control protocol a configuration selects.
+///
+/// # Panics
+/// Panics if `cfg.ltot == 0` (validated configurations never are).
+pub fn build_concurrency_control(cfg: &ModelConfig) -> Box<dyn ConcurrencyControl> {
+    match cfg.conflict {
+        ConflictMode::Probabilistic => Box::new(ProbabilisticConflict::new(cfg.ltot)),
+        ConflictMode::Explicit => Box::new(
+            crate::explicit::ExplicitConflict::new().with_sampler(AccessSampler::from_config(cfg)),
+        ),
+        ConflictMode::Hierarchical => Box::new(crate::hierarchical::HierarchicalConflict::new(
+            AccessSampler::from_config(cfg),
+            cfg.hierarchy_spec(),
+        )),
+    }
 }
 
 /// One lock-holding transaction: its key, lock count, and the FIFO list
@@ -136,7 +236,11 @@ impl ProbabilisticConflict {
     }
 }
 
-impl ConflictModel for ProbabilisticConflict {
+impl ConcurrencyControl for ProbabilisticConflict {
+    // `register_access` keeps the default: the partition draw never
+    // materializes granule sets (and draws nothing from the access
+    // stream, preserving bit-identical goldens).
+
     fn try_acquire(
         &mut self,
         txn: TxnSerial,
@@ -219,7 +323,7 @@ mod tests {
     }
 
     /// Collect a release's wake list (test convenience).
-    fn release_vec(m: &mut impl ConflictModel, txn: TxnSerial) -> Vec<TxnSerial> {
+    fn release_vec(m: &mut impl ConcurrencyControl, txn: TxnSerial) -> Vec<TxnSerial> {
         let mut woken = Vec::new();
         m.release(txn, &mut woken);
         woken
@@ -232,6 +336,27 @@ mod tests {
         assert_eq!(m.try_acquire(1, 10, &[], &mut r), ConflictDecision::Granted);
         assert_eq!(m.active_count(), 1);
         assert_eq!(m.locks_held(), 10);
+    }
+
+    #[test]
+    fn default_register_access_clears_and_stats_are_zero() {
+        let mut m = ProbabilisticConflict::new(100);
+        let mut r = rng();
+        let mut granules = vec![1, 2, 3];
+        m.register_access(&mut r, 10, &mut granules);
+        assert!(granules.is_empty(), "probabilistic mode holds no sets");
+        assert_eq!(m.stats(), CcStats::default());
+    }
+
+    #[test]
+    fn factory_builds_every_mode() {
+        use crate::config::ModelConfig;
+        for mode in ConflictMode::ALL {
+            let cfg = ModelConfig::table1().with_conflict(mode);
+            let cc = build_concurrency_control(&cfg);
+            assert_eq!(cc.active_count(), 0);
+            assert_eq!(cc.locks_held(), 0);
+        }
     }
 
     #[test]

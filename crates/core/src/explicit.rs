@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use lockgran_lockmgr::{ConservativeOutcome, ConservativeScheduler, GranuleId, LockMode, TxnId};
 use lockgran_sim::SimRng;
 
-use crate::conflict::{ConflictDecision, ConflictModel, TxnSerial};
+use crate::conflict::{AccessSampler, ConcurrencyControl, ConflictDecision, TxnSerial};
 
 /// Conflict model backed by a real lock table.
 pub struct ExplicitConflict {
@@ -30,6 +30,9 @@ pub struct ExplicitConflict {
     locks_held: u64,
     /// Locks per active transaction (for `locks_held` bookkeeping).
     active_locks: BTreeMap<TxnSerial, u64>,
+    /// Declared-access sampler (required for `register_access`; unit
+    /// tests that feed granule sets directly may leave it unset).
+    sampler: Option<AccessSampler>,
 }
 
 impl Default for ExplicitConflict {
@@ -47,7 +50,16 @@ impl ExplicitConflict {
             active: 0,
             locks_held: 0,
             active_locks: BTreeMap::new(),
+            sampler: None,
         }
+    }
+
+    /// Attach the declared-access sampler used by
+    /// [`ConcurrencyControl::register_access`].
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: AccessSampler) -> Self {
+        self.sampler = Some(sampler);
+        self
     }
 
     /// Access the underlying scheduler (diagnostics).
@@ -56,7 +68,16 @@ impl ExplicitConflict {
     }
 }
 
-impl ConflictModel for ExplicitConflict {
+impl ConcurrencyControl for ExplicitConflict {
+    fn register_access(&mut self, rng: &mut SimRng, entities: u64, granules: &mut Vec<u64>) {
+        self.sampler
+            .as_ref()
+            // lint:allow(P001): the factory always attaches a sampler;
+            // calling register_access without one is a harness bug
+            .expect("explicit conflict model has no access sampler")
+            .sample_into(rng, entities, granules);
+    }
+
     fn try_acquire(
         &mut self,
         txn: TxnSerial,
@@ -119,7 +140,7 @@ mod tests {
     }
 
     /// Collect a release's wake list (test convenience).
-    fn release_vec(m: &mut impl ConflictModel, txn: TxnSerial) -> Vec<TxnSerial> {
+    fn release_vec(m: &mut impl ConcurrencyControl, txn: TxnSerial) -> Vec<TxnSerial> {
         let mut woken = Vec::new();
         m.release(txn, &mut woken);
         woken

@@ -1,0 +1,380 @@
+//! Hierarchical (multigranularity) conflict model with intention locks
+//! and lock escalation.
+//!
+//! The paper sweeps a *flat* granule axis (`ltot`); production systems
+//! resolve the same trade-off with Gray's multigranularity protocol: a
+//! database → area → granule tree where leaf S/X locks are shielded by
+//! IS/IX intention locks on their ancestors, and a transaction that
+//! declares too many granules under one area trades them for a single
+//! area lock (escalation). This model runs the paper's conservative
+//! (predeclaration) protocol over exactly that machinery:
+//!
+//! 1. [`register_access`](ConcurrencyControl::register_access) samples
+//!    the transaction's concrete granule set (same draws as the explicit
+//!    model, so the two modes are comparable point for point).
+//! 2. At each attempt the declared leaves pass through
+//!    [`lockgran_lockmgr::escalate_predeclared`]: areas covering at least
+//!    `escalation_threshold` declared granules are requested whole.
+//! 3. The surviving targets are requested in `X` with `IX` intention
+//!    locks on every ancestor, as one all-or-nothing conservative
+//!    request (so deadlock remains impossible and the first conflicting
+//!    holder — in flat-id order: database, areas, granules — blocks the
+//!    transaction, exactly like the explicit model's semantics).
+//!
+//! With `escalation_threshold = None` intention locks never conflict
+//! with each other (every non-leaf lock is `IX`), so the admitted
+//! schedules are *identical* to [`crate::explicit::ExplicitConflict`] —
+//! the protocol only adds intent-chain overhead. With
+//! `escalation_threshold = Some(1)` every non-empty request collapses to
+//! an `X` lock on the root: whole-database locking, the paper's
+//! `ltot = 1` extreme, regardless of the configured `ltot`.
+
+use std::collections::BTreeMap;
+
+use lockgran_lockmgr::{
+    escalate_predeclared, ConservativeOutcome, ConservativeScheduler, EscalationPolicy, GranuleId,
+    GranuleTree, LockMode, NodeId, TxnId,
+};
+use lockgran_sim::SimRng;
+use lockgran_workload::HierarchyMap;
+
+use crate::config::HierarchySpec;
+use crate::conflict::{AccessSampler, CcStats, ConcurrencyControl, ConflictDecision, TxnSerial};
+
+/// Conflict model running Gray's multigranularity protocol over a
+/// database → area → granule tree (see module docs).
+pub struct HierarchicalConflict {
+    scheduler: ConservativeScheduler,
+    tree: GranuleTree,
+    map: HierarchyMap,
+    policy: EscalationPolicy,
+    sampler: AccessSampler,
+    /// Granule sets of *blocked* transactions, replayed on retry so a
+    /// retry contends for the same granules it failed on.
+    pending_sets: BTreeMap<TxnSerial, Vec<u64>>,
+    active: u64,
+    locks_held: u64,
+    /// Locks per active transaction (for `locks_held` bookkeeping; the
+    /// paper's `LU` count, independent of escalation).
+    active_locks: BTreeMap<TxnSerial, u64>,
+    stats: CcStats,
+    /// Reusable request buffer (leaf → target → full intent-chain
+    /// request), so steady-state attempts do not allocate it anew.
+    request_buf: Vec<(GranuleId, LockMode)>,
+}
+
+impl HierarchicalConflict {
+    /// Build the model for the given declared-access sampler and
+    /// hierarchy parameters.
+    ///
+    /// # Panics
+    /// Panics if `sampler.ltot == 0` or `spec.areas == 0` (validated
+    /// configurations never are).
+    pub fn new(sampler: AccessSampler, spec: HierarchySpec) -> Self {
+        let map = HierarchyMap::new(sampler.ltot, spec.areas);
+        let tree = GranuleTree::new(&map.fanouts());
+        let policy = match spec.escalation_threshold {
+            None => EscalationPolicy::never(),
+            Some(t) => EscalationPolicy {
+                threshold: usize::try_from(t).unwrap_or(usize::MAX),
+            },
+        };
+        HierarchicalConflict {
+            scheduler: ConservativeScheduler::new(),
+            tree,
+            map,
+            policy,
+            sampler,
+            pending_sets: BTreeMap::new(),
+            active: 0,
+            locks_held: 0,
+            active_locks: BTreeMap::new(),
+            stats: CcStats::default(),
+            request_buf: Vec::new(),
+        }
+    }
+
+    /// The granule → area mapping in effect (diagnostics).
+    pub fn map(&self) -> HierarchyMap {
+        self.map
+    }
+
+    /// Access the underlying scheduler (diagnostics).
+    pub fn scheduler(&self) -> &ConservativeScheduler {
+        &self.scheduler
+    }
+}
+
+impl ConcurrencyControl for HierarchicalConflict {
+    fn register_access(&mut self, rng: &mut SimRng, entities: u64, granules: &mut Vec<u64>) {
+        self.sampler.sample_into(rng, entities, granules);
+    }
+
+    fn try_acquire(
+        &mut self,
+        txn: TxnSerial,
+        locks: u64,
+        granules: &[u64],
+        _rng: &mut SimRng,
+    ) -> ConflictDecision {
+        // A retry reuses the granule set from the failed attempt; a first
+        // attempt uses (and remembers) the set passed in.
+        let set: Vec<u64> = match self.pending_sets.remove(&txn) {
+            Some(saved) => saved,
+            None => granules.to_vec(),
+        };
+        debug_assert_eq!(
+            set.len() as u64,
+            locks,
+            "granule set size disagrees with lock count"
+        );
+        // The paper locks exclusively; map each flat granule id to its
+        // leaf node and run escalation over the predeclared set.
+        let leaf = self.tree.leaf_level();
+        let leaves: Vec<NodeId> = set
+            .iter()
+            .map(|&g| NodeId {
+                level: leaf,
+                index: g,
+            })
+            .collect();
+        let (targets, escalations) =
+            escalate_predeclared(&self.tree, self.policy, &leaves, LockMode::X);
+        // Full request: intention locks on every ancestor of every
+        // target, then the target itself. `request_all` sorts by flat id
+        // and merges duplicates by supremum, so the probe walks the tree
+        // root-first and the first conflicting holder is deterministic.
+        let mut request = std::mem::take(&mut self.request_buf);
+        request.clear();
+        for (node, mode) in &targets {
+            for a in self.tree.ancestors(*node) {
+                request.push((self.tree.flat_id(a), mode.required_ancestor_intent()));
+            }
+            request.push((self.tree.flat_id(*node), *mode));
+        }
+        let outcome = self.scheduler.request_all(TxnId(txn), &request);
+        self.request_buf = request;
+        match outcome {
+            ConservativeOutcome::Granted => {
+                self.active += 1;
+                self.locks_held += locks;
+                self.active_locks.insert(txn, locks);
+                self.stats.escalations += escalations;
+                // Count the intention locks actually granted (after the
+                // supremum merge) by inspecting the holdings.
+                let table = self.scheduler.table();
+                self.stats.intent_locks += self
+                    .scheduler
+                    .holdings(TxnId(txn))
+                    .iter()
+                    .filter(|&&g| {
+                        matches!(
+                            table.held_mode(TxnId(txn), g),
+                            Some(LockMode::IS | LockMode::IX | LockMode::SIX)
+                        )
+                    })
+                    .count() as u64;
+                ConflictDecision::Granted
+            }
+            ConservativeOutcome::Blocked { blocker } => {
+                self.pending_sets.insert(txn, set);
+                ConflictDecision::BlockedBy(blocker.0)
+            }
+        }
+    }
+
+    fn release(&mut self, txn: TxnSerial, woken: &mut Vec<TxnSerial>) {
+        let locks = self
+            .active_locks
+            .remove(&txn)
+            // lint:allow(P001): protocol invariant — the system releases
+            // only transactions it admitted
+            .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
+        self.active -= 1;
+        self.locks_held -= locks;
+        woken.extend(self.scheduler.release(TxnId(txn)).into_iter().map(|t| t.0));
+    }
+
+    fn active_count(&self) -> usize {
+        self.active as usize
+    }
+
+    fn locks_held(&self) -> u64 {
+        self.locks_held
+    }
+
+    fn stats(&self) -> CcStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use lockgran_workload::Placement;
+
+    fn sampler(ltot: u64) -> AccessSampler {
+        AccessSampler {
+            placement: Placement::Best,
+            ltot,
+            dbsize: 5000,
+            hot_spot: None,
+        }
+    }
+
+    fn model(ltot: u64, areas: u64, threshold: Option<u64>) -> HierarchicalConflict {
+        HierarchicalConflict::new(
+            sampler(ltot),
+            HierarchySpec {
+                areas,
+                escalation_threshold: threshold,
+            },
+        )
+    }
+
+    fn rng() -> SimRng {
+        SimRng::new(11)
+    }
+
+    #[test]
+    fn disjoint_areas_admit_concurrently() {
+        // 100 granules in 10 areas of 10; transactions in different areas
+        // only share IX intention locks — compatible.
+        let mut m = model(100, 10, None);
+        let mut r = rng();
+        assert_eq!(
+            m.try_acquire(1, 3, &[0, 1, 2], &mut r),
+            ConflictDecision::Granted
+        );
+        assert_eq!(
+            m.try_acquire(2, 2, &[55, 56], &mut r),
+            ConflictDecision::Granted
+        );
+        assert_eq!(m.active_count(), 2);
+        assert_eq!(m.locks_held(), 5);
+        // Each grant carries database + area intention locks.
+        assert_eq!(m.stats().intent_locks, 4);
+        assert_eq!(m.stats().escalations, 0);
+    }
+
+    #[test]
+    fn overlapping_leaves_block_like_explicit() {
+        let mut m = model(100, 10, None);
+        let mut r = rng();
+        let _ = m.try_acquire(1, 2, &[7, 8], &mut r);
+        assert_eq!(
+            m.try_acquire(2, 1, &[8], &mut r),
+            ConflictDecision::BlockedBy(1)
+        );
+        let mut woken = Vec::new();
+        m.release(1, &mut woken);
+        assert_eq!(woken, vec![2]);
+        // Retry with an empty slice — the saved set must be replayed.
+        assert_eq!(m.try_acquire(2, 1, &[], &mut r), ConflictDecision::Granted);
+    }
+
+    #[test]
+    fn threshold_one_serializes_everything() {
+        // Immediate escalation: every non-empty request is an X on the
+        // database root, so even disjoint granule sets serialize.
+        let mut m = model(100, 10, Some(1));
+        let mut r = rng();
+        assert_eq!(m.try_acquire(1, 1, &[0], &mut r), ConflictDecision::Granted);
+        assert_eq!(
+            m.try_acquire(2, 1, &[99], &mut r),
+            ConflictDecision::BlockedBy(1)
+        );
+        assert!(m.stats().escalations > 0);
+        assert_eq!(m.stats().intent_locks, 0, "a root X needs no intents");
+    }
+
+    #[test]
+    fn escalation_covers_undeclared_granules_in_the_area() {
+        // Area size 10, threshold 3: declaring granules 0..3 escalates to
+        // the whole area, so granule 9 (undeclared) is covered too.
+        let mut m = model(100, 10, Some(3));
+        let mut r = rng();
+        assert_eq!(
+            m.try_acquire(1, 3, &[0, 1, 2], &mut r),
+            ConflictDecision::Granted
+        );
+        assert_eq!(m.stats().escalations, 1);
+        assert_eq!(
+            m.try_acquire(2, 1, &[9], &mut r),
+            ConflictDecision::BlockedBy(1),
+            "area lock must cover undeclared granule 9"
+        );
+        // A different area stays available.
+        assert_eq!(
+            m.try_acquire(3, 1, &[10], &mut r),
+            ConflictDecision::Granted
+        );
+    }
+
+    #[test]
+    fn never_escalating_matches_explicit_decisions() {
+        use crate::explicit::ExplicitConflict;
+        // Same request stream through both models: with threshold = None
+        // intention locks never conflict, so every decision (and wake
+        // order) must agree with the flat explicit table.
+        let sets: &[&[u64]] = &[
+            &[0, 1, 2],
+            &[2, 3],
+            &[50, 51],
+            &[1],
+            &[99],
+            &[10, 20, 30, 40],
+        ];
+        let mut h = model(100, 16, None);
+        let mut e = ExplicitConflict::new();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for (i, set) in sets.iter().enumerate() {
+            let txn = i as u64;
+            let dh = h.try_acquire(txn, set.len() as u64, set, &mut r1);
+            let de = e.try_acquire(txn, set.len() as u64, set, &mut r2);
+            assert_eq!(dh, de, "decision diverged for txn {txn}");
+        }
+        // Drain the admitted transactions; wake lists must agree too.
+        for txn in [0u64, 2, 5] {
+            let mut wh = Vec::new();
+            let mut we = Vec::new();
+            h.release(txn, &mut wh);
+            e.release(txn, &mut we);
+            assert_eq!(wh, we, "wake list diverged releasing txn {txn}");
+        }
+        assert_eq!(h.stats().escalations, 0);
+    }
+
+    #[test]
+    fn empty_set_admits_without_locks() {
+        let mut m = model(100, 10, Some(1));
+        let mut r = rng();
+        assert_eq!(m.try_acquire(1, 0, &[], &mut r), ConflictDecision::Granted);
+        assert_eq!(m.locks_held(), 0);
+        // Even with threshold 1, a zero-lock transaction locks nothing —
+        // a second one is admitted concurrently.
+        assert_eq!(m.try_acquire(2, 0, &[], &mut r), ConflictDecision::Granted);
+    }
+
+    #[test]
+    fn factory_uses_config_spec() {
+        let cfg = ModelConfig::table1()
+            .with_conflict(crate::config::ConflictMode::Hierarchical)
+            .with_hierarchy(Some(HierarchySpec {
+                areas: 4,
+                escalation_threshold: Some(2),
+            }));
+        let m = HierarchicalConflict::new(AccessSampler::from_config(&cfg), cfg.hierarchy_spec());
+        assert_eq!(m.map().areas(), 4);
+        assert_eq!(m.map().per_area(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of inactive")]
+    fn release_of_unknown_txn_panics() {
+        let mut m = model(10, 2, None);
+        m.release(5, &mut Vec::new());
+    }
+}

@@ -9,11 +9,15 @@
 //!
 //! * [`config`] — every input parameter of the paper's Table 1, plus the
 //!   sweep dimensions of §3 (placement, partitioning, conflict model).
-//! * [`conflict`] — the probabilistic Ries–Stonebraker lock-conflict
-//!   computation used by the paper, behind the [`ConflictModel`] trait.
+//! * [`conflict`] — the [`ConcurrencyControl`] trait (conflict decisions
+//!   plus declared-access sampling and protocol statistics) and the
+//!   paper's probabilistic Ries–Stonebraker implementation of it.
 //! * [`explicit`] — an alternative conflict model backed by a *real* lock
 //!   table ([`lockgran_lockmgr`]), used to validate the probabilistic
 //!   approximation.
+//! * [`hierarchical`] — Gray's multigranularity protocol (database → area
+//!   → granule with IS/IX intention locks and lock escalation) as a third
+//!   conflict model, the production shape of the granularity trade-off.
 //! * [`transaction`] — per-transaction runtime state (`NU_i`, `LU_i`,
 //!   `PU_i`, fork/join bookkeeping).
 //! * [`system`] — the event-driven model itself: lock phase shared across
@@ -45,6 +49,7 @@
 pub mod config;
 pub mod conflict;
 pub mod explicit;
+pub mod hierarchical;
 pub mod metrics;
 pub mod sim;
 pub mod system;
@@ -53,10 +58,14 @@ pub mod trace;
 pub mod transaction;
 
 pub use config::{
-    ConflictMode, LockDistribution, ModelConfig, QueueDiscipline, ServiceVariability,
+    ConflictMode, HierarchySpec, LockDistribution, ModelConfig, QueueDiscipline, ServiceVariability,
 };
-pub use conflict::{ConflictDecision, ConflictModel, ProbabilisticConflict};
+pub use conflict::{
+    build_concurrency_control, AccessSampler, CcStats, ConcurrencyControl, ConflictDecision,
+    ProbabilisticConflict,
+};
 pub use explicit::ExplicitConflict;
+pub use hierarchical::HierarchicalConflict;
 pub use metrics::RunMetrics;
 pub use timeline::{TimelineCollector, TimelinePoint};
 pub use trace::{NullTracer, TraceEvent, Tracer, VecTracer};

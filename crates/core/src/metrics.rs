@@ -70,6 +70,12 @@ pub struct RunMetrics {
     /// Processor failure events within the measurement window (failure
     /// extension; 0 without a `FailureSpec`).
     pub failures: u64,
+    /// Lock escalations performed within the measurement window
+    /// (hierarchical conflict model only; 0 otherwise).
+    pub escalations: u64,
+    /// Intention locks (`IS`/`IX`/`SIX`) granted within the measurement
+    /// window (hierarchical conflict model only; 0 otherwise).
+    pub intent_locks: u64,
 }
 
 impl ToJson for RunMetrics {
@@ -98,6 +104,8 @@ impl ToJson for RunMetrics {
             ("attempts_per_txn", self.attempts_per_txn.to_json()),
             ("aborts", self.aborts.to_json()),
             ("failures", self.failures.to_json()),
+            ("escalations", self.escalations.to_json()),
+            ("intent_locks", self.intent_locks.to_json()),
         ])
     }
 }

@@ -25,11 +25,10 @@ use lockgran_sim::{
     Class, Completion, CompletionOutcome, Dur, Executor, Histogram, Job, JobId, Model, Server,
     SimRng, Tally, Time, TimeWeighted, Token,
 };
-use lockgran_workload::{access, FailureSpec, HotSpot, TransactionSpec, WorkloadGenerator};
+use lockgran_workload::{FailureSpec, TransactionSpec, WorkloadGenerator};
 
-use crate::config::{ConflictMode, LockDistribution, ModelConfig, ServiceVariability};
-use crate::conflict::{ConflictDecision, ConflictModel, ProbabilisticConflict};
-use crate::explicit::ExplicitConflict;
+use crate::config::{LockDistribution, ModelConfig, ServiceVariability};
+use crate::conflict::{build_concurrency_control, CcStats, ConcurrencyControl, ConflictDecision};
 use crate::metrics::RunMetrics;
 use crate::timeline::TimelineCollector;
 use crate::trace::{TraceEvent, Tracer, VecTracer};
@@ -108,6 +107,7 @@ struct CounterSnapshot {
     lock_denials: u64,
     aborts: u64,
     failures: u64,
+    cc: CcStats,
 }
 
 /// Live state of the optional processor fail/repair process. Exists only
@@ -159,21 +159,17 @@ pub struct System {
     liotime: Dur,
     warmup: Time,
     tmax: Time,
-    conflict_mode: ConflictMode,
     lock_distribution: LockDistribution,
     service: ServiceVariability,
-    hot_spot: Option<HotSpot>,
     /// Rotating processor offset for lock-operation placement.
     lock_rr: u64,
-    dbsize: u64,
-    ltot: u64,
 
     // --- stochastic machinery ---
     generator: WorkloadGenerator,
     conflict_rng: SimRng,
     access_rng: SimRng,
     service_rng: SimRng,
-    conflict: Box<dyn ConflictModel>,
+    conflict: Box<dyn ConcurrencyControl>,
 
     // --- resources ---
     cpu: Vec<Server>,
@@ -208,7 +204,7 @@ pub struct System {
     totcom: u64,
     aborts: u64,
     failures: u64,
-    /// Reusable wake-list buffer: filled by `ConflictModel::release` at
+    /// Reusable wake-list buffer: filled by `ConcurrencyControl::release` at
     /// each completion, so the hot loop never allocates for waking.
     /// Entries are slab slots (the conflict models key by slot).
     wake_buf: Vec<u64>,
@@ -240,10 +236,7 @@ impl System {
             panic!("invalid model configuration: {e}");
         }
         let root = SimRng::new(seed);
-        let conflict: Box<dyn ConflictModel> = match cfg.conflict {
-            ConflictMode::Probabilistic => Box::new(ProbabilisticConflict::new(cfg.ltot)),
-            ConflictMode::Explicit => Box::new(ExplicitConflict::new()),
-        };
+        let conflict = build_concurrency_control(cfg);
         let tmax = Time::from_units(cfg.tmax);
         let warmup = Time::from_units(cfg.warmup);
 
@@ -274,13 +267,9 @@ impl System {
             liotime: Dur::from_units(cfg.liotime),
             warmup,
             tmax,
-            conflict_mode: cfg.conflict,
             lock_distribution: cfg.lock_distribution,
             service: cfg.service,
-            hot_spot: cfg.hot_spot,
             lock_rr: 0,
-            dbsize: cfg.dbsize,
-            ltot: cfg.ltot,
             generator: WorkloadGenerator::new(cfg.workload_params(), &root),
             conflict_rng: root.split("conflict"),
             access_rng: root.split("access"),
@@ -423,29 +412,12 @@ impl System {
         txn.subtxns_outstanding = 0;
         txn.cpu_shares.clear();
         // Same draw order as before the slab: spec first, then granules.
+        // The conflict model decides what "declared access" means — the
+        // probabilistic model clears the set without touching the access
+        // stream; the lock-table models sample a concrete granule set.
         self.generator.next_spec_into(&mut txn.spec);
-        match self.conflict_mode {
-            ConflictMode::Probabilistic => txn.granules.clear(),
-            ConflictMode::Explicit => {
-                txn.granules = match self.hot_spot {
-                    None => access::sample_granules(
-                        &mut self.access_rng,
-                        self.generator.params().placement,
-                        txn.spec.entities,
-                        self.ltot,
-                        self.dbsize,
-                    ),
-                    Some(skew) => access::sample_granules_hot(
-                        &mut self.access_rng,
-                        self.generator.params().placement,
-                        txn.spec.entities,
-                        self.ltot,
-                        self.dbsize,
-                        skew,
-                    ),
-                };
-            }
-        }
+        self.conflict
+            .register_access(&mut self.access_rng, txn.spec.entities, &mut txn.granules);
         let slot = match self.free_slots.pop() {
             Some(s) => {
                 self.slab[s as usize] = Some(txn);
@@ -660,11 +632,11 @@ impl System {
             std::mem::swap(&mut txn.cpu_shares, &mut cpu_shares);
         }
         self.cpu_share_buf = cpu_shares;
-        for i in 0..fanout as usize {
+        for (i, &demand) in io_shares.iter().enumerate().take(fanout as usize) {
             let p = self.txn(slot).spec.processors[i];
             let job = Job {
                 id: job_id(slot, KIND_SUB_IO),
-                demand: io_shares[i],
+                demand,
                 class: Class::Transaction,
             };
             self.submit_io(now, p, job, ex);
@@ -876,7 +848,12 @@ impl System {
             let w = w as u32;
             debug_assert_eq!(self.txn(w).phase, TxnPhase::Blocked);
             let woken_serial = self.txn(w).serial;
-            self.trace(now, TraceEvent::Woken { serial: woken_serial });
+            self.trace(
+                now,
+                TraceEvent::Woken {
+                    serial: woken_serial,
+                },
+            );
             self.blocked_count -= 1;
             self.blocked_tw.record(now, f64::from(self.blocked_count));
             self.begin_lock_phase(now, w, ex);
@@ -902,6 +879,7 @@ impl System {
             lock_denials: self.lock_denials,
             aborts: self.aborts,
             failures: self.failures,
+            cc: self.conflict.stats(),
         };
         self.active_tw.reset(now);
         self.blocked_tw.reset(now);
@@ -955,6 +933,8 @@ impl System {
             attempts_per_txn: self.attempts_per_txn.mean(),
             aborts: self.aborts - self.snapshot.aborts,
             failures: self.failures - self.snapshot.failures,
+            escalations: self.conflict.stats().escalations - self.snapshot.cc.escalations,
+            intent_locks: self.conflict.stats().intent_locks - self.snapshot.cc.intent_locks,
         }
     }
 

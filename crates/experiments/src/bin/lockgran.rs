@@ -11,12 +11,16 @@
 //! lockgran warmup [run flags] [--interval X] [--reps R]
 //! lockgran run  [--ltot N] [--npros N] [--ntrans N] [--maxtransize N]
 //!               [--placement P] [--partitioning P] [--conflict C]
+//!               [--areas N] [--escalation N|inf]
 //!               [--liotime X] [--tmax T] [--seed N]
 //! ```
 //!
 //! Figure ids are `table1`, `fig2` … `fig12` and the extension
-//! experiments `extA` … `extF` (`all` runs the paper set, `ext` the
-//! extensions). Figure output is an aligned text table on stdout;
+//! experiments `extA` … `extH` (`all` runs the paper set, `ext` the
+//! extensions). `--conflict hierarchical` selects the multigranularity
+//! lock-table model; `--areas` sets its database → area → granule
+//! fan-out and `--escalation` its per-transaction lock-escalation
+//! threshold (`inf` = never escalate). Figure output is an aligned text table on stdout;
 //! `--out DIR` also writes `<id>.txt`, `<id>.csv` and `<id>.json`
 //! artifacts. Multi-figure runs are fault-isolated: a figure that
 //! panics is reported in an end-of-run summary (and the exit code is
@@ -25,7 +29,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lockgran_core::{sim, ConflictMode, ModelConfig};
+use lockgran_core::{sim, ConflictMode, HierarchySpec, ModelConfig};
 use lockgran_experiments::figures::{run_by_id, ALL_IDS, EXT_IDS};
 use lockgran_experiments::{chart, emit, Figure, RunOptions};
 use lockgran_sim::WorkerPool;
@@ -46,13 +50,15 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   lockgran list
-  lockgran <table1|fig2..fig12|all|extA|extB|extC|extD|extE|extF|ext> [--quick] [--chart] [--seed N] [--reps N] [--tmax T] [--jobs N] [--out DIR]
+  lockgran <table1|fig2..fig12|all|extA|extB|extC|extD|extE|extF|extG|extH|ext> [--quick] [--chart] [--seed N] [--reps N] [--tmax T] [--jobs N] [--out DIR]
   lockgran batch <configs.json> [--seed N] [--out FILE.csv]
   lockgran timeline [run flags] [--interval X]
   lockgran warmup [run flags] [--interval X] [--reps R]
   lockgran run [--ltot N] [--npros N] [--ntrans N] [--maxtransize N]
                [--placement best|random|worst] [--partitioning horizontal|random]
-               [--conflict probabilistic|explicit] [--liotime X] [--tmax T] [--seed N]";
+               [--conflict probabilistic|explicit|hierarchical]
+               [--areas N] [--escalation N|inf]
+               [--liotime X] [--tmax T] [--seed N]";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -321,6 +327,13 @@ fn parse_run_flags(args: &[String]) -> Result<(ModelConfig, u64, Vec<String>), S
             "--conflict" => {
                 cfg.conflict = next_str(&mut it, "--conflict")?.parse::<ConflictMode>()?;
             }
+            "--areas" => {
+                hierarchy_of(&mut cfg).areas = next_val(&mut it, "--areas")?;
+            }
+            "--escalation" => {
+                hierarchy_of(&mut cfg).escalation_threshold =
+                    parse_escalation(next_str(&mut it, "--escalation")?)?;
+            }
             "--liotime" => cfg.liotime = next_val(&mut it, "--liotime")?,
             "--tmax" => cfg.tmax = next_val(&mut it, "--tmax")?,
             "--seed" => seed = next_val(&mut it, "--seed")?,
@@ -408,6 +421,13 @@ fn run_single(args: &[String]) -> Result<(), String> {
             "--conflict" => {
                 cfg.conflict = next_str(&mut it, "--conflict")?.parse::<ConflictMode>()?;
             }
+            "--areas" => {
+                hierarchy_of(&mut cfg).areas = next_val(&mut it, "--areas")?;
+            }
+            "--escalation" => {
+                hierarchy_of(&mut cfg).escalation_threshold =
+                    parse_escalation(next_str(&mut it, "--escalation")?)?;
+            }
             "--liotime" => cfg.liotime = next_val(&mut it, "--liotime")?,
             "--tmax" => cfg.tmax = next_val(&mut it, "--tmax")?,
             "--seed" => seed = next_val(&mut it, "--seed")?,
@@ -438,7 +458,38 @@ fn run_single(args: &[String]) -> Result<(), String> {
     println!("mean active = {:.2}", m.mean_active);
     println!("cpu util    = {:.3}", m.cpu_utilization);
     println!("io util     = {:.3}", m.io_utilization);
+    if cfg.conflict == ConflictMode::Hierarchical {
+        let h = cfg.hierarchy_spec();
+        println!(
+            "hierarchy   = {} areas, escalation {}",
+            h.areas,
+            match h.escalation_threshold {
+                Some(t) => t.to_string(),
+                None => "off".to_string(),
+            }
+        );
+        println!("escalations = {}", m.escalations);
+        println!("intent lks  = {}", m.intent_locks);
+    }
     Ok(())
+}
+
+/// Overlay a hierarchy-parameter flag onto the config (creating the spec
+/// from defaults on first use).
+fn hierarchy_of(cfg: &mut ModelConfig) -> &mut HierarchySpec {
+    cfg.hierarchy.get_or_insert_with(HierarchySpec::default)
+}
+
+/// Parse an `--escalation` value: a positive integer threshold, or
+/// `inf`/`none` for "never escalate".
+fn parse_escalation(s: &str) -> Result<Option<u64>, String> {
+    match s {
+        "inf" | "none" => Ok(None),
+        n => n
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("--escalation: cannot parse '{n}' (want a count or 'inf')")),
+    }
 }
 
 fn next_str<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {

@@ -17,7 +17,9 @@ use crate::sweep::RunOptions;
 pub fn run(opts: &RunOptions) -> Figure {
     let mut configs = Vec::new();
     for npros in [10u32, 30] {
-        for mode in ConflictMode::ALL {
+        // The two models the paper's approximation question is about; the
+        // hierarchical model gets its own three-way overlay in extH.
+        for mode in [ConflictMode::Probabilistic, ConflictMode::Explicit] {
             configs.push((
                 format!("{}/npros={npros}", mode.name()),
                 ModelConfig::table1().with_npros(npros).with_conflict(mode),

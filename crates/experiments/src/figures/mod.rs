@@ -8,7 +8,9 @@
 pub mod ext_admission;
 pub mod ext_conflict;
 pub mod ext_discipline;
+pub mod ext_escalation;
 pub mod ext_failure;
+pub mod ext_hierarchy;
 pub mod ext_hotspot;
 pub mod ext_resource_balance;
 pub mod fig02;
@@ -111,6 +113,8 @@ pub fn run_by_id(id: &str, opts: &RunOptions) -> Option<Figure> {
         "extD" => ext_hotspot::run(opts),
         "extE" => ext_resource_balance::run(opts),
         "extF" => ext_failure::run(opts),
+        "extG" => ext_escalation::run(opts),
+        "extH" => ext_hierarchy::run(opts),
         _ => return None,
     })
 }
@@ -122,4 +126,6 @@ pub const ALL_IDS: [&str; 12] = [
 ];
 
 /// Extension experiments beyond the paper.
-pub const EXT_IDS: [&str; 6] = ["extA", "extB", "extC", "extD", "extE", "extF"];
+pub const EXT_IDS: [&str; 8] = [
+    "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH",
+];

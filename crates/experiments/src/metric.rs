@@ -34,11 +34,15 @@ pub enum Metric {
     IoUtilization,
     /// Failure-induced transaction aborts (failure extension).
     Aborts,
+    /// Lock escalations (hierarchical conflict model).
+    Escalations,
+    /// Intention locks granted (hierarchical conflict model).
+    IntentLocks,
 }
 
 impl Metric {
     /// All metrics, for CLI listings.
-    pub const ALL: [Metric; 12] = [
+    pub const ALL: [Metric; 14] = [
         Metric::Throughput,
         Metric::ResponseTime,
         Metric::UsefulCpu,
@@ -51,6 +55,8 @@ impl Metric {
         Metric::CpuUtilization,
         Metric::IoUtilization,
         Metric::Aborts,
+        Metric::Escalations,
+        Metric::IntentLocks,
     ];
 
     /// Extract this metric from a run.
@@ -68,6 +74,8 @@ impl Metric {
             Metric::CpuUtilization => m.cpu_utilization,
             Metric::IoUtilization => m.io_utilization,
             Metric::Aborts => m.aborts as f64,
+            Metric::Escalations => m.escalations as f64,
+            Metric::IntentLocks => m.intent_locks as f64,
         }
     }
 
@@ -86,6 +94,8 @@ impl Metric {
             Metric::CpuUtilization => "cpu_utilization",
             Metric::IoUtilization => "io_utilization",
             Metric::Aborts => "aborts",
+            Metric::Escalations => "escalations",
+            Metric::IntentLocks => "intent_locks",
         }
     }
 }
@@ -108,6 +118,8 @@ impl ToJson for Metric {
                 Metric::CpuUtilization => "CpuUtilization",
                 Metric::IoUtilization => "IoUtilization",
                 Metric::Aborts => "Aborts",
+                Metric::Escalations => "Escalations",
+                Metric::IntentLocks => "IntentLocks",
             }
             .to_string(),
         )
@@ -129,6 +141,8 @@ impl FromJson for Metric {
             Some("CpuUtilization") => Ok(Metric::CpuUtilization),
             Some("IoUtilization") => Ok(Metric::IoUtilization),
             Some("Aborts") => Ok(Metric::Aborts),
+            Some("Escalations") => Ok(Metric::Escalations),
+            Some("IntentLocks") => Ok(Metric::IntentLocks),
             _ => Err(format!("expected metric variant name, got {v}")),
         }
     }

@@ -33,6 +33,73 @@ impl Default for EscalationPolicy {
     }
 }
 
+impl EscalationPolicy {
+    /// A policy that never escalates (the threshold is unreachable) —
+    /// pure multigranularity locking.
+    pub fn never() -> Self {
+        EscalationPolicy {
+            threshold: usize::MAX,
+        }
+    }
+}
+
+/// Apply the escalation policy to a *predeclared* request set.
+///
+/// The conservative protocol (the one the paper simulates) declares every
+/// leaf up front, so escalation can run on the whole set before any lock
+/// is taken, instead of lock-by-lock like [`EscalationManager`]: wherever
+/// at least `policy.threshold` requested children share a parent, the
+/// children are replaced by the parent requested whole in `mode`. The
+/// promotion cascades bottom-up — promoted parents that themselves
+/// cluster under one grandparent can escalate again, so `threshold = 1`
+/// always collapses a non-empty set to the root (whole-database locking).
+///
+/// Returns the surviving requests, each to be taken in `mode` (callers
+/// still owe intention locks on the ancestors of every survivor), and the
+/// number of promotions performed.
+pub fn escalate_predeclared(
+    tree: &GranuleTree,
+    policy: EscalationPolicy,
+    leaves: &[NodeId],
+    mode: LockMode,
+) -> (Vec<(NodeId, LockMode)>, u64) {
+    let mut kept: Vec<(NodeId, LockMode)> = Vec::new();
+    let mut escalations = 0u64;
+    // Sort (and dedup) so nodes sharing a parent are contiguous; every
+    // round works on a single level, so ordering by index suffices.
+    let mut current: Vec<NodeId> = leaves.to_vec();
+    current.sort_unstable_by_key(|n| (n.level.0, n.index));
+    current.dedup();
+    while let Some(&first) = current.first() {
+        if first.level.0 == 0 {
+            // The root cannot escalate further.
+            kept.extend(current.drain(..).map(|n| (n, mode)));
+            break;
+        }
+        let mut promoted: Vec<NodeId> = Vec::new();
+        let mut i = 0;
+        while i < current.len() {
+            let parent = tree
+                .parent(current[i])
+                // lint:allow(P001): non-root nodes always have a parent
+                .expect("non-root node has a parent");
+            let mut j = i;
+            while j < current.len() && tree.parent(current[j]) == Some(parent) {
+                j += 1;
+            }
+            if j - i >= policy.threshold {
+                escalations += 1;
+                promoted.push(parent);
+            } else {
+                kept.extend(current[i..j].iter().map(|&n| (n, mode)));
+            }
+            i = j;
+        }
+        current = promoted;
+    }
+    (kept, escalations)
+}
+
 /// Outcome of one escalation attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EscalationOutcome {
@@ -251,6 +318,74 @@ mod tests {
             EscalationOutcome::BelowThreshold,
             "re-locking the same child must not trigger escalation"
         );
+    }
+
+    fn leaves(ids: &[u64]) -> Vec<NodeId> {
+        ids.iter().map(|&i| node(2, i)).collect()
+    }
+
+    #[test]
+    fn predeclared_threshold_one_collapses_to_root() {
+        let tr = tree();
+        let pol = EscalationPolicy { threshold: 1 };
+        // Any non-empty leaf set cascades all the way to the root.
+        let (kept, escalations) = escalate_predeclared(&tr, pol, &leaves(&[7]), X);
+        assert_eq!(kept, vec![(node(0, 0), X)]);
+        assert_eq!(escalations, 2); // file 0, then the database
+
+        let (kept, escalations) = escalate_predeclared(&tr, pol, &leaves(&[0, 60, 499]), X);
+        assert_eq!(kept, vec![(node(0, 0), X)]);
+        assert_eq!(escalations, 4); // three files, then the database
+    }
+
+    #[test]
+    fn predeclared_never_policy_keeps_all_leaves() {
+        let tr = tree();
+        let (kept, escalations) =
+            escalate_predeclared(&tr, EscalationPolicy::never(), &leaves(&[3, 1, 2]), X);
+        assert_eq!(escalations, 0);
+        assert_eq!(
+            kept,
+            vec![(node(2, 1), X), (node(2, 2), X), (node(2, 3), X)],
+            "survivors come back sorted"
+        );
+    }
+
+    #[test]
+    fn predeclared_escalates_only_dense_parents() {
+        let tr = tree();
+        let pol = EscalationPolicy { threshold: 3 };
+        // Three blocks in file 0 (escalates), two in file 1 (kept).
+        let (kept, escalations) = escalate_predeclared(&tr, pol, &leaves(&[0, 1, 2, 50, 51]), X);
+        assert_eq!(escalations, 1);
+        assert_eq!(
+            kept,
+            vec![(node(2, 50), X), (node(2, 51), X), (node(1, 0), X)]
+        );
+    }
+
+    #[test]
+    fn predeclared_cascades_through_intermediate_levels() {
+        // 2 files × 2 blocks; threshold 2: both files escalate, then the
+        // two file locks escalate to the root.
+        let tr = GranuleTree::new(&[2, 2]);
+        let pol = EscalationPolicy { threshold: 2 };
+        let all: Vec<NodeId> = (0..4).map(|i| node(2, i)).collect();
+        let (kept, escalations) = escalate_predeclared(&tr, pol, &all, X);
+        assert_eq!(kept, vec![(node(0, 0), X)]);
+        assert_eq!(escalations, 3);
+    }
+
+    #[test]
+    fn predeclared_dedups_and_handles_empty_sets() {
+        let tr = tree();
+        let pol = EscalationPolicy { threshold: 2 };
+        let (kept, escalations) = escalate_predeclared(&tr, pol, &leaves(&[9, 9]), S);
+        assert_eq!(escalations, 0);
+        assert_eq!(kept, vec![(node(2, 9), S)]);
+        let (kept, escalations) = escalate_predeclared(&tr, pol, &[], X);
+        assert!(kept.is_empty());
+        assert_eq!(escalations, 0);
     }
 
     #[test]

@@ -34,6 +34,17 @@
 //! * [`sharded`] — a thread-safe sharded try-lock table, the production
 //!   shape of a lock manager (extension; stress-tested under real
 //!   threads).
+//!
+//! ## Production status
+//!
+//! [`mode`], [`table`], [`conservative`], [`hierarchy`], and
+//! [`escalation`] are live production code: they back the explicit and
+//! hierarchical conflict models in `lockgran-core` and every extB/extD/
+//! extG/extH sweep. [`twophase`], [`deadlock`], and [`sharded`] are not
+//! yet reachable from the simulator's event loop — they are the
+//! substrate for the planned incremental-2PL `ConcurrencyControl`
+//! implementation (ROADMAP item 3), kept fully unit-tested rather than
+//! suppressed; nothing in this crate carries a `dead_code` allow.
 
 #![warn(missing_docs)]
 
@@ -48,7 +59,9 @@ pub mod twophase;
 
 pub use conservative::{ConservativeOutcome, ConservativeScheduler};
 pub use deadlock::WaitsForGraph;
-pub use escalation::{EscalationManager, EscalationOutcome, EscalationPolicy};
+pub use escalation::{
+    escalate_predeclared, EscalationManager, EscalationOutcome, EscalationPolicy,
+};
 pub use hierarchy::{GranuleTree, HierarchyLevel, NodeId};
 pub use mode::LockMode;
 pub use sharded::ShardedLockTable;

@@ -191,6 +191,66 @@ pub fn sample_granules_hot(
     out
 }
 
+/// Maps the paper's flat granule ids (`0..ltot`) onto a three-level
+/// database → area → granule hierarchy for multigranularity locking.
+///
+/// The paper's model has a single flat granule axis; hierarchical
+/// protocols need each granule placed under an intermediate "area" node
+/// (file/relation analogue). Granule `g` lives in area `g / per_area` —
+/// the mapping is order-preserving, so the sequential runs produced by
+/// best placement stay clustered within areas, exactly the locality
+/// escalation exploits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyMap {
+    areas: u64,
+    per_area: u64,
+}
+
+impl HierarchyMap {
+    /// Build the mapping for `ltot` granules grouped into at most `areas`
+    /// areas. The requested area count is clamped to `ltot` (an area must
+    /// hold at least one granule) and trailing empty areas are dropped, so
+    /// every area contains at least one live granule.
+    ///
+    /// # Panics
+    /// Panics if `ltot == 0` or `areas == 0`.
+    pub fn new(ltot: u64, areas: u64) -> Self {
+        // lint:allow(P001): parameter contract, enforced by config validation
+        assert!(ltot > 0, "ltot must be positive");
+        // lint:allow(P001): parameter contract, enforced by config validation
+        assert!(areas > 0, "areas must be positive");
+        let clamped = areas.min(ltot);
+        let per_area = ltot.div_ceil(clamped);
+        // Recompute the area count so rounding never leaves empty areas
+        // (e.g. ltot = 100, areas = 16 → per_area = 7 → 15 areas).
+        let areas = ltot.div_ceil(per_area);
+        HierarchyMap { areas, per_area }
+    }
+
+    /// Number of areas (middle hierarchy level).
+    pub fn areas(&self) -> u64 {
+        self.areas
+    }
+
+    /// Granule capacity of each area (the last area may be ragged).
+    pub fn per_area(&self) -> u64 {
+        self.per_area
+    }
+
+    /// Per-level fan-outs for an implicit database → area → granule tree
+    /// (`lockgran-lockmgr`'s `GranuleTree::new` input). The leaf level has
+    /// `areas × per_area ≥ ltot` slots; ids `ltot..` are simply never
+    /// requested.
+    pub fn fanouts(&self) -> [u64; 2] {
+        [self.areas, self.per_area]
+    }
+
+    /// The area containing granule `g`.
+    pub fn area_of(&self, granule: u64) -> u64 {
+        granule / self.per_area
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +386,51 @@ mod tests {
         let set = sample_granules_hot(&mut rng, Placement::Worst, 50, 100, DB, skew);
         assert_eq!(set.len(), 50);
         assert_valid(&set, 100);
+    }
+
+    #[test]
+    fn hierarchy_map_covers_every_granule_without_empty_areas() {
+        for &(ltot, areas) in &[
+            (100u64, 16u64),
+            (1, 16),
+            (10, 16),
+            (5000, 16),
+            (7, 3),
+            (100, 1),
+        ] {
+            let m = HierarchyMap::new(ltot, areas);
+            assert!(m.areas() >= 1 && m.areas() <= areas.min(ltot));
+            // Leaf capacity covers the granule space.
+            assert!(
+                m.areas() * m.per_area() >= ltot,
+                "ltot={ltot} areas={areas}"
+            );
+            // Every granule maps to a live area; every area is non-empty.
+            let mut seen = vec![false; m.areas() as usize];
+            for g in 0..ltot {
+                let a = m.area_of(g);
+                assert!(a < m.areas(), "granule {g} mapped past the last area");
+                seen[a as usize] = true;
+            }
+            assert!(
+                seen.iter().all(|&b| b),
+                "empty area for ltot={ltot} areas={areas}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_map_is_order_preserving() {
+        let m = HierarchyMap::new(100, 16);
+        assert_eq!(m.fanouts(), [m.areas(), m.per_area()]);
+        for g in 1..100 {
+            assert!(m.area_of(g) >= m.area_of(g - 1));
+        }
+        // Whole-database degenerate case: one area holding everything.
+        let one = HierarchyMap::new(50, 1);
+        assert_eq!(one.areas(), 1);
+        assert_eq!(one.per_area(), 50);
+        assert!((0..50).all(|g| one.area_of(g) == 0));
     }
 
     #[test]

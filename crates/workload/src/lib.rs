@@ -33,7 +33,7 @@ pub mod size;
 pub mod spec;
 pub mod yao;
 
-pub use access::{AccessPattern, HotSpot};
+pub use access::{AccessPattern, HierarchyMap, HotSpot};
 pub use failure::FailureSpec;
 pub use partitioning::Partitioning;
 pub use placement::{LocksMemo, Placement};

@@ -20,8 +20,9 @@
 //!   incremental 2PL with deadlock detection, multi-granularity
 //!   hierarchy.
 //! * [`core`] ([`lockgran_core`]) — the paper's model: configuration,
-//!   probabilistic & explicit conflict models, the event-driven system,
-//!   output metrics.
+//!   the `ConcurrencyControl` layer (probabilistic, explicit lock-table
+//!   and multigranularity/escalation conflict models), the event-driven
+//!   system, output metrics.
 //! * [`experiments`] ([`lockgran_experiments`]) — one module per paper
 //!   table/figure, sweep machinery, emitters, and the `lockgran` CLI.
 //!
@@ -54,7 +55,7 @@ pub mod prelude {
         run, run_replicated, run_timeline, run_traced, suggest_warmup, Estimate, ReplicatedMetrics,
     };
     pub use lockgran_core::{
-        ConflictMode, LockDistribution, ModelConfig, QueueDiscipline, RunMetrics,
+        ConflictMode, HierarchySpec, LockDistribution, ModelConfig, QueueDiscipline, RunMetrics,
         ServiceVariability, TimelinePoint,
     };
     pub use lockgran_experiments::{Figure, Metric, RunOptions};

@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: the probabilistic conflict model
-//! (the paper's approximation) against the explicit lock table.
+//! (the paper's approximation) against the explicit lock table and the
+//! multigranularity hierarchy.
 
 use lockgran::prelude::*;
 
@@ -63,6 +64,81 @@ fn explicit_model_reproduces_convexity() {
     let fine = at(5000);
     assert!(mid > coarse, "no rise: {mid} !> {coarse}");
     assert!(mid > fine, "no fall: {mid} !> {fine}");
+}
+
+/// Degeneracy property: escalation threshold 1 collapses every request to
+/// a whole-database lock, so the hierarchical model behaves like the
+/// paper's `ltot = 1` serial extreme at *any* configured `ltot` — exactly
+/// one transaction active at a time, with throughput matching the
+/// explicit table at `ltot = 1`.
+#[test]
+fn hierarchy_threshold_one_degenerates_to_whole_database_locking() {
+    let hier = ModelConfig::table1()
+        .with_ltot(500)
+        .with_tmax(1_000.0)
+        .with_conflict(ConflictMode::Hierarchical)
+        .with_hierarchy(Some(
+            HierarchySpec::default().with_escalation_threshold(Some(1)),
+        ));
+    let h = run(&hier, 6);
+    assert!(
+        h.mean_active <= 1.0 + 1e-9,
+        "mean_active {} > 1 under immediate escalation",
+        h.mean_active
+    );
+    assert!(h.escalations > 0, "no escalations recorded");
+    let coarse = run(
+        &ModelConfig::table1()
+            .with_ltot(1)
+            .with_tmax(1_000.0)
+            .with_conflict(ConflictMode::Explicit),
+        6,
+    );
+    // Both serialize completely; the residual difference is lock-overhead
+    // accounting (LU differs between ltot=1 and ltot=500).
+    let ratio = h.throughput / coarse.throughput;
+    assert!((0.5..=1.05).contains(&ratio), "ratio {ratio}");
+}
+
+/// Agreement property: with escalation off every non-leaf lock is an IX
+/// intent, intents never conflict with each other, and the first conflict
+/// is always at a leaf — so the hierarchical model admits *exactly* the
+/// explicit table's schedules. Same seed, same access draws, bit-equal
+/// metrics.
+#[test]
+fn hierarchy_without_escalation_agrees_with_explicit_bitwise() {
+    for ltot in [10u64, 500, 5000] {
+        let base = ModelConfig::table1().with_ltot(ltot).with_tmax(1_000.0);
+        let e = run(&base.clone().with_conflict(ConflictMode::Explicit), 9);
+        let h = run(
+            &base
+                .with_conflict(ConflictMode::Hierarchical)
+                .with_hierarchy(Some(
+                    HierarchySpec::default()
+                        .with_areas(16)
+                        .with_escalation_threshold(None),
+                )),
+            9,
+        );
+        assert_eq!(e.totcom, h.totcom, "ltot={ltot}: totcom diverged");
+        assert_eq!(
+            e.throughput, h.throughput,
+            "ltot={ltot}: throughput diverged"
+        );
+        assert_eq!(
+            e.response_time, h.response_time,
+            "ltot={ltot}: response time diverged"
+        );
+        assert_eq!(
+            e.denial_rate, h.denial_rate,
+            "ltot={ltot}: denial rate diverged"
+        );
+        assert_eq!(
+            h.escalations, 0,
+            "ltot={ltot}: escalated with threshold=inf"
+        );
+        assert!(h.intent_locks > 0, "ltot={ltot}: no intent locks recorded");
+    }
 }
 
 /// The explicit model's blocking is *sparser* than worst-case: with best

@@ -51,7 +51,10 @@ fn ltot_sweep_is_fel_independent() {
 fn model_variants_are_fel_independent() {
     let base = ModelConfig::table1().with_tmax(1_000.0);
     let variants: Vec<(&str, ModelConfig)> = vec![
-        ("explicit", base.clone().with_conflict(ConflictMode::Explicit)),
+        (
+            "explicit",
+            base.clone().with_conflict(ConflictMode::Explicit),
+        ),
         (
             "random-partitioning",
             base.clone().with_partitioning(Partitioning::Random),

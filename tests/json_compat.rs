@@ -66,7 +66,8 @@ fn table1_pretty_emit_is_stable() {
   \"lock_preemption\": true,
   \"mpl_limit\": null,
   \"warmup\": 0.0,
-  \"failure\": null
+  \"failure\": null,
+  \"hierarchy\": null
 }";
     assert_eq!(ModelConfig::table1().to_json().pretty(), expected);
 }

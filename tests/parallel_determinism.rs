@@ -3,7 +3,7 @@
 //! the same bytes as the sequential run — same seeds, same float
 //! rounding, same ordering.
 
-use lockgran_core::ModelConfig;
+use lockgran_core::{ConflictMode, HierarchySpec, ModelConfig};
 use lockgran_experiments::sweep::sweep_ltot;
 use lockgran_experiments::{RunOptions, SweepPoint};
 use lockgran_sim::ToJson;
@@ -69,6 +69,33 @@ fn auto_jobs_matches_sequential() {
     let auto = fingerprint(&sweep_with_jobs(0));
     let sequential = fingerprint(&sweep_with_jobs(1));
     assert_eq!(auto, sequential);
+}
+
+/// The hierarchical conflict model keeps the guarantee: an extG-style
+/// sweep (multigranularity tree, intent locks, eager escalation) is
+/// byte-identical at `--jobs 1` and `--jobs 4`. Escalation decisions and
+/// blocker choices are pure functions of the run's own seed.
+#[test]
+fn hierarchical_sweep_identical_across_job_counts() {
+    let base = ModelConfig::table1()
+        .with_conflict(ConflictMode::Hierarchical)
+        .with_hierarchy(Some(
+            HierarchySpec::default()
+                .with_areas(16)
+                .with_escalation_threshold(Some(4)),
+        ));
+    let sweep = |jobs: usize| {
+        let mut opts = RunOptions::quick();
+        opts.jobs = jobs;
+        sweep_ltot(&base, &opts)
+    };
+    let a = fingerprint(&sweep(1));
+    let b = fingerprint(&sweep(4));
+    assert_eq!(a, b, "hierarchical sweep diverged across job counts");
+    assert!(
+        a.contains("\"escalations\":"),
+        "fingerprint should include the escalations counter"
+    );
 }
 
 /// The failure extension keeps the guarantee: an extF-style sweep with

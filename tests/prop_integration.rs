@@ -21,7 +21,20 @@ fn random_config(rng: &mut SimRng) -> ModelConfig {
     let maxtransize = rng.uniform_inclusive(10, 400);
     let placement = Placement::ALL[rng.uniform_inclusive(0, 2) as usize];
     let partitioning = Partitioning::ALL[rng.uniform_inclusive(0, 1) as usize];
-    let conflict = ConflictMode::ALL[rng.uniform_inclusive(0, 1) as usize];
+    let conflict = ConflictMode::ALL[rng.uniform_inclusive(0, 2) as usize];
+    // Hierarchy parameters only matter (and only validate) in
+    // hierarchical mode; draw them unconditionally to keep the stream
+    // layout fixed, attach them conditionally.
+    let areas = rng.uniform_inclusive(1, 64);
+    let threshold = match rng.uniform_inclusive(0, 3) {
+        0 => None,
+        t => Some(t * 4),
+    };
+    let hierarchy = (conflict == ConflictMode::Hierarchical).then(|| {
+        HierarchySpec::default()
+            .with_areas(areas)
+            .with_escalation_threshold(threshold)
+    });
     let liotime = (rng.uniform01() * 0.3 * 100.0).round() / 100.0;
     ModelConfig::table1()
         .with_npros(npros)
@@ -31,6 +44,7 @@ fn random_config(rng: &mut SimRng) -> ModelConfig {
         .with_placement(placement)
         .with_partitioning(partitioning)
         .with_conflict(conflict)
+        .with_hierarchy(hierarchy)
         .with_liotime(liotime)
         .with_tmax(300.0)
 }

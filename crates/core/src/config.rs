@@ -82,6 +82,7 @@ impl std::str::FromStr for QueueDiscipline {
 }
 
 /// Which lock-conflict computation drives blocking decisions.
+// lint:exhaustive(ConflictMode): matches must name variants, not hide them
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ConflictMode {
     /// The paper's probabilistic Ries–Stonebraker partition draw.
@@ -125,6 +126,7 @@ impl ToJson for ConflictMode {
     }
 }
 
+// lint:covers(ConflictMode): the string match below mirrors the enum
 impl FromJson for ConflictMode {
     fn from_json(v: &Json) -> Result<Self, String> {
         match v.as_str() {
@@ -138,6 +140,7 @@ impl FromJson for ConflictMode {
     }
 }
 
+// lint:covers(ConflictMode): CLI names must track the enum
 impl std::str::FromStr for ConflictMode {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {

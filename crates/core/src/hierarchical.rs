@@ -187,8 +187,8 @@ impl ConcurrencyControl for HierarchicalConflict {
         let locks = self
             .active_locks
             .remove(&txn)
-            // lint:allow(P001): protocol invariant — the system releases
-            // only transactions it admitted
+            // Protocol invariant: the system releases only transactions
+            // it admitted.
             .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
         self.active -= 1;
         self.locks_held -= locks;

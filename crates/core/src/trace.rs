@@ -10,6 +10,7 @@
 use lockgran_sim::Time;
 
 /// One protocol-level transition of a transaction.
+// lint:exhaustive(TraceEvent): matches must name variants, not hide them
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Entered the system (fresh transaction).

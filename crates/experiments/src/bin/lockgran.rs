@@ -48,6 +48,7 @@ fn main() -> ExitCode {
     }
 }
 
+// lint:covers(ConflictMode): usage text lists every conflict mode
 const USAGE: &str = "usage:
   lockgran list
   lockgran <table1|fig2..fig12|all|extA|extB|extC|extD|extE|extF|extG|extH|ext> [--quick] [--chart] [--seed N] [--reps N] [--tmax T] [--jobs N] [--out DIR]

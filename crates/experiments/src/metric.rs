@@ -8,6 +8,7 @@ use lockgran_core::RunMetrics;
 use lockgran_sim::{FromJson, Json, ToJson};
 
 /// A scalar output of one simulation run.
+// lint:exhaustive(Metric): matches must name variants, not hide them
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// `throughput = totcom / tmax`.
@@ -126,6 +127,7 @@ impl ToJson for Metric {
     }
 }
 
+// lint:covers(Metric): the string match below mirrors the enum
 impl FromJson for Metric {
     fn from_json(v: &Json) -> Result<Self, String> {
         match v.as_str() {

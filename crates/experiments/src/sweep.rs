@@ -182,10 +182,10 @@ pub fn sweep_ltot(base: &ModelConfig, opts: &RunOptions) -> Vec<SweepPoint> {
                 })
                 .collect();
             if runs.is_empty() {
-                // lint:allow(P001): a point that lost every replication
-                // has no data to report; the caller's fault isolation
-                // (try_run around the figure) turns this into a figure-
-                // level error instead of a process abort
+                // A point that lost every replication has no data to
+                // report; the caller's fault isolation (try_run around
+                // the figure) turns this into a figure-level error
+                // instead of a process abort.
                 panic!("sweep point ltot={ltot}: every replication panicked");
             }
             SweepPoint { ltot, runs }

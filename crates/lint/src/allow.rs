@@ -17,6 +17,21 @@
 //! `lint:allow-file(<rule>)` suppresses a rule for the whole file; it is
 //! intended for files whose purpose conflicts with a rule wholesale
 //! (none are needed in-tree today, but fixtures exercise it).
+//!
+//! Each directive tracks whether it ever suppressed a diagnostic; a
+//! directive that suppressed nothing is itself reported as stale (rule
+//! W001), so allows cannot silently outlive the code they vouched for.
+//!
+//! Two *marker* directives feed the exhaustiveness rules rather than
+//! suppressing anything: `lint:exhaustive(Enum)` marks an enum whose
+//! matches must not hide variants behind `_` (rule E001), and
+//! `lint:covers(Enum)` asserts that the item below the comment mentions
+//! every variant of the enum (rule E002) — the drift guard for string
+//! matches and CLI usage text that rustc cannot check.
+
+use std::cell::Cell;
+
+use crate::lexer::Token;
 
 /// One parsed `lint:allow` / `lint:allow-file` directive.
 #[derive(Clone, Debug)]
@@ -32,6 +47,91 @@ pub struct AllowDirective {
     pub until: u32,
     /// True for `lint:allow-file`.
     pub file_wide: bool,
+    /// Set when the directive suppresses at least one diagnostic; a
+    /// directive still unset after all rules ran is stale (W001).
+    pub used: Cell<bool>,
+}
+
+/// What a [`Marker`] asserts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `lint:exhaustive(Enum)`: matches on this enum must not hide
+    /// variants behind a `_` arm (rule E001).
+    Exhaustive,
+    /// `lint:covers(Enum)`: the item below must mention every variant
+    /// (rule E002).
+    Covers,
+}
+
+/// One parsed `lint:exhaustive` / `lint:covers` marker.
+#[derive(Clone, Debug)]
+pub struct Marker {
+    /// The assertion the marker makes.
+    pub kind: MarkerKind,
+    /// The enum the marker names.
+    pub name: String,
+    /// 1-based line the marker's comment starts on.
+    pub line: u32,
+}
+
+impl Marker {
+    /// Scan one comment's text for markers and append them to `out`.
+    pub fn scan(comment: &str, line: u32, out: &mut Vec<Marker>) {
+        for (kw, kind) in [
+            ("lint:exhaustive", MarkerKind::Exhaustive),
+            ("lint:covers", MarkerKind::Covers),
+        ] {
+            let mut rest = comment;
+            while let Some(at) = rest.find(kw) {
+                let after = &rest[at + kw.len()..];
+                if let Some(args) = after.strip_prefix('(') {
+                    if let Some(close) = args.find(')') {
+                        let name = args[..close].trim().to_string();
+                        if !name.is_empty() {
+                            out.push(Marker { kind, name, line });
+                        }
+                    }
+                }
+                rest = &rest[at + kw.len()..];
+            }
+        }
+    }
+}
+
+/// The lines holding *code* tokens — tokens that are part of attribute
+/// machinery (`#[...]` / `#![...]`, possibly spanning lines) are
+/// excluded, so a `lint:allow` above an attribute extends through the
+/// attribute to the item it decorates.
+pub fn code_token_lines(tokens: &[Token], src: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct(src, '#') {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is_punct(src, '!')) {
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.is_punct(src, '[')) {
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    if tokens[j].is_punct(src, '[') {
+                        depth += 1;
+                    } else if tokens[j].is_punct(src, ']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = (j + 1).min(tokens.len());
+                continue;
+            }
+        }
+        out.push(tokens[i].line);
+        i += 1;
+    }
+    out
 }
 
 impl AllowDirective {
@@ -65,6 +165,7 @@ impl AllowDirective {
                     line,
                     until: line + 1,
                     file_wide,
+                    used: Cell::new(false),
                 });
             }
             rest = &rest[at + "lint:allow".len()..];
@@ -100,15 +201,22 @@ impl AllowSet {
     ///
     /// A line-scoped directive covers its own line through `until`
     /// (the next code line); a file-wide directive covers everything.
+    /// Every directive that matches is marked used, which is what keeps
+    /// it off the stale-allow (W001) report.
     pub fn suppresses(&self, rule: &str, line: u32) -> bool {
-        self.directives.iter().any(|d| {
-            d.rules.iter().any(|r| r == rule)
+        let mut hit = false;
+        for d in &self.directives {
+            if d.rules.iter().any(|r| r == rule)
                 && (d.file_wide || (d.line <= line && line <= d.until))
-        })
+            {
+                d.used.set(true);
+                hit = true;
+            }
+        }
+        hit
     }
 
-    /// Directives that never suppressed anything could be reported some
-    /// day; for now expose the raw list for tests.
+    /// The raw directive list (used by the stale-allow pass and tests).
     pub fn directives(&self) -> &[AllowDirective] {
         &self.directives
     }
@@ -177,5 +285,53 @@ mod tests {
         assert!(set.suppresses("D001", 1));
         assert!(set.suppresses("D001", 10_000));
         assert!(!set.suppresses("D002", 1));
+    }
+
+    #[test]
+    fn suppression_marks_directive_used() {
+        let set = AllowSet::new(scan_one("// lint:allow(P001)"));
+        assert!(!set.directives()[0].used.get());
+        assert!(!set.suppresses("D001", 7)); // wrong rule: not a use
+        assert!(!set.directives()[0].used.get());
+        assert!(!set.suppresses("P001", 99)); // out of range: not a use
+        assert!(!set.directives()[0].used.get());
+        assert!(set.suppresses("P001", 8));
+        assert!(set.directives()[0].used.get());
+    }
+
+    #[test]
+    fn markers_are_scanned() {
+        let mut out = Vec::new();
+        Marker::scan("// lint:exhaustive(Metric)", 3, &mut out);
+        Marker::scan("/// lint:covers(ConflictMode): CLI usage", 9, &mut out);
+        Marker::scan("// no marker here", 12, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].kind, MarkerKind::Exhaustive);
+        assert_eq!(out[0].name, "Metric");
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[1].kind, MarkerKind::Covers);
+        assert_eq!(out[1].name, "ConflictMode");
+    }
+
+    #[test]
+    fn code_lines_skip_attribute_machinery() {
+        // line 1: #[derive(Debug)]   (attribute only)
+        // line 2: struct S;          (code)
+        let src = "#[derive(Debug)]\nstruct S;";
+        let tokens = crate::lexer::lex(src).tokens;
+        let lines = code_token_lines(&tokens, src);
+        assert_eq!(lines, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn extend_to_code_crosses_attribute_lines() {
+        // Directive on line 1, attribute on line 2, code on line 3: the
+        // allow must reach the decorated item, not stop at the attribute.
+        let src =
+            "// lint:allow(P001): wrapped fn is infallible\n#[inline]\nfn f() { o.unwrap(); }";
+        let lexed = crate::lexer::lex(src);
+        let mut set = AllowSet::new(lexed.allows);
+        set.extend_to_code(&code_token_lines(&lexed.tokens, src));
+        assert!(set.suppresses("P001", 3), "allow must cover the fn line");
     }
 }

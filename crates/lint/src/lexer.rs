@@ -20,7 +20,7 @@
 //! * float literals are distinguished from integer literals, including
 //!   the exponent and suffix forms (`1e3`, `2f64`) but not hex.
 
-use crate::allow::AllowDirective;
+use crate::allow::{AllowDirective, Marker};
 
 /// The coarse token classes the rule layer matches on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,12 +78,14 @@ impl Token {
 }
 
 /// Result of lexing one file: the token stream plus every suppression
-/// directive found in comments.
+/// directive and exhaustiveness marker found in comments.
 pub struct LexOutput {
     /// The token stream, in source order.
     pub tokens: Vec<Token>,
     /// Suppression directives found in comments, in source order.
     pub allows: Vec<AllowDirective>,
+    /// `lint:exhaustive` / `lint:covers` markers, in source order.
+    pub markers: Vec<Marker>,
 }
 
 struct Cursor<'s> {
@@ -148,6 +150,7 @@ pub fn lex(src: &str) -> LexOutput {
     };
     let mut tokens = Vec::new();
     let mut allows = Vec::new();
+    let mut markers = Vec::new();
 
     while let Some(b) = cur.peek() {
         // Whitespace.
@@ -162,7 +165,17 @@ pub fn lex(src: &str) -> LexOutput {
             while cur.peek().is_some_and(|b| b != b'\n') {
                 cur.bump();
             }
-            AllowDirective::scan(&src[start..cur.pos], line, &mut allows);
+            let text = &src[start..cur.pos];
+            // Doc comments are documentation, not directives: a rendered
+            // allow-directive example in rustdoc text must not register
+            // (it would then be reported stale by W001). `////…` rulers
+            // are not doc comments.
+            let doc =
+                (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+            if !doc {
+                AllowDirective::scan(text, line, &mut allows);
+                Marker::scan(text, line, &mut markers);
+            }
             continue;
         }
         if b == b'/' && cur.peek_at(1) == Some(b'*') {
@@ -186,8 +199,14 @@ pub fn lex(src: &str) -> LexOutput {
             }
             // Block comments may span lines; a directive applies at the
             // line the comment *starts* on (multi-line allow comments are
-            // not supported and not used in-tree).
-            AllowDirective::scan(&src[start..cur.pos], line, &mut allows);
+            // not supported and not used in-tree). Block doc comments are
+            // documentation, like their line-comment cousins.
+            let text = &src[start..cur.pos];
+            let doc = text.starts_with("/**") || text.starts_with("/*!");
+            if !doc {
+                AllowDirective::scan(text, line, &mut allows);
+                Marker::scan(text, line, &mut markers);
+            }
             continue;
         }
 
@@ -272,7 +291,11 @@ pub fn lex(src: &str) -> LexOutput {
         });
     }
 
-    LexOutput { tokens, allows }
+    LexOutput {
+        tokens,
+        allows,
+        markers,
+    }
 }
 
 /// Try to lex a literal that starts with an identifier-like prefix:
@@ -536,5 +559,22 @@ mod tests {
         assert_eq!(out.allows.len(), 1);
         assert_eq!(out.allows[0].rules, vec!["D001".to_string()]);
         assert_eq!(out.allows[0].line, 1);
+    }
+
+    #[test]
+    fn doc_comments_do_not_register_directives_or_markers() {
+        let src = "\
+//! // lint:allow(P001): example in module docs
+/// // lint:allow(D001): example in item docs
+/** lint:covers(Mode) */
+//// lint:allow(Z001): a ruler comment is not a doc comment
+// lint:exhaustive(Metric)
+fn f() {}
+";
+        let out = lex(src);
+        assert_eq!(out.allows.len(), 1, "only the //// line counts");
+        assert_eq!(out.allows[0].rules, vec!["Z001".to_string()]);
+        assert_eq!(out.markers.len(), 1, "only the plain // marker counts");
+        assert_eq!(out.markers[0].name, "Metric");
     }
 }

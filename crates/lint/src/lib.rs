@@ -5,8 +5,26 @@
 //! Table 1 golden snapshot and the determinism tests only mean something
 //! if nothing in the simulator can produce run-to-run variation. This
 //! crate machine-checks the conventions that guard that property, using
-//! its own [Rust lexer](lexer) — no external parser, in keeping with the
-//! workspace's zero-dependency policy (which rule Z001 itself enforces).
+//! its own [Rust lexer](lexer) and [recursive-descent parser](parse) —
+//! no external parser, in keeping with the workspace's zero-dependency
+//! policy (which rule Z001 itself enforces).
+//!
+//! # Architecture
+//!
+//! The analyzer runs in layers:
+//!
+//! 1. [`lexer`] — token stream with exact line/column spans; comments are
+//!    scanned for suppression directives and markers.
+//! 2. [`parse`] — a resolved AST: the item tree (fns, impls, enums,
+//!    mods), function bodies as a control-flow tree, and call / exit /
+//!    binding events extracted from the opaque statement runs.
+//! 3. [`symbols`] — a per-workspace symbol table: enum variant lists,
+//!    `lint:exhaustive` marks, and a conservative may-release closure
+//!    over the name-keyed call graph.
+//! 4. Rules — token rules ([`rules`], [`json_pairs`], [`manifest`]) plus
+//!    the AST-level families: lock protocol ([`flow`] L-rules),
+//!    determinism dataflow ([`flow`] R-rules), and exhaustiveness drift
+//!    ([`enums`] E-rules).
 //!
 //! # Rule catalog
 //!
@@ -20,6 +38,14 @@
 //! | P002 | `.remove(0)` front-shift (use `VecDeque::pop_front`) | library code |
 //! | Z001 | non-local dependency in a `Cargo.toml` | all manifests |
 //! | J001 | `ToJson`/`FromJson` pairs that don't round-trip field names | all `.rs` |
+//! | L001 | `return`/`?` escaping between a lock acquire and its release | `core`, `lockmgr` library |
+//! | L002 | acquire-family call whose result is discarded | `core`, `lockmgr` library |
+//! | R001 | RNG draw under a branch depending on pool/job config | `core`, `workload` library |
+//! | R002 | shared-stream RNG draw under a CC-dependent branch | `core`, `workload` library |
+//! | E001 | `_` arm hiding variants of a `lint:exhaustive` enum | library code |
+//! | E002 | `lint:covers(Enum)` item missing a variant mention | library code |
+//! | E003 | `const ALL: [Enum; N]` drifted from the enum definition | library code |
+//! | W001 | stale `lint:allow` that no longer suppresses anything | library code |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/` directories
 //! and `#[cfg(test)]` / `#[test]` regions, where panics and exact float
@@ -35,22 +61,35 @@
 //! next line holding code (so a justification may wrap over several
 //! comment lines); `// lint:allow-file(RULE): reason` suppresses for the
 //! whole file. The `: reason` tail is not parsed but is the convention —
-//! an allow without a justification should not survive review.
+//! an allow without a justification should not survive review. A
+//! directive that suppresses nothing is itself flagged (W001), so allows
+//! cannot outlive the code they vouched for. Doc comments (`///`, `//!`)
+//! never register directives — examples in documentation stay examples.
+//!
+//! Two marker directives feed the E-rules: `lint:exhaustive(Enum)` and
+//! `lint:covers(Enum)` (see [`allow`]).
 
 #![warn(missing_docs)]
 
 pub mod allow;
 pub mod context;
+pub mod enums;
+pub mod flow;
 pub mod json_pairs;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod rules;
+pub mod symbols;
 pub mod walk;
 
 use std::fmt;
 use std::path::Path;
 
-use allow::AllowSet;
+use allow::{AllowSet, Marker};
+use lexer::Token;
+use parse::Ast;
+use symbols::SymbolTable;
 
 /// A rule code.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -71,6 +110,22 @@ pub enum Rule {
     Z001,
     /// JSON impl pair that does not round-trip.
     J001,
+    /// Early exit between a lock acquire and its release.
+    L001,
+    /// Discarded result of a lock acquisition.
+    L002,
+    /// RNG draw under a pool/job-configuration-dependent branch.
+    R001,
+    /// Shared-stream RNG draw under a CC-model-dependent branch.
+    R002,
+    /// Wildcard arm hiding variants of a `lint:exhaustive` enum.
+    E001,
+    /// `lint:covers` item that fails to mention every variant.
+    E002,
+    /// `const ALL` mirror array drifted from its enum.
+    E003,
+    /// Stale `lint:allow` directive that suppresses nothing.
+    W001,
 }
 
 impl Rule {
@@ -85,11 +140,19 @@ impl Rule {
             Rule::P002 => "P002",
             Rule::Z001 => "Z001",
             Rule::J001 => "J001",
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::R001 => "R001",
+            Rule::R002 => "R002",
+            Rule::E001 => "E001",
+            Rule::E002 => "E002",
+            Rule::E003 => "E003",
+            Rule::W001 => "W001",
         }
     }
 
     /// Every rule in the catalog.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 16] = [
         Rule::D001,
         Rule::D002,
         Rule::D003,
@@ -98,6 +161,14 @@ impl Rule {
         Rule::P002,
         Rule::Z001,
         Rule::J001,
+        Rule::L001,
+        Rule::L002,
+        Rule::R001,
+        Rule::R002,
+        Rule::E001,
+        Rule::E002,
+        Rule::E003,
+        Rule::W001,
     ];
 }
 
@@ -163,6 +234,106 @@ pub fn classify(rel: &str) -> Option<Scope> {
     }
 }
 
+/// One fully analyzed Rust source file: the input to every rule layer.
+pub struct FileAnalysis {
+    /// Workspace-relative path (display form).
+    pub rel: String,
+    /// The file's scope classification.
+    pub scope: Scope,
+    /// The source text.
+    pub src: String,
+    /// The token stream (with test regions marked).
+    pub tokens: Vec<Token>,
+    /// The parsed item tree.
+    pub ast: Ast,
+    /// Exhaustiveness markers found in comments.
+    pub markers: Vec<Marker>,
+    /// Suppression directives, widened to the code they cover.
+    pub allows: AllowSet,
+}
+
+/// Lex, scope-mark, and parse one file.
+pub fn analyze_rust_source(rel: &str, src: &str, scope: Scope) -> FileAnalysis {
+    let mut lexed = lexer::lex(src);
+    context::mark_test_regions(&mut lexed.tokens, src);
+    let mut allows = AllowSet::new(lexed.allows);
+    allows.extend_to_code(&allow::code_token_lines(&lexed.tokens, src));
+    let ast = parse::parse(&lexed.tokens, src);
+    FileAnalysis {
+        rel: rel.to_string(),
+        scope,
+        src: src.to_string(),
+        tokens: lexed.tokens,
+        ast,
+        markers: lexed.markers,
+        allows,
+    }
+}
+
+/// Append a diagnostic unless a `lint:allow` suppresses it.
+pub(crate) fn emit(
+    fa: &FileAnalysis,
+    out: &mut Vec<Diagnostic>,
+    rule: Rule,
+    line: u32,
+    col: u32,
+    message: String,
+) {
+    if fa.allows.suppresses(rule.code(), line) {
+        return;
+    }
+    out.push(Diagnostic {
+        path: fa.rel.clone(),
+        line,
+        col,
+        rule,
+        message,
+    });
+}
+
+/// Run every applicable rule over one analyzed file.
+fn check_file(fa: &FileAnalysis, table: &SymbolTable, out: &mut Vec<Diagnostic>) {
+    rules::check_tokens(&fa.rel, &fa.src, &fa.tokens, fa.scope, &fa.allows, out);
+    json_pairs::check_json_pairs(&fa.rel, &fa.src, &fa.tokens, &fa.allows, out);
+    if fa.scope == Scope::Library {
+        flow::check_lock_protocol(fa, table, out);
+        flow::check_determinism_flow(fa, out);
+        enums::check_exhaustiveness(fa, table, out);
+        stale_allows(fa, out);
+    }
+}
+
+/// W001: report directives that suppressed nothing. Runs after every
+/// other rule, in library scope only — a file linted under a reduced
+/// scope (tests, benches) legitimately leaves allows idle.
+fn stale_allows(fa: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    let unused: Vec<(u32, Vec<String>)> = fa
+        .allows
+        .directives()
+        .iter()
+        .filter(|d| !d.used.get())
+        .map(|d| (d.line, d.rules.clone()))
+        .collect();
+    for (line, rules) in unused {
+        // A directive naming W001 vouches for itself (and marks itself
+        // used through this very check).
+        if fa.allows.suppresses(Rule::W001.code(), line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: fa.rel.clone(),
+            line,
+            col: 1,
+            rule: Rule::W001,
+            message: format!(
+                "stale `lint:allow({})` — it no longer suppresses anything; \
+                 remove it, or fix its rule list if the finding moved",
+                rules.join(", ")
+            ),
+        });
+    }
+}
+
 /// Lint one Rust source file. `rel` selects the scope (see [`classify`]).
 pub fn lint_rust_source(rel: &str, src: &str) -> Vec<Diagnostic> {
     let Some(scope) = classify(rel) else {
@@ -172,15 +343,15 @@ pub fn lint_rust_source(rel: &str, src: &str) -> Vec<Diagnostic> {
 }
 
 /// Lint Rust source under an explicit scope (used by fixture tests).
+/// The symbol table is built from this file alone, so cross-file
+/// call-graph facts are limited to what the file itself defines.
 pub fn lint_rust_source_as(rel: &str, src: &str, scope: Scope) -> Vec<Diagnostic> {
-    let mut lexed = lexer::lex(src);
-    context::mark_test_regions(&mut lexed.tokens, src);
-    let mut allows = AllowSet::new(lexed.allows);
-    let token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
-    allows.extend_to_code(&token_lines);
+    let fa = analyze_rust_source(rel, src, scope);
+    let mut table = SymbolTable::default();
+    table.add_file(&fa.ast, &fa.markers);
+    table.finalize();
     let mut out = Vec::new();
-    rules::check_tokens(rel, src, &lexed.tokens, scope, &allows, &mut out);
-    json_pairs::check_json_pairs(rel, src, &lexed.tokens, &allows, &mut out);
+    check_file(&fa, &table, &mut out);
     out
 }
 
@@ -191,19 +362,29 @@ pub fn lint_manifest(rel: &str, src: &str) -> Vec<Diagnostic> {
     out
 }
 
-/// Lint every source file and manifest under `root`. Diagnostics come
-/// back sorted by (path, line, col, rule).
+/// Lint every source file and manifest under `root`. Runs in two passes:
+/// the first analyzes every file and folds it into the workspace symbol
+/// table, the second runs the rules with the complete table in hand.
+/// Diagnostics come back sorted by (path, line, col, rule).
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let files = walk::discover(root)?;
     let mut out = Vec::new();
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    let mut table = SymbolTable::default();
     for file in &files {
         let src = std::fs::read_to_string(&file.abs)
             .map_err(|e| format!("read {}: {e}", file.abs.display()))?;
         if file.rel.ends_with("Cargo.toml") {
             out.extend(lint_manifest(&file.rel, &src));
-        } else {
-            out.extend(lint_rust_source(&file.rel, &src));
+        } else if let Some(scope) = classify(&file.rel) {
+            let fa = analyze_rust_source(&file.rel, &src, scope);
+            table.add_file(&fa.ast, &fa.markers);
+            analyses.push(fa);
         }
+    }
+    table.finalize();
+    for fa in &analyses {
+        check_file(fa, &table, &mut out);
     }
     out.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
@@ -238,7 +419,10 @@ mod tests {
         let codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
         assert_eq!(
             codes,
-            ["D001", "D002", "D003", "D004", "P001", "P002", "Z001", "J001"]
+            [
+                "D001", "D002", "D003", "D004", "P001", "P002", "Z001", "J001", "L001", "L002",
+                "R001", "R002", "E001", "E002", "E003", "W001"
+            ]
         );
     }
 
@@ -252,5 +436,34 @@ mod tests {
             message: "msg".into(),
         };
         assert_eq!(d.to_string(), "crates/sim/src/engine.rs:42:7: D001: msg");
+    }
+
+    #[test]
+    fn stale_allow_is_reported_in_library_scope_only() {
+        let src = "// lint:allow(D001): nothing here triggers D001\nfn f() {}\n";
+        let diags = lint_rust_source_as("crates/sim/src/x.rs", src, Scope::Library);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule.code(), "W001");
+        assert_eq!(diags[0].line, 1);
+        assert!(
+            lint_rust_source_as("crates/sim/tests/x.rs", src, Scope::TestCode).is_empty(),
+            "reduced scopes leave allows idle legitimately"
+        );
+        assert!(
+            lint_rust_source_as("crates/bench/src/x.rs", src, Scope::Bench).is_empty(),
+            "bench scope runs almost nothing; allows stay idle"
+        );
+    }
+
+    #[test]
+    fn used_allow_is_not_stale() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n    // lint:allow(P001): test helper\n    o.unwrap()\n}\n";
+        assert!(lint_rust_source_as("crates/sim/src/x.rs", src, Scope::Library).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_can_vouch_for_itself() {
+        let src = "// lint:allow(D001, W001): kept while the refactor lands\nfn f() {}\n";
+        assert!(lint_rust_source_as("crates/sim/src/x.rs", src, Scope::Library).is_empty());
     }
 }

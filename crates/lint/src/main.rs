@@ -5,7 +5,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lockgran_lint::{count_scanned, lint_workspace, Rule};
+use lockgran_lint::{count_scanned, lint_workspace, Diagnostic, Rule};
 
 const USAGE: &str = "\
 lockgran-lint — determinism & policy static analysis
@@ -17,13 +17,25 @@ OPTIONS:
     --root <DIR>   Workspace root to scan (default: this workspace)
     --fix-allow    Print ready-to-paste `// lint:allow(...)` comments
                    for each finding instead of bare diagnostics
+    --json         Emit diagnostics as a JSON array of
+                   {path, line, col, rule, message} objects
+    --github       Emit diagnostics as GitHub Actions annotations
+                   (`::error file=…`) so CI surfaces them inline
     --list-rules   Print the rule catalog and exit
     -h, --help     Show this help
 ";
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Output {
+    Text,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut fix_allow = false;
+    let mut output = Output::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,6 +47,8 @@ fn main() -> ExitCode {
                 }
             },
             "--fix-allow" => fix_allow = true,
+            "--json" => output = Output::Json,
+            "--github" => output = Output::Github,
             "--list-rules" => {
                 for rule in Rule::ALL {
                     println!("{}", rule.code());
@@ -72,23 +86,35 @@ fn main() -> ExitCode {
         }
     };
 
+    if output == Output::Json {
+        print!("{}", render_json(&diags));
+    } else if output == Output::Github {
+        for d in &diags {
+            println!("{}", render_annotation(d));
+        }
+    }
+
     if diags.is_empty() {
-        println!("lockgran-lint: clean ({scanned} files scanned)");
+        if output == Output::Text {
+            println!("lockgran-lint: clean ({scanned} files scanned)");
+        }
         return ExitCode::SUCCESS;
     }
 
-    if fix_allow {
-        println!("# Paste the matching comment on the line above each finding");
-        println!("# (or fix the code — an allow needs a real justification).");
-        for d in &diags {
-            println!(
-                "{d}\n    // lint:allow({}): <justify: why is this safe here?>",
-                d.rule.code()
-            );
-        }
-    } else {
-        for d in &diags {
-            println!("{d}");
+    if output == Output::Text {
+        if fix_allow {
+            println!("# Paste the matching comment on the line above each finding");
+            println!("# (or fix the code — an allow needs a real justification).");
+            for d in &diags {
+                println!(
+                    "{d}\n    // lint:allow({}): <justify: why is this safe here?>",
+                    d.rule.code()
+                );
+            }
+        } else {
+            for d in &diags {
+                println!("{d}");
+            }
         }
     }
     let files: std::collections::BTreeSet<&str> = diags.iter().map(|d| d.path.as_str()).collect();
@@ -98,6 +124,74 @@ fn main() -> ExitCode {
         files.len()
     );
     ExitCode::FAILURE
+}
+
+/// Render diagnostics as a machine-readable JSON array (hand-rolled, in
+/// keeping with the zero-dependency policy).
+fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            d.rule.code(),
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One GitHub Actions workflow-command annotation.
+fn render_annotation(d: &Diagnostic) -> String {
+    format!(
+        "::error file={},line={},col={},title={}::{}",
+        gh_property(&d.path),
+        d.line,
+        d.col,
+        d.rule.code(),
+        gh_message(&d.message)
+    )
+}
+
+/// Escape a workflow-command property value (`%`, CR, LF, `:`, `,`).
+fn gh_property(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// Escape a workflow-command message (`%`, CR, LF).
+fn gh_message(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// The workspace root when `--root` is not given: two levels above this

@@ -1,0 +1,39 @@
+//! E001 fixture: wildcard arms hiding variants of a marked enum.
+
+// lint:exhaustive(Metric)
+pub enum Metric {
+    A,
+    B,
+    C,
+    D,
+}
+
+pub enum Other {
+    X,
+    Y,
+    Z,
+}
+
+pub fn render(m: Metric) -> u32 {
+    match m {
+        Metric::A => 1,
+        Metric::B => 2,
+        Metric::C => 3,
+        _ => 0, // E001: names 3/4 but hides the rest
+    }
+}
+
+pub fn dispatch(m: Metric) -> bool {
+    match m {
+        Metric::A => true,
+        _ => false, // names 1/4: dispatch, not per-variant handling
+    }
+}
+
+pub fn unmarked(o: Other) -> u32 {
+    match o {
+        Other::X => 1,
+        Other::Y => 2,
+        _ => 0, // Other is not lint:exhaustive
+    }
+}

@@ -1,0 +1,22 @@
+//! E002 fixture: lint:covers items that drop a variant mention.
+
+pub enum Mode {
+    Alpha,
+    Beta,
+    Gamma,
+}
+
+// lint:covers(Mode)
+pub fn from_str(s: &str) -> Option<Mode> {
+    match s {
+        "alpha" => Some(Mode::Alpha),
+        "beta" => Some(Mode::Beta),
+        _ => None, // E002 at the marker: `Gamma` is never mentioned
+    }
+}
+
+// lint:covers(Mode): usage text lists every mode
+pub const USAGE: &str = "--mode alpha|beta|gamma";
+
+// lint:covers(NoSuchEnum)
+pub const OTHER: &str = "x"; // E002 at the marker: unknown enum name

@@ -1,0 +1,31 @@
+//! E003 fixture: `ALL` mirror arrays drifting from their enums.
+
+pub enum Mode {
+    Alpha,
+    Beta,
+    Gamma,
+}
+
+impl Mode {
+    pub const ALL: [Mode; 2] = [Mode::Alpha, Mode::Beta]; // E003: length
+}
+
+pub enum Tier {
+    Lo,
+    Hi,
+}
+
+impl Tier {
+    pub const ALL: [Tier; 2] = [Tier::Lo, Tier::Lo]; // E003: skips `Hi`
+}
+
+pub enum Sync2 {
+    X,
+    Y,
+}
+
+impl Sync2 {
+    pub const ALL: [Sync2; 2] = [Sync2::X, Sync2::Y]; // in sync: fine
+}
+
+pub const MATRIX: [Mode; 1] = [Mode::Alpha]; // not named ALL: fine

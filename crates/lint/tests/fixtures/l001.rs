@@ -1,0 +1,43 @@
+//! L001 fixture: early exits between a lock acquire and its release.
+
+pub fn leaky(t: &mut Table, g: u64) -> Result<u64, Err> {
+    let d = t.try_acquire(g)?; // `?` on the acquire itself: nothing held yet
+    let v = compute(d)?; // L001: `?` escapes while the lock is held
+    if v == 0 {
+        return Err(Err::Zero); // L001: `return` escapes while held
+    }
+    t.release(g);
+    Ok(v)
+}
+
+pub fn clean(t: &mut Table, g: u64) -> Result<u64, Err> {
+    let d = t.try_acquire(g)?;
+    if bad(d) {
+        t.cancel(g); // released on this path before the exit
+        return Err(Err::Bad);
+    }
+    if worse(d) {
+        panic!("corrupt table"); // panic exits are exempt
+    }
+    t.release(g);
+    Ok(d)
+}
+
+pub fn released_through_helper(t: &mut Table, g: u64) -> Result<(), Err> {
+    let d = t.try_acquire(g)?;
+    check(d)?; // L001: teardown (which releases) is skipped
+    teardown(t, g);
+    Ok(())
+}
+
+fn teardown(t: &mut Table, g: u64) {
+    t.release(g);
+}
+
+pub fn vouched(t: &mut Table, g: u64) -> Result<u64, Err> {
+    let d = t.try_acquire(g)?;
+    // lint:allow(L001): caller owns cleanup in this probe path
+    ensure(d)?;
+    t.release(g);
+    Ok(d)
+}

@@ -1,0 +1,10 @@
+//! L002 fixture: acquire-family calls whose result is discarded.
+
+pub fn discards(t: &mut Table) {
+    let _ = t.try_acquire(1); // L002: grant/queue decision dropped
+    t.acquire(2); // L002: bare acquire statement
+    let d = t.try_acquire(3); // bound and handled: fine
+    handle(d);
+    // lint:allow(L002): denial probe — the decision is intentionally ignored
+    let _ = t.try_acquire(4);
+}

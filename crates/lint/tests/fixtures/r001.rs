@@ -1,0 +1,25 @@
+//! R001 fixture: RNG draws under pool/job-configuration branches.
+
+impl Engine {
+    pub fn bad(&mut self) {
+        if self.jobs > 1 {
+            let x = self.service_rng.next_u64(); // R001: varies with --jobs
+            seed(x);
+        }
+    }
+
+    pub fn fine(&mut self) {
+        let x = self.service_rng.next_u64(); // drawn unconditionally
+        if self.jobs > 1 {
+            route(x); // routing on pool config is fine
+        }
+    }
+
+    pub fn vouched(&mut self) {
+        if self.pool.is_some() {
+            // lint:allow(R001): per-worker stream is re-pinned by index
+            let y = self.worker_rng.next_u64();
+            seed(y);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! R002 fixture: shared-stream RNG draws under CC-dependent branches.
+
+impl Engine {
+    pub fn bad(&mut self) {
+        let decision = self.conflict.try_acquire(1, &mut self.conflict_rng);
+        match decision {
+            ConflictDecision::Granted => {
+                let dt = self.service_rng.uniform01(); // R002: draw order
+                self.schedule(dt); // diverges across conflict models
+            }
+            ConflictDecision::BlockedBy(t) => self.block(t),
+        }
+    }
+
+    pub fn fine(&mut self, rng: &mut SimRng) {
+        if self.escalation_threshold > 0 {
+            let a = self.conflict_rng.bernoulli(0.5); // conflict stream: fine
+            let b = rng.uniform01(); // caller-chosen stream: fine
+            use_both(a, b);
+        }
+    }
+}

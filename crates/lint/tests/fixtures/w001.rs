@@ -1,0 +1,16 @@
+//! W001 fixture: stale allows that no longer suppress anything.
+
+// lint:allow(D001): nothing below uses hash containers any more
+pub fn stale() -> u32 {
+    1
+}
+
+pub fn used(o: Option<u32>) -> u32 {
+    // lint:allow(P001): infallible by construction here
+    o.unwrap()
+}
+
+// lint:allow(D002, W001): kept while the wall-clock refactor lands
+pub fn vouched() -> u32 {
+    2
+}

@@ -23,6 +23,15 @@ fn lint_fixture(name: &str) -> Vec<(u32, u32, &'static str)> {
     triples(&diags)
 }
 
+/// Lint a fixture under a synthetic workspace-relative path. The L- and
+/// R-rules only fire inside specific crates (`crates/core/`, …), so their
+/// fixtures must be presented as if they lived there.
+fn lint_fixture_at(name: &str, rel: &str) -> Vec<(u32, u32, &'static str)> {
+    let src = fixture(name);
+    let diags = lint_rust_source_as(rel, &src, Scope::Library);
+    triples(&diags)
+}
+
 fn triples(diags: &[Diagnostic]) -> Vec<(u32, u32, &'static str)> {
     diags
         .iter()
@@ -161,4 +170,70 @@ fn test_scope_exempts_panics_but_not_containers() {
     assert!(lint_rust_source_as("p001.rs", &p, Scope::TestCode).is_empty());
     let d = fixture("d001.rs");
     assert!(!lint_rust_source_as("d001.rs", &d, Scope::TestCode).is_empty());
+}
+
+#[test]
+fn l001_lock_released_after_early_exit() {
+    assert_eq!(
+        lint_fixture_at("l001.rs", "crates/core/src/l001.rs"),
+        vec![(5, 23, "L001"), (7, 9, "L001"), (28, 13, "L001")]
+    );
+}
+
+#[test]
+fn l001_gated_to_lock_crates() {
+    // The same source outside crates/core + crates/lockmgr is exempt
+    // (the acquire/release vocabulary is only a protocol there).
+    let diags = lint_fixture_at("l001.rs", "crates/experiments/src/l001.rs");
+    assert!(diags.iter().all(|d| d.2 != "L001"), "{diags:?}");
+}
+
+#[test]
+fn l002_discarded_acquire_results() {
+    assert_eq!(
+        lint_fixture_at("l002.rs", "crates/lockmgr/src/l002.rs"),
+        vec![(4, 15, "L002"), (5, 7, "L002")]
+    );
+}
+
+#[test]
+fn r001_draw_under_pool_branch() {
+    assert_eq!(
+        lint_fixture_at("r001.rs", "crates/core/src/r001.rs"),
+        vec![(6, 38, "R001")]
+    );
+}
+
+#[test]
+fn r002_shared_stream_draw_under_cc_branch() {
+    assert_eq!(
+        lint_fixture_at("r002.rs", "crates/core/src/r002.rs"),
+        vec![(8, 43, "R002")]
+    );
+}
+
+#[test]
+fn e001_wildcard_hiding_marked_enum_variants() {
+    assert_eq!(lint_fixture("e001.rs"), vec![(22, 9, "E001")]);
+}
+
+#[test]
+fn e002_covers_marker_with_missing_variant() {
+    assert_eq!(
+        lint_fixture("e002.rs"),
+        vec![(9, 1, "E002"), (21, 1, "E002")]
+    );
+}
+
+#[test]
+fn e003_all_array_drift() {
+    assert_eq!(
+        lint_fixture("e003.rs"),
+        vec![(10, 9, "E003"), (19, 9, "E003")]
+    );
+}
+
+#[test]
+fn w001_stale_allow_reported_once() {
+    assert_eq!(lint_fixture("w001.rs"), vec![(3, 1, "W001")]);
 }

@@ -215,9 +215,7 @@ impl HierarchyMap {
     /// # Panics
     /// Panics if `ltot == 0` or `areas == 0`.
     pub fn new(ltot: u64, areas: u64) -> Self {
-        // lint:allow(P001): parameter contract, enforced by config validation
         assert!(ltot > 0, "ltot must be positive");
-        // lint:allow(P001): parameter contract, enforced by config validation
         assert!(areas > 0, "areas must be positive");
         let clamped = areas.min(ltot);
         let per_area = ltot.div_ceil(clamped);

@@ -23,8 +23,14 @@ cargo fmt --check
 echo "== cargo clippy (warnings denied)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== lockgran-lint (determinism & policy rules)"
-cargo run --offline -q -p lockgran-lint
+echo "== lockgran-lint (static analysis: lock protocol, determinism flow, policy)"
+if [[ -n "${GITHUB_ACTIONS:-}" ]]; then
+    # Under Actions, emit workflow commands so findings show up as
+    # inline annotations on the PR diff (same exit status either way).
+    cargo run --offline -q -p lockgran-lint -- --github
+else
+    cargo run --offline -q -p lockgran-lint
+fi
 
 echo "== cargo build --release"
 cargo build --offline --release --workspace

@@ -10,8 +10,9 @@
 //! (`{"harness": ..., "benches": [{"id", "median_ns", ...}]}`). Every
 //! benchmark present in both is compared on `median_ns`; a slowdown
 //! beyond the threshold (percent) is a regression and the process exits
-//! nonzero. Benchmarks present on only one side are listed but never
-//! fail the run — new benches land before their baseline does.
+//! nonzero, naming each offender and its delta on stderr. Benchmarks
+//! present on only one side are listed but never fail the run — new
+//! benches land before their baseline does.
 //!
 //! `--summary PATH` additionally writes a machine-readable snapshot of
 //! the comparison (per-benchmark baseline/current median ns/iter and the
@@ -26,9 +27,15 @@ use lockgran_sim::json::Json;
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
-        Ok(0) => ExitCode::SUCCESS,
-        Ok(n) => {
-            eprintln!("bench_diff: {n} regression(s) beyond threshold");
+        Ok(offenders) if offenders.is_empty() => ExitCode::SUCCESS,
+        Ok(offenders) => {
+            eprintln!(
+                "bench_diff: {} regression(s) beyond threshold:",
+                offenders.len()
+            );
+            for (id, delta) in &offenders {
+                eprintln!("  {id}  {delta:+.1}%");
+            }
             ExitCode::FAILURE
         }
         Err(e) => {
@@ -43,7 +50,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<usize, String> {
+fn run(args: &[String]) -> Result<Vec<(String, f64)>, String> {
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
     let mut summary: Option<PathBuf> = None;
@@ -75,7 +82,7 @@ fn run(args: &[String]) -> Result<usize, String> {
         return Err(format!("no bench reports found in {}", current.display()));
     }
 
-    let mut regressions = 0usize;
+    let mut offenders: Vec<(String, f64)> = Vec::new();
     println!(
         "{:<48} {:>14} {:>14} {:>9}",
         "benchmark", "baseline", "current", "delta"
@@ -85,7 +92,7 @@ fn run(args: &[String]) -> Result<usize, String> {
             Some(&base_ns) if base_ns > 0.0 => {
                 let delta = (cur_ns - base_ns) / base_ns * 100.0;
                 let verdict = if delta > threshold {
-                    regressions += 1;
+                    offenders.push((id.clone(), delta));
                     "  REGRESSION"
                 } else if delta < -threshold {
                     "  improved"
@@ -104,14 +111,15 @@ fn run(args: &[String]) -> Result<usize, String> {
         println!("{id:<48} missing from current run");
     }
     println!(
-        "\n{} benchmark(s) compared, threshold ±{threshold}%, {regressions} regression(s)",
-        cur.len()
+        "\n{} benchmark(s) compared, threshold ±{threshold}%, {} regression(s)",
+        cur.len(),
+        offenders.len()
     );
     if let Some(path) = summary {
         write_summary(&path, &base, &cur, threshold)?;
         println!("summary written to {}", path.display());
     }
-    Ok(regressions)
+    Ok(offenders)
 }
 
 /// Serialize the comparison to `path`: one record per current benchmark

@@ -170,6 +170,20 @@ pub trait ConcurrencyControl {
     fn stats(&self) -> CcStats {
         CcStats::default()
     }
+
+    /// Re-initialize this protocol in place for a fresh run under `cfg`,
+    /// retaining grown storage (waiter pools, lock-table node maps) where
+    /// the implementation can prove the reuse is invisible to the run.
+    /// Returns `false` when the instance cannot serve `cfg` (most simply:
+    /// `cfg` selects a different protocol) — the caller then rebuilds via
+    /// [`build_concurrency_control`]. The contract is reset-equals-fresh:
+    /// after a `true` return the instance must be observationally
+    /// indistinguishable, draw for draw, from a newly built protocol. The
+    /// default declines, forcing a rebuild.
+    fn reset(&mut self, cfg: &ModelConfig) -> bool {
+        let _ = cfg;
+        false
+    }
 }
 
 /// Build the concurrency-control protocol a configuration selects.
@@ -311,6 +325,24 @@ impl ConcurrencyControl for ProbabilisticConflict {
 
     fn locks_held(&self) -> u64 {
         self.locks_held
+    }
+
+    fn reset(&mut self, cfg: &ModelConfig) -> bool {
+        if cfg.conflict != ConflictMode::Probabilistic {
+            return false;
+        }
+        self.ltot = cfg.ltot;
+        // Park every in-flight holder's waiter list back in the spare
+        // pool; an empty recycled Vec behaves identically to a fresh one,
+        // so the retained capacity is invisible to the next run.
+        for mut holder in self.active.drain(..) {
+            holder.waiters.clear();
+            self.spare.push(holder.waiters);
+        }
+        self.fracs.clear();
+        self.prefix.clear();
+        self.locks_held = 0;
+        true
     }
 }
 

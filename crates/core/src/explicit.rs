@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use lockgran_lockmgr::{ConservativeOutcome, ConservativeScheduler, GranuleId, LockMode, TxnId};
 use lockgran_sim::SimRng;
 
+use crate::config::{ConflictMode, ModelConfig};
 use crate::conflict::{AccessSampler, ConcurrencyControl, ConflictDecision, TxnSerial};
 
 /// Conflict model backed by a real lock table.
@@ -128,6 +129,23 @@ impl ConcurrencyControl for ExplicitConflict {
 
     fn locks_held(&self) -> u64 {
         self.locks_held
+    }
+
+    fn reset(&mut self, cfg: &ModelConfig) -> bool {
+        if cfg.conflict != ConflictMode::Explicit {
+            return false;
+        }
+        // The scheduler may still hold locks for transactions in flight at
+        // the horizon and exposes no bulk clear, so it is rebuilt; the
+        // maps (whose nodes a BTreeMap would not retain anyway) are simply
+        // emptied. The Box and this struct's storage are what reuse saves.
+        self.scheduler = ConservativeScheduler::new();
+        self.pending_sets.clear();
+        self.active = 0;
+        self.locks_held = 0;
+        self.active_locks.clear();
+        self.sampler = Some(AccessSampler::from_config(cfg));
+        true
     }
 }
 

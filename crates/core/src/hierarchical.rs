@@ -38,7 +38,7 @@ use lockgran_lockmgr::{
 use lockgran_sim::SimRng;
 use lockgran_workload::HierarchyMap;
 
-use crate::config::HierarchySpec;
+use crate::config::{ConflictMode, HierarchySpec, ModelConfig};
 use crate::conflict::{AccessSampler, CcStats, ConcurrencyControl, ConflictDecision, TxnSerial};
 
 /// Conflict model running Gray's multigranularity protocol over a
@@ -73,12 +73,7 @@ impl HierarchicalConflict {
     pub fn new(sampler: AccessSampler, spec: HierarchySpec) -> Self {
         let map = HierarchyMap::new(sampler.ltot, spec.areas);
         let tree = GranuleTree::new(&map.fanouts());
-        let policy = match spec.escalation_threshold {
-            None => EscalationPolicy::never(),
-            Some(t) => EscalationPolicy {
-                threshold: usize::try_from(t).unwrap_or(usize::MAX),
-            },
-        };
+        let policy = Self::policy_of(&spec);
         HierarchicalConflict {
             scheduler: ConservativeScheduler::new(),
             tree,
@@ -91,6 +86,15 @@ impl HierarchicalConflict {
             active_locks: BTreeMap::new(),
             stats: CcStats::default(),
             request_buf: Vec::new(),
+        }
+    }
+
+    fn policy_of(spec: &HierarchySpec) -> EscalationPolicy {
+        match spec.escalation_threshold {
+            None => EscalationPolicy::never(),
+            Some(t) => EscalationPolicy {
+                threshold: usize::try_from(t).unwrap_or(usize::MAX),
+            },
         }
     }
 
@@ -205,6 +209,34 @@ impl ConcurrencyControl for HierarchicalConflict {
 
     fn stats(&self) -> CcStats {
         self.stats
+    }
+
+    fn reset(&mut self, cfg: &ModelConfig) -> bool {
+        if cfg.conflict != ConflictMode::Hierarchical {
+            return false;
+        }
+        let spec = cfg.hierarchy_spec();
+        let sampler = AccessSampler::from_config(cfg);
+        // The tree and granule → area map are pure functions of
+        // `(ltot, areas)`: identical geometry means identical structures,
+        // so the run keeps them (the lock-table reuse the sweep is after).
+        if sampler.ltot != self.sampler.ltot || spec.areas != self.map.areas() {
+            self.map = HierarchyMap::new(sampler.ltot, spec.areas);
+            self.tree = GranuleTree::new(&self.map.fanouts());
+        }
+        self.policy = Self::policy_of(&spec);
+        self.sampler = sampler;
+        // Same rationale as the explicit model: the scheduler may hold
+        // locks for in-flight transactions at the horizon, so rebuild it.
+        self.scheduler = ConservativeScheduler::new();
+        self.pending_sets.clear();
+        self.active = 0;
+        self.locks_held = 0;
+        self.active_locks.clear();
+        self.stats = CcStats::default();
+        // `request_buf` is cleared at each use; keeping its capacity is
+        // the point.
+        true
     }
 }
 

@@ -67,6 +67,7 @@ pub use conflict::{
 pub use explicit::ExplicitConflict;
 pub use hierarchical::HierarchicalConflict;
 pub use metrics::RunMetrics;
+pub use sim::RunArena;
 pub use timeline::{TimelineCollector, TimelinePoint};
 pub use trace::{NullTracer, TraceEvent, Tracer, VecTracer};
 pub use transaction::{Transaction, TxnPhase};

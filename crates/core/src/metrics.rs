@@ -76,6 +76,13 @@ pub struct RunMetrics {
     /// Intention locks (`IS`/`IX`/`SIX`) granted within the measurement
     /// window (hierarchical conflict model only; 0 otherwise).
     pub intent_locks: u64,
+    /// 95% CI half-width of the mean response time from the in-run
+    /// batch-means estimator (0 until at least two batches close). Unlike
+    /// the cross-replication CI this needs a single run, with O(1) memory
+    /// at any horizon.
+    pub response_ci95_batch: f64,
+    /// Number of closed batches behind `response_ci95_batch`.
+    pub response_batches: u64,
 }
 
 impl ToJson for RunMetrics {
@@ -106,6 +113,8 @@ impl ToJson for RunMetrics {
             ("failures", self.failures.to_json()),
             ("escalations", self.escalations.to_json()),
             ("intent_locks", self.intent_locks.to_json()),
+            ("response_ci95_batch", self.response_ci95_batch.to_json()),
+            ("response_batches", self.response_batches.to_json()),
         ])
     }
 }

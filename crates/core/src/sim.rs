@@ -42,6 +42,59 @@ pub fn run_with_fel(cfg: &ModelConfig, seed: u64, fel: FelKind) -> RunMetrics {
     system.finish(end)
 }
 
+/// Reusable run state: one executor plus one [`System`], recycled across
+/// `(config, seed)` runs.
+///
+/// [`RunArena::run`] is bit-identical to [`run`] — the reset paths
+/// ([`Executor::reset`], [`System::reset`]) restore fresh-construction
+/// semantics — but keeps every grown allocation: the future-event list's
+/// buckets, the transaction slab's buffers (drained into the carcass
+/// pool), the conflict model's tables, and the workload generator's lock
+/// memo. At capacity scale (10⁵ resident transactions, 10⁷-entity
+/// databases) rebuilding that state dominates short sweep points, so the
+/// experiment harness gives each worker thread one arena and streams its
+/// share of the sweep through it.
+pub struct RunArena {
+    ex: Executor<crate::system::Event>,
+    system: Option<System>,
+}
+
+impl Default for RunArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunArena {
+    /// An empty arena (production FEL, no system yet).
+    pub fn new() -> Self {
+        RunArena {
+            ex: Executor::with_fel(FelKind::Calendar),
+            system: None,
+        }
+    }
+
+    /// Run one `(cfg, seed)` simulation to its horizon, reusing this
+    /// arena's state. Deterministic and bit-identical to [`run`] for every
+    /// `(cfg, seed)`, regardless of what ran in the arena before.
+    ///
+    /// # Panics
+    /// Panics if `cfg.validate()` fails.
+    pub fn run(&mut self, cfg: &ModelConfig, seed: u64) -> RunMetrics {
+        self.ex.reset();
+        let system = match &mut self.system {
+            Some(sys) => {
+                sys.reset(cfg, seed, &mut self.ex);
+                sys
+            }
+            None => self.system.insert(System::new(cfg, seed, &mut self.ex)),
+        };
+        let horizon = system.tmax();
+        let end = self.ex.run(system, horizon);
+        system.finish(end)
+    }
+}
+
 /// Run one simulation with protocol tracing enabled, returning both the
 /// metrics and the full [`VecTracer`] event stream. Tracing records every
 /// protocol transition, so use short horizons.

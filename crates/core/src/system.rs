@@ -22,8 +22,8 @@
 use std::collections::VecDeque;
 
 use lockgran_sim::{
-    Class, Completion, CompletionOutcome, Dur, Executor, Histogram, Job, JobId, Model, Server,
-    SimRng, Tally, Time, TimeWeighted, Token,
+    BatchMeans, Class, Completion, CompletionOutcome, Dur, Executor, Histogram, Job, JobId, Model,
+    Server, SimRng, Tally, Time, TimeWeighted, Token,
 };
 use lockgran_workload::{FailureSpec, TransactionSpec, WorkloadGenerator};
 
@@ -182,10 +182,12 @@ pub struct System {
     slab: Vec<Option<Transaction>>,
     /// LIFO free list of vacated slab slots.
     free_slots: Vec<u32>,
-    /// Carcass of the most recently completed transaction; the next spawn
-    /// reuses its heap buffers (`spec.processors`, `granules`,
-    /// `cpu_shares`) so the closed-model replacement allocates nothing.
-    retired: Option<Transaction>,
+    /// Carcasses of completed transactions; the next spawn reuses their
+    /// heap buffers (`spec.processors`, `granules`, `cpu_shares`) so the
+    /// closed-model replacement allocates nothing. [`System::reset`] also
+    /// drains the slab here, so a reused arena re-populates `ntrans`
+    /// transactions without touching the allocator.
+    carcasses: Vec<Transaction>,
     next_serial: u64,
     blocked_count: u32,
     /// Admission control (`mpl_limit`): transactions holding a slot.
@@ -216,6 +218,11 @@ pub struct System {
     cpu_share_buf: Vec<Dur>,
     response: Tally,
     response_hist: Histogram,
+    /// Batch-means estimator over the same response stream as `response`:
+    /// O(1) memory regardless of how many completions a capacity-scale run
+    /// produces, with an autocorrelation-robust CI (see
+    /// [`lockgran_sim::stats::BatchMeans`]).
+    response_batch: BatchMeans,
     attempts_per_txn: Tally,
     active_tw: TimeWeighted,
     blocked_tw: TimeWeighted,
@@ -225,6 +232,12 @@ pub struct System {
     /// Optional windowed time-series sampler.
     timeline: Option<TimelineCollector>,
 }
+
+/// Initial batch size of the response-time batch-means estimator.
+const RESPONSE_BATCH_SIZE: u64 = 32;
+/// Batch-count cap of the response-time batch-means estimator (pairwise
+/// merge + batch-size doubling beyond this — memory stays fixed).
+const RESPONSE_BATCH_CAP: usize = 64;
 
 impl System {
     /// Build the initial system state and schedule the initial arrivals.
@@ -240,26 +253,7 @@ impl System {
         let tmax = Time::from_units(cfg.tmax);
         let warmup = Time::from_units(cfg.warmup);
 
-        // Initial arrivals, one time unit apart (paper §2).
-        for i in 0..cfg.ntrans {
-            ex.schedule(Time::from_units(f64::from(i)), Event::Arrive);
-        }
-        if warmup > Time::ZERO {
-            ex.schedule(warmup, Event::WarmupReached);
-        }
-
-        // Failure extension: every processor gets an independent first
-        // failure time from the dedicated stream.
-        let failure = cfg.failure.as_ref().map(|spec| {
-            let mut f = FailureState::new(spec, cfg.npros, root.split("failure"));
-            for p in 0..cfg.npros {
-                let at = Time::ZERO + f.draw(f.mtbf);
-                ex.schedule(at, Event::Fail { proc: p });
-            }
-            f
-        });
-
-        System {
+        let mut sys = System {
             npros: cfg.npros,
             cputime: Dur::from_units(cfg.cputime),
             iotime: Dur::from_units(cfg.iotime),
@@ -283,14 +277,14 @@ impl System {
                 .collect(),
             slab: Vec::new(),
             free_slots: Vec::new(),
-            retired: None,
+            carcasses: Vec::new(),
             next_serial: 0,
             blocked_count: 0,
             admitted: 0,
             mpl_limit: cfg.mpl_limit,
             pending: VecDeque::new(),
             pending_tw: TimeWeighted::new(),
-            failure,
+            failure: None,
             lock_attempts: 0,
             lock_denials: 0,
             totcom: 0,
@@ -303,13 +297,121 @@ impl System {
             cpu_share_buf: Vec::new(),
             response: Tally::new(),
             response_hist: Histogram::new(cfg.tmax, 2_000),
+            response_batch: BatchMeans::with_doubling(RESPONSE_BATCH_SIZE, RESPONSE_BATCH_CAP),
             attempts_per_txn: Tally::new(),
             active_tw: TimeWeighted::new(),
             blocked_tw: TimeWeighted::new(),
             snapshot: CounterSnapshot::default(),
             tracer: None,
             timeline: None,
+        };
+        sys.schedule_initial(cfg, &root, ex);
+        sys
+    }
+
+    /// Schedule the bootstrap events of a run — initial arrivals one time
+    /// unit apart (paper §2), the warm-up boundary, and (when the failure
+    /// extension is on) every processor's first failure. Shared by
+    /// [`System::new`] and [`System::reset`] so the event sequence numbers
+    /// of a reset run match a fresh run exactly.
+    fn schedule_initial(&mut self, cfg: &ModelConfig, root: &SimRng, ex: &mut Executor<Event>) {
+        for i in 0..cfg.ntrans {
+            ex.schedule(Time::from_units(f64::from(i)), Event::Arrive);
         }
+        if self.warmup > Time::ZERO {
+            ex.schedule(self.warmup, Event::WarmupReached);
+        }
+        // Failure extension: every processor gets an independent first
+        // failure time from the dedicated stream.
+        self.failure = cfg.failure.as_ref().map(|spec| {
+            let mut f = FailureState::new(spec, cfg.npros, root.split("failure"));
+            for p in 0..cfg.npros {
+                let at = Time::ZERO + f.draw(f.mtbf);
+                ex.schedule(at, Event::Fail { proc: p });
+            }
+            f
+        });
+    }
+
+    /// Re-initialize this system in place for a fresh `(cfg, seed)` run,
+    /// as if it had just been built with [`System::new`]`(cfg, seed, ex)`
+    /// — same panics, same RNG stream derivation, bit-identical behavior.
+    /// What reuse keeps is *capacity*: the transaction slab (drained into
+    /// the carcass pool so every buffer a transaction ever grew survives),
+    /// the conflict model's tables when the mode allows
+    /// ([`ConcurrencyControl::reset`]), the workload generator's lock
+    /// memo, and every scratch buffer. The caller must reset the executor
+    /// first ([`Executor::reset`]) so event sequence numbers restart.
+    ///
+    /// # Panics
+    /// Panics if `cfg.validate()` fails.
+    pub fn reset(&mut self, cfg: &ModelConfig, seed: u64, ex: &mut Executor<Event>) {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid model configuration: {e}");
+        }
+        let root = SimRng::new(seed);
+        self.npros = cfg.npros;
+        self.cputime = Dur::from_units(cfg.cputime);
+        self.iotime = Dur::from_units(cfg.iotime);
+        self.lcputime = Dur::from_units(cfg.lcputime);
+        self.liotime = Dur::from_units(cfg.liotime);
+        self.warmup = Time::from_units(cfg.warmup);
+        self.tmax = Time::from_units(cfg.tmax);
+        self.lock_distribution = cfg.lock_distribution;
+        self.service = cfg.service;
+        self.lock_rr = 0;
+        self.generator.reset(cfg.workload_params(), &root);
+        self.conflict_rng = root.split("conflict");
+        self.access_rng = root.split("access");
+        self.service_rng = root.split("service");
+        // In-place conflict reset when the model matches the new mode;
+        // otherwise rebuild (mode changed between sweep points).
+        if !self.conflict.reset(cfg) {
+            self.conflict = build_concurrency_control(cfg);
+        }
+        // Servers reset in place (queues keep their grown capacity); the
+        // vectors only grow or shrink when the processor count changes.
+        for servers in [&mut self.cpu, &mut self.io] {
+            servers.resize_with(cfg.npros as usize, || {
+                mk_server(cfg.lock_preemption, cfg.discipline)
+            });
+            for s in servers.iter_mut() {
+                s.reset(cfg.lock_preemption, cfg.discipline.to_sim());
+            }
+        }
+        // Drain resident transactions into the carcass pool: the reset
+        // run's spawns reuse their buffers instead of allocating `ntrans`
+        // transactions from scratch.
+        self.carcasses
+            .extend(self.slab.iter_mut().filter_map(Option::take));
+        self.slab.clear();
+        self.free_slots.clear();
+        self.next_serial = 0;
+        self.blocked_count = 0;
+        self.admitted = 0;
+        self.mpl_limit = cfg.mpl_limit;
+        self.pending.clear();
+        self.pending_tw = TimeWeighted::new();
+        self.lock_attempts = 0;
+        self.lock_denials = 0;
+        self.totcom = 0;
+        self.aborts = 0;
+        self.failures = 0;
+        self.wake_buf.clear();
+        self.lock_cpu_buf.clear();
+        self.lock_io_buf.clear();
+        self.io_share_buf.clear();
+        self.cpu_share_buf.clear();
+        self.response = Tally::new();
+        self.response_hist.reset(cfg.tmax, 2_000);
+        self.response_batch = BatchMeans::with_doubling(RESPONSE_BATCH_SIZE, RESPONSE_BATCH_CAP);
+        self.attempts_per_txn = Tally::new();
+        self.active_tw = TimeWeighted::new();
+        self.blocked_tw = TimeWeighted::new();
+        self.snapshot = CounterSnapshot::default();
+        self.tracer = None;
+        self.timeline = None;
+        self.schedule_initial(cfg, &root, ex);
     }
 
     /// Turn on timeline sampling every `interval` time units (see
@@ -392,7 +494,7 @@ impl System {
     fn spawn_transaction(&mut self, now: Time, ex: &mut Executor<Event>) {
         let serial = self.next_serial;
         self.next_serial += 1;
-        let mut txn = self.retired.take().unwrap_or_else(|| {
+        let mut txn = self.carcasses.pop().unwrap_or_else(|| {
             Transaction::new(
                 0,
                 TransactionSpec {
@@ -697,11 +799,12 @@ impl System {
             let resp = now.since(txn.arrived).units();
             self.response.record(resp);
             self.response_hist.record(resp);
+            self.response_batch.record(resp);
             self.attempts_per_txn.record(f64::from(txn.attempts));
         }
         // Retire the carcass: the replacement spawned below reuses its
         // heap buffers instead of allocating.
-        self.retired = Some(txn);
+        self.carcasses.push(txn);
         // Reuse the wake buffer across completions (no per-release
         // allocation); take it out of `self` so `begin_lock_phase` can
         // borrow `self` mutably while we iterate.
@@ -886,8 +989,10 @@ impl System {
         self.pending_tw.reset(now);
     }
 
-    /// Close accounting at the horizon and assemble the metrics.
-    pub fn finish(mut self, end: Time) -> RunMetrics {
+    /// Close accounting at the horizon and assemble the metrics. Takes
+    /// `&mut self` (it flushes the servers) so an arena can
+    /// [`System::reset`] the same state for the next run.
+    pub fn finish(&mut self, end: Time) -> RunMetrics {
         for s in self.cpu.iter_mut().chain(self.io.iter_mut()) {
             s.flush(end);
         }
@@ -935,6 +1040,8 @@ impl System {
             failures: self.failures - self.snapshot.failures,
             escalations: self.conflict.stats().escalations - self.snapshot.cc.escalations,
             intent_locks: self.conflict.stats().intent_locks - self.snapshot.cc.intent_locks,
+            response_ci95_batch: self.response_batch.ci95_half_width(),
+            response_batches: self.response_batch.batches(),
         }
     }
 

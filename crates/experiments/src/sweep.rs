@@ -7,7 +7,7 @@
 //! independent replications; figure modules turn the results into
 //! [`crate::Series`] per secondary-dimension value.
 
-use lockgran_core::{sim, ModelConfig, RunMetrics};
+use lockgran_core::{ModelConfig, RunArena, RunMetrics};
 use lockgran_sim::{SimRng, Tally, WorkerPool};
 
 use crate::metric::Metric;
@@ -136,17 +136,22 @@ impl SweepPoint {
 /// numbers: curves differ by the system response, not by workload noise).
 ///
 /// All `(ltot, rep)` pairs fan out across a [`WorkerPool`] of
-/// `opts.effective_jobs()` threads. Each pair is an independent pure
-/// function of `(config, seed)` — seeds never depend on execution order —
-/// and the pool gathers results in submission order, so the output is
+/// `opts.effective_jobs()` threads, each worker streaming its share of
+/// the pairs through one private [`RunArena`] — slabs, lock tables, the
+/// future-event list and the Yao memo are reused across runs instead of
+/// rebuilt per pair. Each pair is still an independent pure function of
+/// `(config, seed)` — seeds never depend on execution order, and
+/// [`RunArena::run`] is bit-identical to a fresh [`lockgran_core::sim::run`] — and the
+/// pool gathers results in submission order, so the output is
 /// bit-identical at any worker count (`jobs = 1` runs the exact
 /// sequential loop).
 ///
 /// Fault isolation: each `(ltot, rep)` task runs under
-/// [`WorkerPool::try_run`], so one poisoned pair degrades its sweep point
-/// (a stderr warning, one fewer replication) instead of aborting the
-/// whole sweep. Only a point losing *every* replication panics — there is
-/// no honest way to report a sweep point with no data.
+/// [`WorkerPool::try_run_with_state`], so one poisoned pair degrades its
+/// sweep point (a stderr warning, one fewer replication, a fresh arena
+/// for that worker) instead of aborting the whole sweep. Only a point
+/// losing *every* replication panics — there is no honest way to report a
+/// sweep point with no data.
 pub fn sweep_ltot(base: &ModelConfig, opts: &RunOptions) -> Vec<SweepPoint> {
     let root = SimRng::new(opts.seed);
     let reps = opts.effective_reps();
@@ -160,11 +165,11 @@ pub fn sweep_ltot(base: &ModelConfig, opts: &RunOptions) -> Vec<SweepPoint> {
             let cfg = opts.apply(base.clone().with_ltot(ltot));
             rep_seeds.iter().map(move |&seed| {
                 let cfg = cfg.clone();
-                move || sim::run(&cfg, seed)
+                move |arena: &mut RunArena| arena.run(&cfg, seed)
             })
         })
         .collect();
-    let results = WorkerPool::new(opts.effective_jobs()).try_run(tasks);
+    let results = WorkerPool::new(opts.effective_jobs()).try_run_with_state(RunArena::new, tasks);
     opts.ltots()
         .iter()
         .zip(results.chunks(reps as usize))

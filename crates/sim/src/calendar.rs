@@ -192,6 +192,24 @@ impl<E> CalendarQueue<E> {
         self.len == 0
     }
 
+    /// Drop every pending event and rewind the clock to [`Time::ZERO`],
+    /// keeping the grown calendar geometry (bucket count and width) and
+    /// every bucket's allocation for reuse. Retaining the geometry is
+    /// safe for bit-identity: pop order is the total `(time, seq)` order
+    /// regardless of how events hash into days, so a recycled calendar
+    /// drives a model through the identical event sequence a fresh one
+    /// would — it just skips re-growing to the workload's natural size.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.current = 0;
+        self.bucket_start = 0;
+        self.len = 0;
+        self.next_seq = 0;
+        self.last_popped = Time::ZERO;
+    }
+
     fn resize(&mut self, new_buckets: usize) {
         // Re-estimate width from the average spacing of the queue contents
         // (Brown's heuristic, simplified: span / count). Min and max come
@@ -476,6 +494,58 @@ mod tests {
         assert_eq!(q.pop().map(|(_, e)| e), Some("far"));
         assert_eq!(q.pop().map(|(_, e)| e), Some("farther"));
         assert_eq!(q.pop(), None);
+    }
+
+    /// A cleared calendar — even one whose geometry grew and whose clock
+    /// advanced far past zero — must drain a fresh workload in exactly the
+    /// order a brand-new queue would.
+    #[test]
+    fn clear_matches_fresh_queue_after_growth() {
+        use crate::rng::SimRng;
+        let mut grown = CalendarQueue::with_geometry(16, 5);
+        for i in 0..5_000u64 {
+            grown.push(Time::from_ticks(i * 7), i);
+        }
+        while grown.pop().is_some() {}
+        grown.clear();
+        assert!(grown.is_empty());
+        assert_eq!(grown.peek_time(), None);
+
+        let mut fresh = CalendarQueue::with_geometry(16, 5);
+        let mut rng = SimRng::new(271);
+        let mut clock = 0u64;
+        for id in 0..3_000u64 {
+            let dt = if rng.bernoulli(0.3) {
+                0
+            } else {
+                rng.uniform_inclusive(0, 120)
+            };
+            let at = Time::from_ticks(clock + dt);
+            grown.push(at, id);
+            fresh.push(at, id);
+            if rng.bernoulli(0.5) {
+                let a = grown.pop();
+                let b = fresh.pop();
+                assert_eq!(
+                    a.as_ref().map(|(t, e)| (*t, *e)),
+                    b.as_ref().map(|(t, e)| (*t, *e))
+                );
+                if let Some((t, _)) = a {
+                    clock = t.ticks();
+                }
+            }
+        }
+        loop {
+            let a = grown.pop();
+            let b = fresh.pop();
+            assert_eq!(
+                a.as_ref().map(|(t, e)| (*t, *e)),
+                b.as_ref().map(|(t, e)| (*t, *e))
+            );
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -93,6 +93,14 @@ impl<E> EventQueue<E> {
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
     }
+
+    /// Drop every pending event and restart the sequence counter, keeping
+    /// the heap's allocation for reuse. After `clear` the queue is
+    /// indistinguishable from a fresh one except for retained capacity.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +141,25 @@ mod tests {
         assert_eq!(q.pop(), Some((Time::from_ticks(10), 2)));
         assert_eq!(q.pop(), Some((Time::from_ticks(10), 3)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_restores_fresh_semantics() {
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.push(Time::from_ticks(100 - i), i);
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 0);
+        // A cleared queue orders (and FIFO-ties) exactly like a fresh one.
+        let t = Time::from_ticks(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

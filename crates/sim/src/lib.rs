@@ -83,5 +83,5 @@ pub use rng::SimRng;
 pub use server::{
     CancelOutcome, Class, Completion, CompletionOutcome, Discipline, Job, JobId, Server, Token,
 };
-pub use stats::{BusyTime, Histogram, Tally, TimeWeighted};
+pub use stats::{BatchMeans, BusyTime, Histogram, Tally, TimeWeighted};
 pub use time::{Dur, Time, TICKS_PER_UNIT};

@@ -208,6 +208,106 @@ impl WorkerPool {
             .collect();
         self.run(wrapped)
     }
+
+    /// Execute every task against a per-worker scratch state, with
+    /// per-task panic isolation, returning one `Result` per task **in
+    /// submission order**.
+    ///
+    /// `mk` builds one state per worker thread (one on the calling thread
+    /// in the sequential `jobs = 1` baseline); each task gets `&mut` to
+    /// the state of whichever worker claimed it. This is how the sweep
+    /// harness threads reusable run arenas through the pool. The state is
+    /// *scratch*: which tasks share a state depends on the job count and
+    /// claim timing, so a task's result must not observably depend on the
+    /// state's history — that is exactly the reset-equals-fresh contract
+    /// `tests/parallel_determinism.rs` enforces end to end. After a caught
+    /// panic the worker's state is discarded and rebuilt with `mk`, since
+    /// the panic may have left it mid-mutation.
+    pub fn try_run_with_state<S, T, F, M>(&self, mk: M, tasks: Vec<F>) -> Vec<Result<T, TaskPanic>>
+    where
+        T: Send,
+        F: FnOnce(&mut S) -> T + Send,
+        M: Fn() -> S + Sync,
+    {
+        let n = tasks.len();
+        if self.jobs == 1 || n <= 1 {
+            let mut state = mk();
+            let mut out = Vec::with_capacity(n);
+            for (index, task) in tasks.into_iter().enumerate() {
+                match catch_unwind(AssertUnwindSafe(|| task(&mut state))) {
+                    Ok(v) => out.push(Ok(v)),
+                    Err(payload) => {
+                        state = mk();
+                        out.push(Err(TaskPanic {
+                            index,
+                            message: panic_message(payload.as_ref()),
+                        }));
+                    }
+                }
+            }
+            return out;
+        }
+
+        let cells: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<T, TaskPanic>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(n) {
+                scope.spawn(|| {
+                    let mut state = mk();
+                    let mut local: Vec<(usize, Result<T, TaskPanic>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let task = cells[i]
+                            .lock()
+                            // lint:allow(P001): a poisoned cell means a
+                            // sibling task panicked; propagating is correct
+                            .expect("task cell poisoned")
+                            .take()
+                            // lint:allow(P001): the cursor hands out each
+                            // index exactly once
+                            .expect("task claimed twice");
+                        match catch_unwind(AssertUnwindSafe(|| task(&mut state))) {
+                            Ok(v) => local.push((i, Ok(v))),
+                            Err(payload) => {
+                                state = mk();
+                                local.push((
+                                    i,
+                                    Err(TaskPanic {
+                                        index: i,
+                                        message: panic_message(payload.as_ref()),
+                                    }),
+                                ));
+                            }
+                        }
+                    }
+                    let mut merged = slots
+                        .lock()
+                        // lint:allow(P001): a poisoned gather means a
+                        // sibling worker panicked outside catch_unwind;
+                        // propagating is correct
+                        .expect("result slots poisoned");
+                    for (i, v) in local {
+                        merged[i] = Some(v);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            // lint:allow(P001): all workers joined without panicking above
+            .expect("result slots poisoned")
+            .into_iter()
+            // lint:allow(P001): every index was claimed and merged exactly once
+            .map(|slot| slot.expect("task produced no result"))
+            .collect()
+    }
 }
 
 impl Default for WorkerPool {
@@ -220,6 +320,9 @@ impl Default for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Boxed stateful task used by the `try_run_with_state` tests.
+    type StatefulTask = Box<dyn FnOnce(&mut u64) -> u64 + Send>;
 
     #[test]
     fn empty_task_list() {
@@ -314,6 +417,56 @@ mod tests {
         let tried = WorkerPool::new(4).try_run(mk());
         let unwrapped: Vec<u64> = tried.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(plain, unwrapped);
+    }
+
+    #[test]
+    fn with_state_reuses_state_and_keeps_submission_order() {
+        // Each task increments its worker's counter; with one worker the
+        // counter threads through every task, proving state reuse. The
+        // *results* are still pure functions of the task input.
+        let mk_tasks = || -> Vec<StatefulTask> {
+            (0..32u64)
+                .map(|i| {
+                    Box::new(move |calls: &mut u64| {
+                        *calls += 1;
+                        i * 3
+                    }) as StatefulTask
+                })
+                .collect()
+        };
+        let seq = WorkerPool::new(1).try_run_with_state(|| 0u64, mk_tasks());
+        for jobs in [2, 4, 16] {
+            let par = WorkerPool::new(jobs).try_run_with_state(|| 0u64, mk_tasks());
+            assert_eq!(par, seq, "jobs={jobs}");
+        }
+        let values: Vec<u64> = seq.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, (0..32u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_state_rebuilds_state_after_a_panic() {
+        // State is a counter of tasks run since construction. Task 2
+        // panics; the rebuilt state must restart from zero for later
+        // tasks on the same (single) worker.
+        let tasks: Vec<StatefulTask> = (0..5u64)
+            .map(|i| {
+                Box::new(move |since_mk: &mut u64| {
+                    if i == 2 {
+                        panic!("boom {i}");
+                    }
+                    *since_mk += 1;
+                    *since_mk
+                }) as StatefulTask
+            })
+            .collect();
+        let out = WorkerPool::new(1).try_run_with_state(|| 0u64, tasks);
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[1], Ok(2));
+        let err = out[2].as_ref().unwrap_err();
+        assert_eq!((err.index, err.message.as_str()), (2, "boom 2"));
+        // Fresh state after the panic: the count restarts.
+        assert_eq!(out[3], Ok(1));
+        assert_eq!(out[4], Ok(2));
     }
 
     #[test]

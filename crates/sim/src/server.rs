@@ -190,6 +190,22 @@ impl Server {
         }
     }
 
+    /// Restore fresh-construction semantics in place, keeping the queues'
+    /// grown capacity: after this the server is observationally identical
+    /// to `Server::new()` (or [`Server::non_preemptive`]) with the given
+    /// discipline — idle, zero accounting, token counter restarted.
+    pub fn reset(&mut self, preemptive: bool, discipline: Discipline) {
+        self.lock_queue.clear();
+        self.txn_queue.clear();
+        self.current = None;
+        self.next_token = 0;
+        self.busy = [Dur::ZERO; 2];
+        self.completed = [0; 2];
+        self.population = TimeWeighted::new();
+        self.preemptive = preemptive;
+        self.discipline = discipline;
+    }
+
     /// Dequeue the next transaction job per the discipline.
     fn pop_txn(&mut self) -> Option<Job> {
         match self.discipline {
@@ -388,6 +404,39 @@ mod tests {
             demand: Dur::from_ticks(ticks),
             class,
         }
+    }
+
+    #[test]
+    fn reset_restores_fresh_semantics() {
+        // Abandon a busy server mid-service, reset it, and hold every
+        // observable — completion times, token values, accounting — to
+        // what a fresh server produces for the same submissions.
+        let mut used = Server::new();
+        let _ = used.submit(Time::from_ticks(0), job(1, 10, Class::Transaction));
+        let _ = used.submit(Time::from_ticks(0), job(2, 7, Class::Lock));
+        used.flush(Time::from_ticks(20));
+        used.reset(true, Discipline::Fcfs);
+
+        let mut fresh = Server::new();
+        assert_eq!(used.jobs_present(), 0);
+        assert!(used.is_idle());
+        assert_eq!(used.total_busy(), Dur::ZERO);
+        for (now, j) in [
+            (0u64, job(3, 5, Class::Transaction)),
+            (2, job(4, 3, Class::Lock)),
+        ] {
+            let a = used.submit(Time::from_ticks(now), j);
+            let b = fresh.submit(Time::from_ticks(now), j);
+            assert_eq!(
+                a.map(|c| (c.at, c.token.0)),
+                b.map(|c| (c.at, c.token.0)),
+                "reset server diverged from fresh at t={now}"
+            );
+        }
+        used.flush(Time::from_ticks(10));
+        fresh.flush(Time::from_ticks(10));
+        assert_eq!(used.total_busy(), fresh.total_busy());
+        assert_eq!(used.jobs_present(), fresh.jobs_present());
     }
 
     /// Drive a server through a scripted sequence, emulating the event

@@ -5,21 +5,40 @@
 //! groups consecutive observations into fixed-size batches and treats the
 //! batch averages as approximately independent samples, giving an honest
 //! confidence interval for the steady-state mean from one run.
+//!
+//! Two flavors:
+//!
+//! * [`BatchMeans::new`] — fixed batch size, streaming Welford over the
+//!   batch means. O(1) memory, but the analyst must guess a batch size
+//!   large enough for the means to decorrelate.
+//! * [`BatchMeans::with_doubling`] — bounded storage with **batch-size
+//!   doubling**: completed batch means are retained up to a cap; at the
+//!   cap, adjacent means are pairwise-merged and the batch size doubles.
+//!   The batch size thus grows with the stream (size ≈ `n / cap`), which
+//!   is what makes the estimator consistent for runs of unknown length —
+//!   at 10⁸+ events the batches are millions of observations wide while
+//!   memory stays O(cap). This is the flavor the production engine wires
+//!   into response-time collection.
 
 use super::tally::Tally;
 
-/// Groups a stream of observations into fixed-size batches and summarizes
-/// batch means.
+/// Groups a stream of observations into consecutive batches and
+/// summarizes batch means.
 #[derive(Clone, Debug)]
 pub struct BatchMeans {
     batch_size: u64,
     in_batch: u64,
     batch_sum: f64,
+    /// Fixed-size mode (`cap == 0`): streaming summary of batch means.
     batches: Tally,
+    /// Doubling mode (`cap > 0`): retained batch means, length < `cap`,
+    /// capacity preallocated to `cap` so recording never allocates.
+    means: Vec<f64>,
+    cap: usize,
 }
 
 impl BatchMeans {
-    /// Create with the given batch size.
+    /// Create with the given fixed batch size.
     ///
     /// # Panics
     /// Panics if `batch_size == 0`.
@@ -30,6 +49,34 @@ impl BatchMeans {
             in_batch: 0,
             batch_sum: 0.0,
             batches: Tally::new(),
+            means: Vec::new(),
+            cap: 0,
+        }
+    }
+
+    /// Create in doubling mode: batches start at `initial_batch_size`
+    /// observations; whenever `max_batches` batch means have accumulated,
+    /// adjacent pairs are merged and the batch size doubles. Memory is
+    /// O(`max_batches`) forever (preallocated here — the record path is
+    /// allocation-free).
+    ///
+    /// # Panics
+    /// Panics if `initial_batch_size == 0`, or `max_batches` is odd or
+    /// smaller than 4 (pairwise merging needs an even cap, and fewer than
+    /// 4 batches cannot give a useful interval).
+    pub fn with_doubling(initial_batch_size: u64, max_batches: usize) -> Self {
+        assert!(initial_batch_size > 0, "batch size must be positive");
+        assert!(
+            max_batches >= 4 && max_batches.is_multiple_of(2),
+            "max_batches must be even and at least 4"
+        );
+        BatchMeans {
+            batch_size: initial_batch_size,
+            in_batch: 0,
+            batch_sum: 0.0,
+            batches: Tally::new(),
+            means: Vec::with_capacity(max_batches),
+            cap: max_batches,
         }
     }
 
@@ -38,27 +85,71 @@ impl BatchMeans {
         self.batch_sum += x;
         self.in_batch += 1;
         if self.in_batch == self.batch_size {
-            self.batches.record(self.batch_sum / self.batch_size as f64);
+            let mean = self.batch_sum / self.batch_size as f64;
             self.batch_sum = 0.0;
             self.in_batch = 0;
+            if self.cap == 0 {
+                self.batches.record(mean);
+                return;
+            }
+            self.means.push(mean);
+            if self.means.len() == self.cap {
+                // Pairwise merge: every retained mean keeps representing
+                // exactly `batch_size` observations after the doubling,
+                // so the grand mean stays an equal-weight average.
+                for i in 0..self.cap / 2 {
+                    self.means[i] = (self.means[2 * i] + self.means[2 * i + 1]) / 2.0;
+                }
+                self.means.truncate(self.cap / 2);
+                self.batch_size *= 2;
+            }
         }
     }
 
-    /// Number of completed batches.
+    /// Number of completed (currently retained, in doubling mode)
+    /// batches.
     pub fn batches(&self) -> u64 {
-        self.batches.count()
+        if self.cap == 0 {
+            self.batches.count()
+        } else {
+            self.means.len() as u64
+        }
+    }
+
+    /// Observations per batch (grows by doubling in doubling mode).
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size
+    }
+
+    /// Streaming summary (count / mean / variance) of the retained batch
+    /// means.
+    fn summary(&self) -> Tally {
+        if self.cap == 0 {
+            return self.batches.clone();
+        }
+        let mut t = Tally::new();
+        for &m in &self.means {
+            t.record(m);
+        }
+        t
     }
 
     /// Grand mean over completed batches (the partial batch is excluded so
     /// every batch mean has equal weight).
     pub fn mean(&self) -> f64 {
-        self.batches.mean()
+        self.summary().mean()
+    }
+
+    /// Sample variance of the retained batch means (0 with fewer than two
+    /// batches).
+    pub fn variance(&self) -> f64 {
+        self.summary().variance()
     }
 
     /// 95% confidence half-width for the steady-state mean, based on the
     /// completed batch means. Returns 0 with fewer than two batches.
     pub fn ci95_half_width(&self) -> f64 {
-        self.batches.ci95_half_width()
+        self.summary().ci95_half_width()
     }
 }
 
@@ -107,5 +198,90 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_rejected() {
         let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batches")]
+    fn odd_cap_rejected() {
+        let _ = BatchMeans::with_doubling(1, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batches")]
+    fn tiny_cap_rejected() {
+        let _ = BatchMeans::with_doubling(1, 2);
+    }
+
+    #[test]
+    fn doubling_invariants_hold_across_merges() {
+        // cap = 8, initial size 4: after n observations the batch size is
+        // 4·2^t with t chosen so the retained count stays below the cap,
+        // and retained · size + partial accounts for every observation.
+        let mut bm = BatchMeans::with_doubling(4, 8);
+        let mut recorded = 0u64;
+        for i in 0..10_000u64 {
+            bm.record(i as f64);
+            recorded += 1;
+            let size = bm.batch_size();
+            let kept = bm.batches();
+            assert!(kept < 8, "cap breached: {kept} batches");
+            assert!(size.is_power_of_two() && size >= 4, "size {size}");
+            assert!(kept * size <= recorded, "over-counted observations");
+            assert!(
+                recorded < (kept + 1) * size,
+                "partial batch larger than a batch: n={recorded} kept={kept} size={size}"
+            );
+        }
+        // 10_000 observations at cap 8 must have doubled well past 4.
+        assert!(bm.batch_size() >= 10_000 / 8, "size {}", bm.batch_size());
+    }
+
+    #[test]
+    fn doubling_grand_mean_matches_observation_mean() {
+        // Feed exactly 2^t full initial batches: every observation lands
+        // in a completed batch at every doubling level, so the grand mean
+        // is the plain average regardless of how many merges happened.
+        let mut bm = BatchMeans::with_doubling(2, 4);
+        let n = 2u64.pow(12);
+        for i in 0..n {
+            bm.record(i as f64);
+        }
+        let expect = (n - 1) as f64 / 2.0;
+        assert!(
+            (bm.mean() - expect).abs() < 1e-9,
+            "mean {} vs {expect}",
+            bm.mean()
+        );
+    }
+
+    #[test]
+    fn doubling_mean_matches_fixed_mode_at_same_effective_size() {
+        // After the merges settle, doubling mode with initial size 1 that
+        // grew to size 2^t must agree with fixed mode at batch size 2^t
+        // on a stream that fills both exactly.
+        let noise = |i: u64| ((i * 2_654_435_761) % 1000) as f64;
+        let mut doubling = BatchMeans::with_doubling(1, 8);
+        for i in 0..4096 {
+            doubling.record(noise(i));
+        }
+        let grown = doubling.batch_size();
+        let mut fixed = BatchMeans::new(grown);
+        for i in 0..4096 {
+            fixed.record(noise(i));
+        }
+        assert_eq!(doubling.batches(), fixed.batches());
+        assert!((doubling.mean() - fixed.mean()).abs() < 1e-9);
+        assert!((doubling.variance() - fixed.variance()).abs() < 1e-9);
+        assert!((doubling.ci95_half_width() - fixed.ci95_half_width()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubling_mode_never_reallocates() {
+        let mut bm = BatchMeans::with_doubling(1, 16);
+        let cap_before = bm.means.capacity();
+        for i in 0..100_000u64 {
+            bm.record(i as f64);
+        }
+        assert_eq!(bm.means.capacity(), cap_before, "record path reallocated");
     }
 }

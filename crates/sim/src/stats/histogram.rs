@@ -32,6 +32,27 @@ impl Histogram {
         }
     }
 
+    /// Restore fresh-construction semantics in place, reusing the bucket
+    /// storage when the count is unchanged: after this the histogram is
+    /// observationally identical to `Histogram::new(upper, buckets)`.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `upper <= 0`.
+    pub fn reset(&mut self, upper: f64, buckets: usize) {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(upper > 0.0, "upper bound must be positive");
+        if self.counts.len() == buckets {
+            self.counts.fill(0);
+        } else {
+            self.counts.clear();
+            self.counts.resize(buckets, 0);
+        }
+        self.width = upper / buckets as f64;
+        self.upper = upper;
+        self.overflow = 0;
+        self.total = 0;
+    }
+
     /// Record one observation (negative values clamp to bucket 0).
     pub fn record(&mut self, x: f64) {
         self.total += 1;
@@ -98,6 +119,27 @@ mod tests {
         let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
         assert_eq!(counts[0], 2);
         assert_eq!(counts[9], 1);
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        let mut h = Histogram::new(10.0, 10);
+        for i in 0..50 {
+            h.record(f64::from(i) * 0.3);
+        }
+        // Same geometry: bucket storage is reused.
+        h.reset(10.0, 10);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!(h.buckets().all(|(_, c)| c == 0));
+        // Changed geometry: widths and bucket count follow the new shape.
+        h.reset(20.0, 5);
+        h.record(19.9);
+        h.record(20.0);
+        let fresh_counts: Vec<u64> = Histogram::new(20.0, 5).buckets().map(|(_, c)| c).collect();
+        assert_eq!(fresh_counts.len(), 5);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets().map(|(_, c)| c).sum::<u64>(), 1);
     }
 
     #[test]

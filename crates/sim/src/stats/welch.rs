@@ -67,6 +67,41 @@ pub fn suggest_truncation(smoothed: &[f64], tolerance: f64) -> Option<usize> {
     })
 }
 
+/// Welch's two-sample t statistic and Welch–Satterthwaite degrees of
+/// freedom for comparing two means from `(mean, sample variance, n)`
+/// summaries with unequal variances. Used to cross-check the single-run
+/// batch-means estimator against independent replications: a |t| below
+/// the critical value means the two estimators agree.
+///
+/// Degenerate case: with both variances zero the statistic is 0 when the
+/// means coincide and ±∞ otherwise (df reported as 1).
+///
+/// # Panics
+/// Panics unless both sides have at least two samples.
+pub fn welch_t(mean_a: f64, var_a: f64, n_a: u64, mean_b: f64, var_b: f64, n_b: u64) -> (f64, f64) {
+    assert!(
+        n_a >= 2 && n_b >= 2,
+        "Welch's t needs at least two samples per side"
+    );
+    let sa = var_a / n_a as f64;
+    let sb = var_b / n_b as f64;
+    let se2 = sa + sb;
+    // lint:allow(D003): exact-zero variance is the degenerate branch
+    if se2 == 0.0 {
+        let diff = mean_a - mean_b;
+        // lint:allow(D003): identical means with no spread — t is 0
+        let t = if diff == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY.copysign(diff)
+        };
+        return (t, 1.0);
+    }
+    let t = (mean_a - mean_b) / se2.sqrt();
+    let df = se2 * se2 / (sa * sa / (n_a - 1) as f64 + sb * sb / (n_b - 1) as f64);
+    (t, df)
+}
+
 /// One-call Welch procedure: replication series → suggested truncation
 /// index (in observation units), or `None` if undecidable.
 pub fn welch_warmup(series: &[Vec<f64>], window: usize, tolerance: f64) -> Option<usize> {
@@ -148,5 +183,38 @@ mod tests {
         let reps = vec![vec![1.0, 2.0, 3.0]];
         assert_eq!(welch_warmup(&reps, 1, 0.05), None);
         assert_eq!(welch_warmup(&[], 1, 0.05), None);
+    }
+
+    #[test]
+    fn welch_t_known_value() {
+        // Textbook case: means 10 vs 12, variances 4 and 9, n = 20 each.
+        // se² = 4/20 + 9/20 = 0.65; t = -2 / sqrt(0.65) ≈ -2.4807.
+        let (t, df) = welch_t(10.0, 4.0, 20, 12.0, 9.0, 20);
+        assert!((t + 2.480_694).abs() < 1e-5, "t = {t}");
+        // Welch–Satterthwaite: 0.65² / ((0.2² + 0.45²)/19) ≈ 33.1.
+        assert!((df - 33.1).abs() < 0.2, "df = {df}");
+    }
+
+    #[test]
+    fn welch_t_is_zero_for_identical_summaries() {
+        let (t, _) = welch_t(5.0, 2.0, 10, 5.0, 2.0, 10);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn welch_t_df_within_classical_bounds() {
+        // df lies in [min(n_a, n_b) - 1, n_a + n_b - 2].
+        let (_, df) = welch_t(1.0, 1.0, 5, 2.0, 50.0, 30);
+        assert!((4.0..=33.0).contains(&df), "df = {df}");
+    }
+
+    #[test]
+    fn welch_t_degenerate_variances() {
+        let (t, _) = welch_t(3.0, 0.0, 4, 3.0, 0.0, 4);
+        assert_eq!(t, 0.0);
+        let (t, _) = welch_t(4.0, 0.0, 4, 3.0, 0.0, 4);
+        assert_eq!(t, f64::INFINITY);
+        let (t, _) = welch_t(2.0, 0.0, 4, 3.0, 0.0, 4);
+        assert_eq!(t, f64::NEG_INFINITY);
     }
 }

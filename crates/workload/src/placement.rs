@@ -128,6 +128,15 @@ impl std::fmt::Display for Placement {
 /// table computes each `nu` once, lazily, and answers repeats with an
 /// array load. Entries are exactly the function's own outputs, so
 /// memoization cannot change any simulated result.
+///
+/// The table is bounded by [`LocksMemo::MAX_ENTRIES`] so a 10⁷-entity
+/// domain with 10⁵-entity transactions doesn't allocate a 10⁵-slot table
+/// per sweep point (or thrash one). The bound is aligned with
+/// [`crate::yao::YAO_PRODUCT_MAX_D`]: any `nu` that can reach the `O(nu)`
+/// running-product path (`dbsize <= YAO_PRODUCT_MAX_D`, hence
+/// `nu <= dbsize <= YAO_PRODUCT_MAX_D`) always fits in the memo, while
+/// lookups beyond the bound only ever fall back to the `O(1)` closed-form
+/// evaluation — the fallback is never the expensive path.
 #[derive(Clone, Debug)]
 pub struct LocksMemo {
     placement: Placement,
@@ -140,7 +149,13 @@ pub struct LocksMemo {
 }
 
 impl LocksMemo {
-    /// A memo table for transactions of up to `max_nu` entities.
+    /// Upper bound on memoized `nu` slots: `YAO_PRODUCT_MAX_D + 1`, so
+    /// every `nu` the running-product path can see is memoized, and
+    /// unmemoized lookups are all `O(1)` closed-form calls.
+    pub const MAX_ENTRIES: usize = crate::yao::YAO_PRODUCT_MAX_D as usize + 1;
+
+    /// A memo table for transactions of up to `max_nu` entities (capped
+    /// at [`LocksMemo::MAX_ENTRIES`] slots).
     ///
     /// # Panics
     /// Panics (on first lookup) under the same conditions as
@@ -150,7 +165,7 @@ impl LocksMemo {
             placement,
             ltot,
             dbsize,
-            cache: vec![0; (max_nu as usize).saturating_add(1)],
+            cache: vec![0; (max_nu as usize).saturating_add(1).min(Self::MAX_ENTRIES)],
         }
     }
 
@@ -271,6 +286,21 @@ mod tests {
                 assert_eq!(memo.locks_required(nu), p.locks_required(nu, 100, DB));
                 assert_eq!(memo.locks_required(nu), p.locks_required(nu, 100, DB));
             }
+        }
+    }
+
+    #[test]
+    fn memo_is_bounded_at_capacity_scale() {
+        // A 10⁷-entity domain must not allocate a 10⁷-slot table, and
+        // beyond-bound lookups still agree with the direct computation.
+        let (ltot, db) = (1_000_000u64, 10_000_000u64);
+        let mut memo = LocksMemo::new(Placement::Random, ltot, db, db);
+        assert_eq!(memo.cache.len(), LocksMemo::MAX_ENTRIES);
+        for nu in [1u64, 65_535, 65_536, 65_537, 100_000, db] {
+            let direct = Placement::Random.locks_required(nu, ltot, db);
+            // Twice: fill (or fallback), then repeat.
+            assert_eq!(memo.locks_required(nu), direct, "nu={nu}");
+            assert_eq!(memo.locks_required(nu), direct, "nu={nu}");
         }
     }
 

@@ -41,6 +41,12 @@ cargo test --offline --workspace -q
 echo "== determinism under parallelism (jobs = 1/2/8 byte-identical)"
 cargo test --offline -q --test parallel_determinism
 
+echo "== capacity smoke (scaled-down bench_capacity, single pass per point)"
+# One iteration of each capacity point at the quick scale: proves the
+# 10⁷-entity code paths (arena reuse, ln-gamma Yao routing, batch-means
+# collection) still complete, independent of the timing smoke below.
+LOCKGRAN_BENCH_QUICK=1 cargo bench --offline -p lockgran-bench --bench bench_capacity -- --test
+
 echo "== bench smoke (quick scale, diff vs committed baseline)"
 LOCKGRAN_BENCH_QUICK=1 LOCKGRAN_BENCH_THRESHOLD=10000 scripts/bench.sh
 

@@ -1,0 +1,120 @@
+//! Batch-means response-time statistics: cross-checks at paper scale.
+//!
+//! The engine estimates the steady-state mean response time two ways:
+//!
+//! * **cross-replication** — independent runs, one `response_time` each,
+//!   aggregated by a [`Tally`] (the harness's historical method);
+//! * **batch means** — a single long run, consecutive completions grouped
+//!   into doubling batches ([`BatchMeans`]), surfaced per run as
+//!   `RunMetrics::response_ci95_batch` with O(1) memory at any horizon.
+//!
+//! Both estimate the same quantity, so (a) rebuilding the estimator from
+//! the protocol trace must reproduce the in-run numbers *bit for bit*,
+//! and (b) a Welch two-sample test between the batch means and the
+//! replication means must not reject at paper scale.
+
+use std::collections::BTreeMap;
+
+use lockgran_core::{sim, ModelConfig, TraceEvent};
+use lockgran_sim::stats::welch::welch_t;
+use lockgran_sim::{BatchMeans, Tally, Time};
+
+/// Paper Table 1 with a warm-up and a horizon long enough for dozens of
+/// completed batches.
+fn cfg() -> ModelConfig {
+    ModelConfig::table1().with_warmup(500.0).with_tmax(4_000.0)
+}
+
+/// Replay a traced run's measured response times through `f`, in
+/// completion order — exactly the stream `System::complete` records.
+fn measured_responses(cfg: &ModelConfig, seed: u64, mut f: impl FnMut(f64)) {
+    let (_, trace) = sim::run_traced(cfg, seed);
+    let warmup = Time::from_units(cfg.warmup);
+    let mut arrived: BTreeMap<u64, Time> = BTreeMap::new();
+    for (now, ev) in &trace.events {
+        match ev {
+            TraceEvent::Arrived { serial } => {
+                arrived.insert(*serial, *now);
+            }
+            TraceEvent::Completed { serial } if *now >= warmup => {
+                let at = arrived[serial];
+                f(now.since(at).units());
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn in_run_batch_ci_matches_external_reconstruction_bitwise() {
+    // Rebuild the production estimator (doubling mode, initial size 32,
+    // cap 64 — the constants `System` wires in) from the trace and hold
+    // the surfaced metrics to bit-identity.
+    let cfg = cfg();
+    let metrics = sim::run(&cfg, 4242);
+    let mut bm = BatchMeans::with_doubling(32, 64);
+    let mut tally = Tally::new();
+    measured_responses(&cfg, 4242, |resp| {
+        bm.record(resp);
+        tally.record(resp);
+    });
+    assert!(metrics.response_batches >= 4, "too few batches to test");
+    assert_eq!(metrics.response_batches, bm.batches());
+    assert_eq!(
+        metrics.response_ci95_batch.to_bits(),
+        bm.ci95_half_width().to_bits(),
+        "in-run batch CI diverged from the trace reconstruction"
+    );
+    // The plain tally over the same stream is the surfaced mean.
+    assert_eq!(metrics.response_time.to_bits(), tally.mean().to_bits());
+    // And the batch grand mean (partial batch excluded) stays close to it.
+    let rel = (bm.mean() - tally.mean()).abs() / tally.mean();
+    assert!(rel < 0.05, "batch mean off by {rel} from sample mean");
+}
+
+#[test]
+fn batch_means_agree_with_cross_replication_welch() {
+    // Side A: batch means from one long run. Side B: eight independent
+    // replications' response-time means. A Welch t between them must not
+    // reject (the seeds are fixed, so this is deterministic).
+    let cfg = cfg();
+    let mut bm = BatchMeans::with_doubling(32, 64);
+    measured_responses(&cfg, 7, |resp| bm.record(resp));
+    assert!(bm.batches() >= 8, "only {} batches", bm.batches());
+
+    let mut reps = Tally::new();
+    for seed in 100..108 {
+        reps.record(sim::run(&cfg, seed).response_time);
+    }
+
+    let (t, df) = welch_t(
+        bm.mean(),
+        bm.variance(),
+        bm.batches(),
+        reps.mean(),
+        reps.variance(),
+        reps.count(),
+    );
+    assert!(df >= 2.0, "degenerate Welch df {df}");
+    assert!(
+        t.abs() < 3.0,
+        "batch-means estimate disagrees with replications: t={t}, df={df}, \
+         batch mean {} vs replication mean {}",
+        bm.mean(),
+        reps.mean()
+    );
+
+    // The two intervals for the same steady-state mean must overlap.
+    let (lo_a, hi_a) = (
+        bm.mean() - bm.ci95_half_width(),
+        bm.mean() + bm.ci95_half_width(),
+    );
+    let (lo_b, hi_b) = (
+        reps.mean() - reps.ci95_half_width(),
+        reps.mean() + reps.ci95_half_width(),
+    );
+    assert!(
+        lo_a <= hi_b && lo_b <= hi_a,
+        "disjoint CIs: batch [{lo_a}, {hi_a}] vs replication [{lo_b}, {hi_b}]"
+    );
+}

@@ -79,3 +79,31 @@ fn table1_steady_state_allocates_nothing() {
     let metrics = system.finish(end);
     assert!(metrics.totcom > 0, "no transactions completed");
 }
+
+/// Arena reuse audit: the second run through a [`RunArena`] must get by
+/// on a small, `ntrans`-independent allocation budget. The first run
+/// builds the slab, the conflict tables, the FEL buckets and every
+/// scratch buffer; the reset keeps all of it, so run two only pays for
+/// the few structures rebuilt per reset (the response histogram and the
+/// per-processor server vector — O(npros + histogram buckets), not
+/// O(ntrans) or O(events)).
+#[test]
+fn arena_second_run_allocates_a_small_fraction_of_the_first() {
+    let cfg = ModelConfig::table1().with_tmax(1_500.0);
+    let mut arena = lockgran_core::RunArena::new();
+
+    let before_first = HEAP_ACQUISITIONS.load(Ordering::Relaxed);
+    let first = arena.run(&cfg, 7);
+    let after_first = HEAP_ACQUISITIONS.load(Ordering::Relaxed);
+
+    let second = arena.run(&cfg, 8);
+    let after_second = HEAP_ACQUISITIONS.load(Ordering::Relaxed);
+
+    assert!(first.totcom > 0 && second.totcom > 0);
+    let cold = after_first - before_first;
+    let warm = after_second - after_first;
+    assert!(
+        warm * 10 <= cold,
+        "arena reuse saved too little: cold run {cold} acquisitions, warm run {warm}"
+    );
+}

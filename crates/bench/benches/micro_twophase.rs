@@ -1,0 +1,102 @@
+//! Micro-bench: the incremental 2PL scheduler's hot paths.
+//!
+//! Every transaction in twophase mode claims its granules one
+//! `acquire` call at a time, so the per-lock grant is the inner loop of
+//! the extI sweeps; the contended paths — block/wake on a release, and
+//! waits-for cycle detection with a victim abort — price the protocol's
+//! deadlock machinery.
+
+use lockgran_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lockgran_lockmgr::{
+    AcquireOutcome, GranuleId, LockMode, RetryOutcome, TwoPhaseScheduler, TxnId,
+};
+
+const LTOT: u64 = 5000;
+
+/// Disjoint granule runs, one per transaction, so every claim is granted.
+fn granule_run(txn: u64, locks: u64) -> Vec<u64> {
+    let start = (txn * locks) % (LTOT - locks);
+    (start..start + locks).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twophase");
+
+    for &locks in &[4u64, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("incremental_cycle", locks),
+            &locks,
+            |b, &locks| {
+                // Uncontended claim-as-needed lifecycle: `locks` grants
+                // one at a time, then one release.
+                let mut s = TwoPhaseScheduler::new();
+                let mut serial = 0u64;
+                b.iter(|| {
+                    let txn = TxnId(serial);
+                    serial += 1;
+                    for g in granule_run(serial, locks) {
+                        black_box(s.acquire(txn, GranuleId(g), LockMode::X));
+                    }
+                    black_box(s.release(txn).len());
+                });
+            },
+        );
+    }
+
+    group.bench_function("blocked_wake", |b| {
+        // A holder pins a granule; a waiter queues behind it and is
+        // granted at release — the block/wake path of the protocol.
+        let mut serial = 0u64;
+        b.iter(|| {
+            let mut s = TwoPhaseScheduler::new();
+            let holder = TxnId(serial);
+            let waiter = TxnId(serial + 1);
+            serial += 2;
+            let g = GranuleId(7);
+            black_box(s.acquire(holder, g, LockMode::X));
+            black_box(s.acquire(waiter, g, LockMode::X));
+            let woken = s.release(holder);
+            debug_assert_eq!(woken, vec![waiter]);
+            black_box(s.release(waiter).len());
+        });
+    });
+
+    group.bench_function("deadlock_detect_abort", |b| {
+        // Two transactions claim the same pair in opposite orders: the
+        // second claim of the younger closes a cycle, it self-aborts and
+        // the survivor is granted. Prices edge insertion, cycle search
+        // and the victim teardown.
+        let mut serial = 0u64;
+        b.iter(|| {
+            let mut s = TwoPhaseScheduler::new();
+            let old = TxnId(serial);
+            let young = TxnId(serial + 1);
+            serial += 2;
+            let (ga, gb) = (GranuleId(0), GranuleId(1));
+            black_box(s.acquire(old, ga, LockMode::X));
+            black_box(s.acquire(young, gb, LockMode::X));
+            black_box(s.acquire(old, gb, LockMode::X)); // old waits on young
+            let out = s.acquire(young, ga, LockMode::X); // closes the cycle
+            debug_assert!(matches!(
+                out,
+                AcquireOutcome::Deadlock {
+                    retry: RetryOutcome::SelfAborted,
+                    ..
+                }
+            ));
+            black_box(out);
+            black_box(s.release(old).len());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -93,14 +93,22 @@ pub enum ConflictMode {
     /// hierarchy: IS/IX intention locks above S/X leaf locks, with
     /// optional lock escalation (see [`HierarchySpec`]).
     Hierarchical,
+    /// Incremental two-phase locking: locks are claimed one at a time as
+    /// the lock phase progresses, conflicting requests queue in a real
+    /// lock table, and a waits-for graph detects deadlock cycles — the
+    /// youngest transaction on each cycle aborts and replays its lock
+    /// phase. The non-conservative counterpart of the paper's predeclared
+    /// protocol (extension).
+    Twophase,
 }
 
 impl ConflictMode {
     /// All modes.
-    pub const ALL: [ConflictMode; 3] = [
+    pub const ALL: [ConflictMode; 4] = [
         ConflictMode::Probabilistic,
         ConflictMode::Explicit,
         ConflictMode::Hierarchical,
+        ConflictMode::Twophase,
     ];
 
     /// Short lowercase name used in reports and CLI arguments.
@@ -109,6 +117,7 @@ impl ConflictMode {
             ConflictMode::Probabilistic => "probabilistic",
             ConflictMode::Explicit => "explicit",
             ConflictMode::Hierarchical => "hierarchical",
+            ConflictMode::Twophase => "twophase",
         }
     }
 }
@@ -120,6 +129,7 @@ impl ToJson for ConflictMode {
                 ConflictMode::Probabilistic => "Probabilistic",
                 ConflictMode::Explicit => "Explicit",
                 ConflictMode::Hierarchical => "Hierarchical",
+                ConflictMode::Twophase => "Twophase",
             }
             .to_string(),
         )
@@ -133,8 +143,9 @@ impl FromJson for ConflictMode {
             Some("Probabilistic") => Ok(ConflictMode::Probabilistic),
             Some("Explicit") => Ok(ConflictMode::Explicit),
             Some("Hierarchical") => Ok(ConflictMode::Hierarchical),
+            Some("Twophase") => Ok(ConflictMode::Twophase),
             _ => Err(format!(
-                "expected conflict mode (Probabilistic|Explicit|Hierarchical), got {v}"
+                "expected conflict mode (Probabilistic|Explicit|Hierarchical|Twophase), got {v}"
             )),
         }
     }
@@ -148,8 +159,9 @@ impl std::str::FromStr for ConflictMode {
             "probabilistic" | "prob" => Ok(ConflictMode::Probabilistic),
             "explicit" | "table" => Ok(ConflictMode::Explicit),
             "hierarchical" | "hier" => Ok(ConflictMode::Hierarchical),
+            "twophase" | "2pl" => Ok(ConflictMode::Twophase),
             other => Err(format!(
-                "unknown conflict mode '{other}' (probabilistic|explicit|hierarchical)"
+                "unknown conflict mode '{other}' (probabilistic|explicit|hierarchical|twophase)"
             )),
         }
     }
@@ -709,8 +721,9 @@ impl ModelConfig {
             h.validate()?;
             if self.conflict == ConflictMode::Probabilistic {
                 return Err(
-                    "hot-spot skew requires a lock-table conflict model (explicit or \
-                     hierarchical): the probabilistic partition draw assumes uniform access"
+                    "hot-spot skew requires a lock-table conflict model (explicit, \
+                     hierarchical, or twophase): the probabilistic partition draw assumes \
+                     uniform access"
                         .into(),
                 );
             }
@@ -877,7 +890,32 @@ mod tests {
             "hierarchical".parse::<ConflictMode>().unwrap(),
             ConflictMode::Hierarchical
         );
+        assert_eq!(
+            "twophase".parse::<ConflictMode>().unwrap(),
+            ConflictMode::Twophase
+        );
+        assert_eq!(
+            "2pl".parse::<ConflictMode>().unwrap(),
+            ConflictMode::Twophase
+        );
         assert!("fuzzy".parse::<ConflictMode>().is_err());
+    }
+
+    #[test]
+    fn twophase_json_round_trip_and_hot_spot() {
+        let c = ModelConfig::table1()
+            .with_conflict(ConflictMode::Twophase)
+            .with_hot_spot(Some(HotSpot::eighty_twenty()));
+        assert!(c.validate().is_ok());
+        let text = c.to_json().to_string_compact();
+        let back = ModelConfig::from_json(&lockgran_sim::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, c);
+        // Hierarchy parameters still belong to the hierarchical mode only.
+        assert!(ModelConfig::table1()
+            .with_conflict(ConflictMode::Twophase)
+            .with_hierarchy(Some(HierarchySpec::default()))
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub enum ConflictDecision {
     Granted,
     /// Blocked; the named active transaction will wake it on completion.
     BlockedBy(TxnSerial),
+    /// The requester itself was aborted as a deadlock victim during this
+    /// attempt (incremental 2PL only): its partial locks were released
+    /// and it must replay its lock phase from scratch. Conservative
+    /// protocols never return this — predeclared locking cannot
+    /// deadlock.
+    Aborted,
 }
 
 /// Protocol statistics a [`ConcurrencyControl`] implementation
@@ -72,6 +78,10 @@ pub struct CcStats {
     pub escalations: u64,
     /// Intention locks (IS/IX) granted on non-leaf hierarchy nodes.
     pub intent_locks: u64,
+    /// Deadlock victims aborted (incremental 2PL only; each broken
+    /// waits-for cycle aborts exactly one victim, so this is also the
+    /// number of cycles broken).
+    pub deadlocks: u64,
 }
 
 /// How a protocol materializes a transaction's declared granule set
@@ -160,6 +170,17 @@ pub trait ConcurrencyControl {
     /// in wake order, to `woken` (which the caller clears and reuses).
     fn release(&mut self, txn: TxnSerial, woken: &mut Vec<TxnSerial>);
 
+    /// Drain the side effects of deadlock resolution performed inside the
+    /// most recent `try_acquire` call(s): transactions aborted as victims
+    /// (they must replay their lock phase) are appended to `aborted`, and
+    /// queued transactions granted by the victims' lock releases are
+    /// appended to `woken`. Every transaction named here was blocked from
+    /// the caller's point of view. The default is a no-op — conservative
+    /// protocols never deadlock, so they have no effects to report.
+    fn drain_deadlock_effects(&mut self, aborted: &mut Vec<TxnSerial>, woken: &mut Vec<TxnSerial>) {
+        let _ = (aborted, woken);
+    }
+
     /// Number of currently active (lock-holding) transactions.
     fn active_count(&self) -> usize;
 
@@ -199,6 +220,9 @@ pub fn build_concurrency_control(cfg: &ModelConfig) -> Box<dyn ConcurrencyContro
         ConflictMode::Hierarchical => Box::new(crate::hierarchical::HierarchicalConflict::new(
             AccessSampler::from_config(cfg),
             cfg.hierarchy_spec(),
+        )),
+        ConflictMode::Twophase => Box::new(crate::twophase::TwoPhaseConflict::new(
+            AccessSampler::from_config(cfg),
         )),
     }
 }

@@ -18,6 +18,10 @@
 //! * [`hierarchical`] — Gray's multigranularity protocol (database → area
 //!   → granule with IS/IX intention locks and lock escalation) as a third
 //!   conflict model, the production shape of the granularity trade-off.
+//! * [`twophase`] — incremental (claim-as-needed) two-phase locking with
+//!   waits-for deadlock detection and youngest-victim abort as a fourth
+//!   conflict model, re-examining the Ries & Stonebraker claim the paper
+//!   leans on.
 //! * [`transaction`] — per-transaction runtime state (`NU_i`, `LU_i`,
 //!   `PU_i`, fork/join bookkeeping).
 //! * [`system`] — the event-driven model itself: lock phase shared across
@@ -56,6 +60,7 @@ pub mod system;
 pub mod timeline;
 pub mod trace;
 pub mod transaction;
+pub mod twophase;
 
 pub use config::{
     ConflictMode, HierarchySpec, LockDistribution, ModelConfig, QueueDiscipline, ServiceVariability,
@@ -71,3 +76,4 @@ pub use sim::RunArena;
 pub use timeline::{TimelineCollector, TimelinePoint};
 pub use trace::{NullTracer, TraceEvent, Tracer, VecTracer};
 pub use transaction::{Transaction, TxnPhase};
+pub use twophase::TwoPhaseConflict;

@@ -63,9 +63,10 @@ pub struct RunMetrics {
     pub response_time_p95: f64,
     /// Mean number of lock request attempts per completed transaction.
     pub attempts_per_txn: f64,
-    /// Transactions aborted because a processor hosting one of their
-    /// sub-transactions failed (failure extension; 0 without a
-    /// `FailureSpec`).
+    /// Transactions aborted within the measurement window: processor
+    /// failures killing a running transaction (failure extension) plus
+    /// 2PL deadlock victims (twophase conflict model). 0 without either
+    /// extension active.
     pub aborts: u64,
     /// Processor failure events within the measurement window (failure
     /// extension; 0 without a `FailureSpec`).
@@ -76,6 +77,10 @@ pub struct RunMetrics {
     /// Intention locks (`IS`/`IX`/`SIX`) granted within the measurement
     /// window (hierarchical conflict model only; 0 otherwise).
     pub intent_locks: u64,
+    /// Waits-for cycles broken within the measurement window, each by
+    /// aborting its youngest transaction (twophase conflict model only;
+    /// 0 otherwise). Every deadlock victim is also counted in `aborts`.
+    pub deadlocks: u64,
     /// 95% CI half-width of the mean response time from the in-run
     /// batch-means estimator (0 until at least two batches close). Unlike
     /// the cross-replication CI this needs a single run, with O(1) memory
@@ -113,6 +118,7 @@ impl ToJson for RunMetrics {
             ("failures", self.failures.to_json()),
             ("escalations", self.escalations.to_json()),
             ("intent_locks", self.intent_locks.to_json()),
+            ("deadlocks", self.deadlocks.to_json()),
             ("response_ci95_batch", self.response_ci95_batch.to_json()),
             ("response_batches", self.response_batches.to_json()),
         ])
@@ -155,6 +161,9 @@ impl RunMetrics {
         }
         if self.lock_denials > self.lock_attempts {
             return Err("more denials than attempts".into());
+        }
+        if self.deadlocks > self.aborts {
+            return Err("more deadlock victims than aborts".into());
         }
         if !(0.0..=1.0 + 1e-9).contains(&self.cpu_utilization) {
             return Err(format!(

@@ -210,6 +210,11 @@ pub struct System {
     /// each completion, so the hot loop never allocates for waking.
     /// Entries are slab slots (the conflict models key by slot).
     wake_buf: Vec<u64>,
+    /// Reusable deadlock-effect buffers (incremental 2PL only): victims
+    /// aborted and third parties granted inside `try_acquire`, drained
+    /// after every admission attempt. Entries are slab slots.
+    dl_aborted_buf: Vec<u64>,
+    dl_woken_buf: Vec<u64>,
     /// Reusable per-processor lock-overhead share buffers (CPU, I/O).
     lock_cpu_buf: Vec<Dur>,
     lock_io_buf: Vec<Dur>,
@@ -291,6 +296,8 @@ impl System {
             aborts: 0,
             failures: 0,
             wake_buf: Vec::new(),
+            dl_aborted_buf: Vec::new(),
+            dl_woken_buf: Vec::new(),
             lock_cpu_buf: Vec::new(),
             lock_io_buf: Vec::new(),
             io_share_buf: Vec::new(),
@@ -398,6 +405,8 @@ impl System {
         self.aborts = 0;
         self.failures = 0;
         self.wake_buf.clear();
+        self.dl_aborted_buf.clear();
+        self.dl_woken_buf.clear();
         self.lock_cpu_buf.clear();
         self.lock_io_buf.clear();
         self.io_share_buf.clear();
@@ -692,7 +701,65 @@ impl System {
                 self.blocked_count += 1;
                 self.blocked_tw.record(now, f64::from(self.blocked_count));
             }
+            ConflictDecision::Aborted => {
+                // Incremental 2PL only: the requester itself was chosen as
+                // the deadlock victim mid-attempt. It never held a full
+                // grant, keeps its admission slot and arrival time, and
+                // replays the lock phase as a fresh attempt (the repeated
+                // lock overhead is charged again).
+                self.trace(now, TraceEvent::DeadlockAborted { serial });
+                if self.measuring(now) {
+                    self.aborts += 1;
+                }
+                self.begin_lock_phase(now, slot, ex);
+            }
         }
+        self.apply_deadlock_effects(now, ex);
+    }
+
+    /// Pick up the side effects of deadlock resolution performed inside
+    /// the conflict model during `decide` (incremental 2PL only —
+    /// conservative protocols never produce any): victims abort out of
+    /// their blocked wait and replay their lock phase; third parties
+    /// granted by the victims' lock releases wake. The requester's own
+    /// transition was already handled by `decide`, so every transaction
+    /// named here is `Blocked` — with zero-cost locking the replays and
+    /// wakes recurse straight into `decide`, and that invariant is what
+    /// keeps nested deadlock resolution (which drains these same buffers
+    /// in the inner frame) from touching a transaction whose decision is
+    /// still pending on the stack.
+    fn apply_deadlock_effects(&mut self, now: Time, ex: &mut Executor<Event>) {
+        let mut aborted = std::mem::take(&mut self.dl_aborted_buf);
+        let mut woken = std::mem::take(&mut self.dl_woken_buf);
+        aborted.clear();
+        woken.clear();
+        self.conflict
+            .drain_deadlock_effects(&mut aborted, &mut woken);
+        for &v in &aborted {
+            let v = v as u32;
+            debug_assert_eq!(self.txn(v).phase, TxnPhase::Blocked);
+            let serial = self.txn(v).serial;
+            self.trace(now, TraceEvent::DeadlockAborted { serial });
+            if self.measuring(now) {
+                self.aborts += 1;
+            }
+            self.blocked_count -= 1;
+            self.blocked_tw.record(now, f64::from(self.blocked_count));
+            self.begin_lock_phase(now, v, ex);
+        }
+        for &w in &woken {
+            let w = w as u32;
+            debug_assert_eq!(self.txn(w).phase, TxnPhase::Blocked);
+            let serial = self.txn(w).serial;
+            self.trace(now, TraceEvent::Woken { serial });
+            self.blocked_count -= 1;
+            self.blocked_tw.record(now, f64::from(self.blocked_count));
+            self.begin_lock_phase(now, w, ex);
+        }
+        aborted.clear();
+        woken.clear();
+        self.dl_aborted_buf = aborted;
+        self.dl_woken_buf = woken;
     }
 
     /// Fork the admitted transaction into `PU_i` sub-transactions and
@@ -1040,6 +1107,7 @@ impl System {
             failures: self.failures - self.snapshot.failures,
             escalations: self.conflict.stats().escalations - self.snapshot.cc.escalations,
             intent_locks: self.conflict.stats().intent_locks - self.snapshot.cc.intent_locks,
+            deadlocks: self.conflict.stats().deadlocks - self.snapshot.cc.deadlocks,
             response_ci95_batch: self.response_batch.ci95_half_width(),
             response_batches: self.response_batch.batches(),
         }

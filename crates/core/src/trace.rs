@@ -68,6 +68,14 @@ pub enum TraceEvent {
         /// Transaction serial.
         serial: u64,
     },
+    /// A transaction still in its lock phase was aborted as the victim of
+    /// a 2PL deadlock cycle (incremental two-phase locking only): its
+    /// partial locks were released and it will replay its lock phase.
+    /// Unlike [`TraceEvent::Aborted`], the victim never held a full grant.
+    DeadlockAborted {
+        /// Transaction serial.
+        serial: u64,
+    },
     /// A processor failed; its CPU and disk stall until repair.
     Failed {
         /// Processor index.
@@ -93,7 +101,8 @@ impl TraceEvent {
             | TraceEvent::SubIoDone { serial, .. }
             | TraceEvent::SubCpuDone { serial, .. }
             | TraceEvent::Completed { serial }
-            | TraceEvent::Aborted { serial } => Some(serial),
+            | TraceEvent::Aborted { serial }
+            | TraceEvent::DeadlockAborted { serial } => Some(serial),
             TraceEvent::Failed { .. } | TraceEvent::Repaired { .. } => None,
         }
     }
@@ -201,6 +210,18 @@ impl VecTracer {
                         }
                         aborted += 1;
                         holding = false;
+                        last_was_denied = false;
+                        io_procs.clear();
+                    }
+                    DeadlockAborted { .. } => {
+                        // A deadlock victim was still acquiring: it never
+                        // held a full grant, so this neither counts as an
+                        // execution abort nor requires holding locks.
+                        if holding {
+                            return Err(format!(
+                                "txn {serial}: deadlock abort while holding a full grant"
+                            ));
+                        }
                         last_was_denied = false;
                         io_procs.clear();
                     }
@@ -481,6 +502,121 @@ mod tests {
         assert_eq!(TraceEvent::Failed { proc: 3 }.serial(), None);
         assert_eq!(TraceEvent::Repaired { proc: 3 }.serial(), None);
         assert_eq!(TraceEvent::Aborted { serial: 9 }.serial(), Some(9));
+        assert_eq!(TraceEvent::DeadlockAborted { serial: 9 }.serial(), Some(9));
+    }
+
+    #[test]
+    fn protocol_accepts_deadlock_abort_and_replay() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        // Victim lifecycle: denied, then aborted while blocked (instead of
+        // woken), then a full replay of the lock phase. Exactly one grant.
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
+            Denied {
+                serial: 1,
+                blocker: 9,
+            },
+            DeadlockAborted { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 2,
+            },
+            Granted { serial: 1 },
+            SubIoDone { serial: 1, proc: 0 },
+            SubCpuDone { serial: 1, proc: 0 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        tr.check_protocol().unwrap();
+    }
+
+    #[test]
+    fn protocol_accepts_requester_self_abort_without_denial() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        // The requester itself can be the victim mid-attempt: the abort
+        // arrives with no preceding denial and replays immediately.
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
+            DeadlockAborted { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 2,
+            },
+            Granted { serial: 1 },
+            SubIoDone { serial: 1, proc: 0 },
+            SubCpuDone { serial: 1, proc: 0 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        tr.check_protocol().unwrap();
+    }
+
+    #[test]
+    fn protocol_rejects_deadlock_abort_while_holding() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
+            Granted { serial: 1 },
+            DeadlockAborted { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 2,
+            },
+            Granted { serial: 1 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        assert!(tr
+            .check_protocol()
+            .unwrap_err()
+            .contains("deadlock abort while holding"));
+    }
+
+    #[test]
+    fn protocol_rejects_wake_after_deadlock_abort() {
+        use TraceEvent::*;
+        let mut tr = VecTracer::default();
+        // The abort cancels the pending wait: a Woken with no fresh
+        // denial afterwards is a protocol violation.
+        for e in [
+            Arrived { serial: 1 },
+            LockRequested {
+                serial: 1,
+                attempt: 1,
+            },
+            Denied {
+                serial: 1,
+                blocker: 9,
+            },
+            DeadlockAborted { serial: 1 },
+            Woken { serial: 1 },
+            Granted { serial: 1 },
+            Completed { serial: 1 },
+        ] {
+            tr.record(t(0.0), e);
+        }
+        assert!(tr
+            .check_protocol()
+            .unwrap_err()
+            .contains("woken without denial"));
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! Incremental two-phase locking conflict model (extension).
+//!
+//! The paper simulates only the conservative protocol — every lock is
+//! pre-declared and acquired before any resource work, so deadlock is
+//! impossible — and cites Ries & Stonebraker's claim that "claim as
+//! needed" locking did not change their conclusions. This model lets that
+//! claim be re-examined on the multiprocessor model: the transaction's
+//! declared granule set is still sampled up front (the lock *phase* is
+//! unchanged), but the locks are claimed **one at a time** against a real
+//! lock table ([`lockgran_lockmgr::TwoPhaseScheduler`]). A conflict
+//! queues the request instead of failing the whole set; a waits-for
+//! cycle aborts the youngest transaction on it, which releases its
+//! partial locks and replays its lock phase from scratch.
+//!
+//! ## Slot recycling and victim age
+//!
+//! The system model keys conflict calls by slab slot, and slots recycle
+//! as transactions complete. Youngest-victim selection needs *ages*, so
+//! this model assigns each transaction a monotone internal id at its
+//! first `try_acquire` (spawn order equals age order) and keeps the id
+//! across deadlock replays — a victim does not become "young again" by
+//! being aborted, which would let it be victimized forever.
+//!
+//! ## Effects channel
+//!
+//! Breaking a deadlock inside `try_acquire` can abort *other* (blocked)
+//! transactions and grant queued requests of third parties. Those side
+//! effects cannot be expressed in the single [`ConflictDecision`] return
+//! value, so they are buffered here and handed to the system model
+//! through [`ConcurrencyControl::drain_deadlock_effects`] after every
+//! attempt.
+
+use std::collections::BTreeMap;
+
+use lockgran_lockmgr::{
+    AcquireOutcome, GranuleId, LockMode, RetryOutcome, TwoPhaseScheduler, TxnId,
+};
+use lockgran_sim::SimRng;
+
+use crate::config::{ConflictMode, ModelConfig};
+use crate::conflict::{AccessSampler, CcStats, ConcurrencyControl, ConflictDecision, TxnSerial};
+
+/// Lock-acquisition progress of one in-flight transaction.
+#[derive(Debug)]
+struct Progress {
+    /// Internal monotone age id (see module docs on slot recycling).
+    id: u64,
+    /// Declared granule set, locked left to right.
+    set: Vec<u64>,
+    /// Locks currently held: exactly `set[..cursor]`.
+    cursor: usize,
+}
+
+/// Conflict model running incremental (claim-as-needed) two-phase
+/// locking with deadlock detection.
+pub struct TwoPhaseConflict {
+    scheduler: TwoPhaseScheduler,
+    /// Declared-access sampler (required for `register_access`; unit
+    /// tests that feed granule sets directly never call it).
+    sampler: Option<AccessSampler>,
+    /// Next internal age id (never reused within a run).
+    next_id: u64,
+    /// Progress per simulator slot, present from first `try_acquire`
+    /// until `release`; survives deadlock aborts (the replay re-locks the
+    /// same saved set under the same age id).
+    progress: BTreeMap<TxnSerial, Progress>,
+    /// Reverse map: internal age id → simulator slot.
+    slot_of: BTreeMap<u64, TxnSerial>,
+    /// Fully granted (running) transactions.
+    active: usize,
+    /// Locks currently held, including the partial holdings of blocked
+    /// transactions (unlike the conservative models, a blocked 2PL
+    /// transaction holds its prefix).
+    locks_held: u64,
+    /// Deadlock victims aborted (== waits-for cycles broken).
+    deadlocks: u64,
+    /// Victims aborted inside `try_acquire`, awaiting system pickup.
+    aborted_fx: Vec<TxnSerial>,
+    /// Third parties granted by victim aborts, awaiting system pickup.
+    woken_fx: Vec<TxnSerial>,
+}
+
+impl TwoPhaseConflict {
+    /// A fresh model drawing granule sets from `sampler`.
+    pub fn new(sampler: AccessSampler) -> Self {
+        TwoPhaseConflict {
+            scheduler: TwoPhaseScheduler::new(),
+            sampler: Some(sampler),
+            next_id: 0,
+            progress: BTreeMap::new(),
+            slot_of: BTreeMap::new(),
+            active: 0,
+            locks_held: 0,
+            deadlocks: 0,
+            aborted_fx: Vec::new(),
+            woken_fx: Vec::new(),
+        }
+    }
+
+    /// Access the underlying scheduler (diagnostics).
+    pub fn scheduler(&self) -> &TwoPhaseScheduler {
+        &self.scheduler
+    }
+
+    /// The simulator slot behind an internal age id.
+    fn slot_for(&self, id: TxnId) -> TxnSerial {
+        self.slot_of[&id.0]
+    }
+
+    /// Record one granted lock for `slot`'s next granule.
+    fn advance(&mut self, slot: TxnSerial) {
+        let p = self
+            .progress
+            .get_mut(&slot)
+            // lint:allow(P001): every id the scheduler reports maps to a
+            // registered slot — grants only reach queued transactions
+            .expect("grant for unregistered transaction");
+        p.cursor += 1;
+        debug_assert!(p.cursor <= p.set.len(), "granted past the declared set");
+        self.locks_held += 1;
+    }
+}
+
+impl ConcurrencyControl for TwoPhaseConflict {
+    fn register_access(&mut self, rng: &mut SimRng, entities: u64, granules: &mut Vec<u64>) {
+        self.sampler
+            .as_ref()
+            // lint:allow(P001): the factory always attaches a sampler;
+            // calling register_access without one is a harness bug
+            .expect("twophase conflict model has no access sampler")
+            .sample_into(rng, entities, granules);
+    }
+
+    fn try_acquire(
+        &mut self,
+        txn: TxnSerial,
+        locks: u64,
+        granules: &[u64],
+        _rng: &mut SimRng,
+    ) -> ConflictDecision {
+        // First attempt registers the declared set under a fresh age id;
+        // wake-up retries and deadlock replays resume the saved entry.
+        if !self.progress.contains_key(&txn) {
+            debug_assert_eq!(
+                granules.len() as u64,
+                locks,
+                "granule set size disagrees with lock count"
+            );
+            let id = self.next_id;
+            self.next_id += 1;
+            self.progress.insert(
+                txn,
+                Progress {
+                    id,
+                    set: granules.to_vec(),
+                    cursor: 0,
+                },
+            );
+            self.slot_of.insert(id, txn);
+        }
+        loop {
+            let (id, granule) = {
+                let p = &self.progress[&txn];
+                if p.cursor == p.set.len() {
+                    break;
+                }
+                (TxnId(p.id), GranuleId(p.set[p.cursor]))
+            };
+            // The paper locks granules exclusively: any overlap conflicts.
+            match self.scheduler.acquire(id, granule, LockMode::X) {
+                AcquireOutcome::Granted => self.advance(txn),
+                AcquireOutcome::Waiting { blockers } => {
+                    return ConflictDecision::BlockedBy(self.slot_for(blockers[0]));
+                }
+                AcquireOutcome::Deadlock {
+                    victims,
+                    granted,
+                    retry,
+                } => {
+                    self.deadlocks += victims.len() as u64;
+                    for v in victims {
+                        let vslot = self.slot_for(v);
+                        let p = self
+                            .progress
+                            .get_mut(&vslot)
+                            // lint:allow(P001): victims are waiting
+                            // transactions, which are always registered
+                            .expect("victim without progress entry");
+                        // Partial locks are gone; the replay re-locks the
+                        // same set under the same age id (see module docs).
+                        self.locks_held -= p.cursor as u64;
+                        p.cursor = 0;
+                        if vslot != txn {
+                            self.aborted_fx.push(vslot);
+                        }
+                    }
+                    for g in granted {
+                        let gslot = self.slot_for(g);
+                        self.advance(gslot);
+                        self.woken_fx.push(gslot);
+                    }
+                    match retry {
+                        RetryOutcome::SelfAborted => return ConflictDecision::Aborted,
+                        RetryOutcome::Granted => self.advance(txn),
+                        RetryOutcome::StillWaiting => {
+                            let id = TxnId(self.progress[&txn].id);
+                            let blocker = self
+                                .scheduler
+                                .blockers_of(id)
+                                .next()
+                                // lint:allow(P001): under exclusive-only
+                                // locking a queued request always keeps at
+                                // least one waits-for edge (see
+                                // TwoPhaseScheduler::blockers_of)
+                                .expect("queued 2PL request with no waits-for edge");
+                            return ConflictDecision::BlockedBy(self.slot_for(blocker));
+                        }
+                    }
+                }
+            }
+        }
+        self.active += 1;
+        ConflictDecision::Granted
+    }
+
+    fn release(&mut self, txn: TxnSerial, woken: &mut Vec<TxnSerial>) {
+        let p = self
+            .progress
+            .remove(&txn)
+            .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
+        self.slot_of.remove(&p.id);
+        debug_assert_eq!(
+            p.cursor,
+            p.set.len(),
+            "release of a transaction still acquiring"
+        );
+        self.locks_held -= p.cursor as u64;
+        self.active -= 1;
+        for t in self.scheduler.release(TxnId(p.id)) {
+            let slot = self.slot_for(t);
+            self.advance(slot);
+            woken.push(slot);
+        }
+    }
+
+    fn drain_deadlock_effects(&mut self, aborted: &mut Vec<TxnSerial>, woken: &mut Vec<TxnSerial>) {
+        aborted.append(&mut self.aborted_fx);
+        woken.append(&mut self.woken_fx);
+    }
+
+    fn active_count(&self) -> usize {
+        self.active
+    }
+
+    fn locks_held(&self) -> u64 {
+        self.locks_held
+    }
+
+    fn stats(&self) -> CcStats {
+        CcStats {
+            escalations: 0,
+            intent_locks: 0,
+            deadlocks: self.deadlocks,
+        }
+    }
+
+    fn reset(&mut self, cfg: &ModelConfig) -> bool {
+        if cfg.conflict != ConflictMode::Twophase {
+            return false;
+        }
+        // The scheduler may still hold locks for transactions in flight
+        // at the horizon and exposes no bulk clear, so it is rebuilt; the
+        // maps are emptied and the effect buffers keep their capacity
+        // (an empty Vec is indistinguishable from a fresh one).
+        self.scheduler = TwoPhaseScheduler::new();
+        self.sampler = Some(AccessSampler::from_config(cfg));
+        self.next_id = 0;
+        self.progress.clear();
+        self.slot_of.clear();
+        self.active = 0;
+        self.locks_held = 0;
+        self.deadlocks = 0;
+        self.aborted_fx.clear();
+        self.woken_fx.clear();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockgran_workload::Placement;
+
+    fn sampler() -> AccessSampler {
+        AccessSampler {
+            placement: Placement::Best,
+            ltot: 100,
+            dbsize: 5000,
+            hot_spot: None,
+        }
+    }
+
+    fn model() -> TwoPhaseConflict {
+        TwoPhaseConflict::new(sampler())
+    }
+
+    fn rng() -> SimRng {
+        SimRng::new(11)
+    }
+
+    /// Collect a release's wake list (test convenience).
+    fn release_vec(m: &mut TwoPhaseConflict, txn: TxnSerial) -> Vec<TxnSerial> {
+        let mut woken = Vec::new();
+        m.release(txn, &mut woken);
+        woken
+    }
+
+    /// Drain the effect buffers (test convenience).
+    fn drain(m: &mut TwoPhaseConflict) -> (Vec<TxnSerial>, Vec<TxnSerial>) {
+        let (mut a, mut w) = (Vec::new(), Vec::new());
+        m.drain_deadlock_effects(&mut a, &mut w);
+        (a, w)
+    }
+
+    #[test]
+    fn disjoint_sets_admit_concurrently() {
+        let mut m = model();
+        let mut r = rng();
+        assert_eq!(
+            m.try_acquire(1, 3, &[0, 1, 2], &mut r),
+            ConflictDecision::Granted
+        );
+        assert_eq!(
+            m.try_acquire(2, 2, &[5, 6], &mut r),
+            ConflictDecision::Granted
+        );
+        assert_eq!(m.active_count(), 2);
+        assert_eq!(m.locks_held(), 5);
+        assert_eq!(m.stats().deadlocks, 0);
+    }
+
+    #[test]
+    fn blocked_transaction_keeps_its_partial_prefix() {
+        let mut m = model();
+        let mut r = rng();
+        let _ = m.try_acquire(1, 1, &[1], &mut r);
+        // Grants g0, then queues on g1: the prefix lock is *held*.
+        assert_eq!(
+            m.try_acquire(2, 2, &[0, 1], &mut r),
+            ConflictDecision::BlockedBy(1)
+        );
+        assert_eq!(m.active_count(), 1, "blocked txn is not active");
+        assert_eq!(m.locks_held(), 2, "partial prefix still counts as held");
+        let woken = release_vec(&mut m, 1);
+        assert_eq!(woken, vec![2]);
+        // The wake-up retry resumes the saved set (empty slice ignored).
+        assert_eq!(m.try_acquire(2, 2, &[], &mut r), ConflictDecision::Granted);
+        assert_eq!(m.locks_held(), 2);
+    }
+
+    /// Full deadlock lifecycle where the *other* transaction is youngest:
+    /// the requester's re-acquire closes the cycle, the victim's slot
+    /// lands in the abort effects, and the victim replays its saved set.
+    #[test]
+    fn deadlock_aborts_youngest_and_requester_proceeds() {
+        let mut m = model();
+        let mut r = rng();
+        // Ages: slot 10 = id 0, slot 11 = id 1, slot 12 = id 2.
+        assert_eq!(
+            m.try_acquire(10, 1, &[9], &mut r),
+            ConflictDecision::Granted
+        );
+        // Holds g0, waits g9 on slot 10.
+        assert_eq!(
+            m.try_acquire(11, 3, &[0, 9, 1], &mut r),
+            ConflictDecision::BlockedBy(10)
+        );
+        // Holds g1, waits g0 on slot 11.
+        assert_eq!(
+            m.try_acquire(12, 2, &[1, 0], &mut r),
+            ConflictDecision::BlockedBy(11)
+        );
+        // Releasing slot 10 grants g9; the retry then queues on g1 held
+        // by slot 12, closing 11 -> 12 -> 11. Slot 12 (youngest) aborts,
+        // freeing g1 for the requester: the retry is granted.
+        assert_eq!(release_vec(&mut m, 10), vec![11]);
+        assert_eq!(m.try_acquire(11, 3, &[], &mut r), ConflictDecision::Granted);
+        assert_eq!(m.stats().deadlocks, 1);
+        let (aborted, woken) = drain(&mut m);
+        assert_eq!(aborted, vec![12]);
+        assert!(woken.is_empty());
+        // A second drain is empty — effects are consumed.
+        let (aborted, woken) = drain(&mut m);
+        assert!(aborted.is_empty() && woken.is_empty());
+        // The victim replays its saved [1, 0] set and queues behind the
+        // requester, which now holds g1.
+        assert_eq!(
+            m.try_acquire(12, 2, &[], &mut r),
+            ConflictDecision::BlockedBy(11)
+        );
+        assert_eq!(release_vec(&mut m, 11), vec![12]);
+        assert_eq!(m.try_acquire(12, 2, &[], &mut r), ConflictDecision::Granted);
+        assert_eq!(m.active_count(), 1);
+        assert_eq!(m.locks_held(), 2);
+    }
+
+    /// Deadlock where the requester itself is youngest: `try_acquire`
+    /// reports `Aborted`, and the third party granted by the abort lands
+    /// in the wake effects.
+    #[test]
+    fn self_abort_reports_aborted_and_wakes_third_party() {
+        let mut m = model();
+        let mut r = rng();
+        // Ages: slot 1 = id 0, slot 2 = id 1, slot 3 = id 2, slot 4 = id 3.
+        assert_eq!(m.try_acquire(1, 1, &[0], &mut r), ConflictDecision::Granted);
+        assert_eq!(m.try_acquire(2, 1, &[9], &mut r), ConflictDecision::Granted);
+        // Holds g1, waits g0 on slot 1.
+        assert_eq!(
+            m.try_acquire(3, 3, &[1, 0, 5], &mut r),
+            ConflictDecision::BlockedBy(1)
+        );
+        // Holds g5, waits g9 on slot 2. Youngest of the future cycle.
+        assert_eq!(
+            m.try_acquire(4, 3, &[5, 9, 1], &mut r),
+            ConflictDecision::BlockedBy(2)
+        );
+        // Slot 1 releases g0: slot 3's retry advances to g5, held by
+        // slot 4 — waits (no cycle yet: 4 waits on 2).
+        assert_eq!(release_vec(&mut m, 1), vec![3]);
+        assert_eq!(
+            m.try_acquire(3, 3, &[], &mut r),
+            ConflictDecision::BlockedBy(4)
+        );
+        // Slot 2 releases g9: slot 4's retry advances to g1, held by
+        // slot 3 — cycle 3 -> 4 -> 3, youngest is the requester (slot 4).
+        // Its abort frees g5, granting slot 3's queued request.
+        assert_eq!(release_vec(&mut m, 2), vec![4]);
+        assert_eq!(m.try_acquire(4, 3, &[], &mut r), ConflictDecision::Aborted);
+        assert_eq!(m.stats().deadlocks, 1);
+        let (aborted, woken) = drain(&mut m);
+        assert!(aborted.is_empty(), "self-abort is the return value");
+        assert_eq!(woken, vec![3]);
+        // The woken transaction finishes its set; the victim replays.
+        assert_eq!(m.try_acquire(3, 3, &[], &mut r), ConflictDecision::Granted);
+        assert_eq!(
+            m.try_acquire(4, 3, &[], &mut r),
+            ConflictDecision::BlockedBy(3)
+        );
+        assert_eq!(release_vec(&mut m, 3), vec![4]);
+        assert_eq!(m.try_acquire(4, 3, &[], &mut r), ConflictDecision::Granted);
+        assert_eq!(m.active_count(), 1);
+    }
+
+    /// Victim selection uses registration age, not slot numbers: the
+    /// youngest transaction aborts even when it lives in the lowest slot
+    /// (slots recycle in the simulator).
+    #[test]
+    fn victim_age_is_registration_order_not_slot_number() {
+        let mut m = model();
+        let mut r = rng();
+        // Highest slot registers first (oldest), lowest slot last.
+        assert_eq!(
+            m.try_acquire(90, 1, &[9], &mut r),
+            ConflictDecision::Granted
+        );
+        assert_eq!(
+            m.try_acquire(70, 3, &[0, 9, 1], &mut r),
+            ConflictDecision::BlockedBy(90)
+        );
+        assert_eq!(
+            m.try_acquire(5, 2, &[1, 0], &mut r),
+            ConflictDecision::BlockedBy(70)
+        );
+        assert_eq!(release_vec(&mut m, 90), vec![70]);
+        assert_eq!(m.try_acquire(70, 3, &[], &mut r), ConflictDecision::Granted);
+        let (aborted, _) = drain(&mut m);
+        assert_eq!(aborted, vec![5], "youngest by age, lowest by slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "release of inactive")]
+    fn release_of_unknown_txn_panics() {
+        let mut m = model();
+        m.release(42, &mut Vec::new());
+    }
+
+    #[test]
+    fn reset_equals_fresh() {
+        let cfg = ModelConfig::table1().with_conflict(ConflictMode::Twophase);
+        let mut m = model();
+        let mut r = rng();
+        // Build up state including a broken deadlock with pending effects.
+        let _ = m.try_acquire(10, 1, &[9], &mut r);
+        let _ = m.try_acquire(11, 3, &[0, 9, 1], &mut r);
+        let _ = m.try_acquire(12, 2, &[1, 0], &mut r);
+        let _ = release_vec(&mut m, 10);
+        let _ = m.try_acquire(11, 3, &[], &mut r);
+        assert_eq!(m.stats().deadlocks, 1);
+        assert!(m.reset(&cfg));
+        assert_eq!(m.active_count(), 0);
+        assert_eq!(m.locks_held(), 0);
+        assert_eq!(m.stats(), CcStats::default());
+        let (aborted, woken) = drain(&mut m);
+        assert!(aborted.is_empty() && woken.is_empty());
+        // Age ids restart from zero: replay the same history and the same
+        // victim falls out.
+        let _ = m.try_acquire(10, 1, &[9], &mut r);
+        let _ = m.try_acquire(11, 3, &[0, 9, 1], &mut r);
+        let _ = m.try_acquire(12, 2, &[1, 0], &mut r);
+        let _ = release_vec(&mut m, 10);
+        assert_eq!(m.try_acquire(11, 3, &[], &mut r), ConflictDecision::Granted);
+        let (aborted, _) = drain(&mut m);
+        assert_eq!(aborted, vec![12]);
+        // A different mode forces a rebuild.
+        assert!(!m.reset(&ModelConfig::table1()));
+    }
+
+    #[test]
+    fn zero_lock_transaction_is_granted_immediately() {
+        let mut m = model();
+        let mut r = rng();
+        assert_eq!(m.try_acquire(1, 0, &[], &mut r), ConflictDecision::Granted);
+        assert_eq!(m.active_count(), 1);
+        assert_eq!(m.locks_held(), 0);
+        let _ = release_vec(&mut m, 1);
+        assert_eq!(m.active_count(), 0);
+    }
+}

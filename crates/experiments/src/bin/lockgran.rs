@@ -16,11 +16,13 @@
 //! ```
 //!
 //! Figure ids are `table1`, `fig2` … `fig12` and the extension
-//! experiments `extA` … `extH` (`all` runs the paper set, `ext` the
+//! experiments `extA` … `extI` (`all` runs the paper set, `ext` the
 //! extensions). `--conflict hierarchical` selects the multigranularity
 //! lock-table model; `--areas` sets its database → area → granule
 //! fan-out and `--escalation` its per-transaction lock-escalation
-//! threshold (`inf` = never escalate). Figure output is an aligned text table on stdout;
+//! threshold (`inf` = never escalate). `--conflict twophase` selects
+//! incremental two-phase locking with waits-for deadlock detection and
+//! youngest-victim abort. Figure output is an aligned text table on stdout;
 //! `--out DIR` also writes `<id>.txt`, `<id>.csv` and `<id>.json`
 //! artifacts. Multi-figure runs are fault-isolated: a figure that
 //! panics is reported in an end-of-run summary (and the exit code is
@@ -51,13 +53,13 @@ fn main() -> ExitCode {
 // lint:covers(ConflictMode): usage text lists every conflict mode
 const USAGE: &str = "usage:
   lockgran list
-  lockgran <table1|fig2..fig12|all|extA|extB|extC|extD|extE|extF|extG|extH|ext> [--quick] [--chart] [--seed N] [--reps N] [--tmax T] [--jobs N] [--out DIR]
+  lockgran <table1|fig2..fig12|all|extA|extB|extC|extD|extE|extF|extG|extH|extI|ext> [--quick] [--chart] [--seed N] [--reps N] [--tmax T] [--jobs N] [--out DIR]
   lockgran batch <configs.json> [--seed N] [--out FILE.csv]
   lockgran timeline [run flags] [--interval X]
   lockgran warmup [run flags] [--interval X] [--reps R]
   lockgran run [--ltot N] [--npros N] [--ntrans N] [--maxtransize N]
                [--placement best|random|worst] [--partitioning horizontal|random]
-               [--conflict probabilistic|explicit|hierarchical]
+               [--conflict probabilistic|explicit|hierarchical|twophase]
                [--areas N] [--escalation N|inf]
                [--liotime X] [--tmax T] [--seed N]";
 
@@ -471,6 +473,10 @@ fn run_single(args: &[String]) -> Result<(), String> {
         );
         println!("escalations = {}", m.escalations);
         println!("intent lks  = {}", m.intent_locks);
+    }
+    if cfg.conflict == ConflictMode::Twophase {
+        println!("deadlocks   = {}", m.deadlocks);
+        println!("aborts      = {}", m.aborts);
     }
     Ok(())
 }

@@ -13,6 +13,7 @@ pub mod ext_failure;
 pub mod ext_hierarchy;
 pub mod ext_hotspot;
 pub mod ext_resource_balance;
+pub mod ext_twophase;
 pub mod fig02;
 pub mod fig03;
 pub mod fig04;
@@ -115,6 +116,7 @@ pub fn run_by_id(id: &str, opts: &RunOptions) -> Option<Figure> {
         "extF" => ext_failure::run(opts),
         "extG" => ext_escalation::run(opts),
         "extH" => ext_hierarchy::run(opts),
+        "extI" => ext_twophase::run(opts),
         _ => return None,
     })
 }
@@ -126,6 +128,6 @@ pub const ALL_IDS: [&str; 12] = [
 ];
 
 /// Extension experiments beyond the paper.
-pub const EXT_IDS: [&str; 8] = [
-    "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH",
+pub const EXT_IDS: [&str; 9] = [
+    "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI",
 ];

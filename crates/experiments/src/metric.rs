@@ -15,6 +15,8 @@ pub enum Metric {
     Throughput,
     /// Mean response time.
     ResponseTime,
+    /// 95th-percentile response time (histogram estimate).
+    ResponseP95,
     /// `usefulcpus`: per-processor transaction CPU time.
     UsefulCpu,
     /// `usefulios`: per-processor transaction I/O time.
@@ -33,8 +35,12 @@ pub enum Metric {
     CpuUtilization,
     /// Mean I/O utilization.
     IoUtilization,
-    /// Failure-induced transaction aborts (failure extension).
+    /// Transaction aborts: processor-failure kills (failure extension)
+    /// plus deadlock victims (twophase conflict model).
     Aborts,
+    /// Waits-for cycles broken by aborting a victim (twophase conflict
+    /// model).
+    Deadlocks,
     /// Lock escalations (hierarchical conflict model).
     Escalations,
     /// Intention locks granted (hierarchical conflict model).
@@ -43,9 +49,10 @@ pub enum Metric {
 
 impl Metric {
     /// All metrics, for CLI listings.
-    pub const ALL: [Metric; 14] = [
+    pub const ALL: [Metric; 16] = [
         Metric::Throughput,
         Metric::ResponseTime,
+        Metric::ResponseP95,
         Metric::UsefulCpu,
         Metric::UsefulIo,
         Metric::LockOverhead,
@@ -56,6 +63,7 @@ impl Metric {
         Metric::CpuUtilization,
         Metric::IoUtilization,
         Metric::Aborts,
+        Metric::Deadlocks,
         Metric::Escalations,
         Metric::IntentLocks,
     ];
@@ -65,6 +73,7 @@ impl Metric {
         match self {
             Metric::Throughput => m.throughput,
             Metric::ResponseTime => m.response_time,
+            Metric::ResponseP95 => m.response_time_p95,
             Metric::UsefulCpu => m.usefulcpus,
             Metric::UsefulIo => m.usefulios,
             Metric::LockOverhead => m.lock_overhead(),
@@ -75,6 +84,7 @@ impl Metric {
             Metric::CpuUtilization => m.cpu_utilization,
             Metric::IoUtilization => m.io_utilization,
             Metric::Aborts => m.aborts as f64,
+            Metric::Deadlocks => m.deadlocks as f64,
             Metric::Escalations => m.escalations as f64,
             Metric::IntentLocks => m.intent_locks as f64,
         }
@@ -85,6 +95,7 @@ impl Metric {
         match self {
             Metric::Throughput => "throughput",
             Metric::ResponseTime => "response_time",
+            Metric::ResponseP95 => "response_p95",
             Metric::UsefulCpu => "useful_cpu",
             Metric::UsefulIo => "useful_io",
             Metric::LockOverhead => "lock_overhead",
@@ -95,6 +106,7 @@ impl Metric {
             Metric::CpuUtilization => "cpu_utilization",
             Metric::IoUtilization => "io_utilization",
             Metric::Aborts => "aborts",
+            Metric::Deadlocks => "deadlocks",
             Metric::Escalations => "escalations",
             Metric::IntentLocks => "intent_locks",
         }
@@ -109,6 +121,7 @@ impl ToJson for Metric {
             match self {
                 Metric::Throughput => "Throughput",
                 Metric::ResponseTime => "ResponseTime",
+                Metric::ResponseP95 => "ResponseP95",
                 Metric::UsefulCpu => "UsefulCpu",
                 Metric::UsefulIo => "UsefulIo",
                 Metric::LockOverhead => "LockOverhead",
@@ -119,6 +132,7 @@ impl ToJson for Metric {
                 Metric::CpuUtilization => "CpuUtilization",
                 Metric::IoUtilization => "IoUtilization",
                 Metric::Aborts => "Aborts",
+                Metric::Deadlocks => "Deadlocks",
                 Metric::Escalations => "Escalations",
                 Metric::IntentLocks => "IntentLocks",
             }
@@ -133,6 +147,7 @@ impl FromJson for Metric {
         match v.as_str() {
             Some("Throughput") => Ok(Metric::Throughput),
             Some("ResponseTime") => Ok(Metric::ResponseTime),
+            Some("ResponseP95") => Ok(Metric::ResponseP95),
             Some("UsefulCpu") => Ok(Metric::UsefulCpu),
             Some("UsefulIo") => Ok(Metric::UsefulIo),
             Some("LockOverhead") => Ok(Metric::LockOverhead),
@@ -143,6 +158,7 @@ impl FromJson for Metric {
             Some("CpuUtilization") => Ok(Metric::CpuUtilization),
             Some("IoUtilization") => Ok(Metric::IoUtilization),
             Some("Aborts") => Ok(Metric::Aborts),
+            Some("Deadlocks") => Ok(Metric::Deadlocks),
             Some("Escalations") => Ok(Metric::Escalations),
             Some("IntentLocks") => Ok(Metric::IntentLocks),
             _ => Err(format!("expected metric variant name, got {v}")),

@@ -189,6 +189,24 @@ fn l001_gated_to_lock_crates() {
 }
 
 #[test]
+fn l001_applies_to_core_twophase_module() {
+    // The incremental-2PL adapter lives at crates/core/src/twophase.rs;
+    // the acquire/release pairing rules must keep gating it.
+    assert_eq!(
+        lint_fixture_at("l001.rs", "crates/core/src/twophase.rs"),
+        vec![(5, 23, "L001"), (7, 9, "L001"), (28, 13, "L001")]
+    );
+}
+
+#[test]
+fn l002_applies_to_core_twophase_module() {
+    assert_eq!(
+        lint_fixture_at("l002.rs", "crates/core/src/twophase.rs"),
+        vec![(4, 15, "L002"), (5, 7, "L002")]
+    );
+}
+
+#[test]
 fn l002_discarded_acquire_results() {
     assert_eq!(
         lint_fixture_at("l002.rs", "crates/lockmgr/src/l002.rs"),

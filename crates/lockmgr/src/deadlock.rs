@@ -49,6 +49,15 @@ impl WaitsForGraph {
         });
     }
 
+    /// Remove only the edges *out of* `txn` (its wait was satisfied),
+    /// preserving inbound edges from transactions still queued behind it.
+    /// This is the correct maintenance step when `txn` is **granted** a
+    /// lock: its own wait ended, but anyone waiting on `txn` is now
+    /// waiting on a holder — those edges are more valid than ever.
+    pub fn remove_outgoing(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+    }
+
     /// Transactions `txn` currently waits on.
     pub fn waits_on(&self, txn: TxnId) -> impl Iterator<Item = TxnId> + '_ {
         self.edges.get(&txn).into_iter().flatten().copied()
@@ -190,6 +199,21 @@ mod tests {
         g.remove_txn(t(2));
         assert!(g.find_any_cycle().is_none());
         assert_eq!(g.edge_count(), 1); // only 3 -> 1 remains
+    }
+
+    #[test]
+    fn remove_outgoing_preserves_inbound() {
+        // 3 -> 2 -> 1 ; granting 2 must drop only 2 -> 1, keeping 3 -> 2.
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(2), t(1));
+        g.add_edge(t(3), t(2));
+        g.remove_outgoing(t(2));
+        assert_eq!(g.edge_count(), 1);
+        let inbound: Vec<TxnId> = g.waits_on(t(3)).collect();
+        assert_eq!(inbound, vec![t(2)]);
+        // A later 2 -> 3 edge now closes a cycle through the kept edge.
+        g.add_edge(t(2), t(3));
+        assert!(g.find_cycle_from(t(2)).is_some());
     }
 
     #[test]

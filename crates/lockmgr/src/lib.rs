@@ -37,14 +37,16 @@
 //!
 //! ## Production status
 //!
-//! [`mode`], [`table`], [`conservative`], [`hierarchy`], and
-//! [`escalation`] are live production code: they back the explicit and
-//! hierarchical conflict models in `lockgran-core` and every extB/extD/
-//! extG/extH sweep. [`twophase`], [`deadlock`], and [`sharded`] are not
-//! yet reachable from the simulator's event loop — they are the
-//! substrate for the planned incremental-2PL `ConcurrencyControl`
-//! implementation (ROADMAP item 3), kept fully unit-tested rather than
-//! suppressed; nothing in this crate carries a `dead_code` allow.
+//! [`mode`], [`table`], [`conservative`], [`hierarchy`], [`escalation`],
+//! [`twophase`], and [`deadlock`] are live production code: the first
+//! five back the explicit and hierarchical conflict models in
+//! `lockgran-core` (extB/extD/extG/extH sweeps), and the last two back
+//! the incremental-2PL `TwoPhaseConflict` model (extI sweeps, the
+//! `micro_twophase` bench) — the first half of ROADMAP item 3.
+//! [`sharded`] is not yet reachable from the simulator's event loop —
+//! it is the substrate for a thread-safe lock-manager stage, kept fully
+//! unit-tested rather than suppressed; nothing in this crate carries a
+//! `dead_code` allow.
 
 #![warn(missing_docs)]
 
@@ -66,4 +68,4 @@ pub use hierarchy::{GranuleTree, HierarchyLevel, NodeId};
 pub use mode::LockMode;
 pub use sharded::ShardedLockTable;
 pub use table::{GranuleId, LockOutcome, LockTable, TxnId};
-pub use twophase::{AcquireOutcome, TwoPhaseScheduler};
+pub use twophase::{AcquireOutcome, RetryOutcome, TwoPhaseScheduler};

@@ -27,17 +27,39 @@ pub enum AcquireOutcome {
         /// Transactions waited on.
         blockers: Vec<TxnId>,
     },
-    /// Granting would deadlock; `victim` was chosen and forcibly aborted
-    /// (all its locks released, its waits cancelled). If the victim is the
-    /// requester itself the caller must restart it; otherwise the request
-    /// is re-evaluated and this variant reports the post-abort outcome in
-    /// `retry`.
+    /// Granting would deadlock. One request can close several cycles at
+    /// once (every pre-existing inbound edge to the requester is a
+    /// potential return path), so victims are aborted — youngest on the
+    /// detected cycle first — until the graph is acyclic again; each has
+    /// all its locks released and its waits cancelled. The requester's
+    /// queued request is re-evaluated against the post-abort table and
+    /// its status is reported in `retry`; if the requester is among the
+    /// victims the caller must restart it.
     Deadlock {
-        /// The aborted transaction (youngest on the cycle).
-        victim: TxnId,
-        /// Transactions granted locks as a side effect of the abort.
+        /// The aborted transactions, in abort order (each the youngest on
+        /// the cycle that condemned it). Never empty.
+        victims: Vec<TxnId>,
+        /// *Other* transactions granted locks as a side effect of the
+        /// aborts. The requester is never listed here — its post-abort
+        /// status is `retry`.
         granted: Vec<TxnId>,
+        /// Post-abort status of the requester's queued request.
+        retry: RetryOutcome,
     },
+}
+
+/// Post-abort status of the requester whose `acquire` detected a deadlock
+/// (see [`AcquireOutcome::Deadlock::retry`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// The requester itself was the victim: its locks were released and
+    /// its request cancelled; the caller must restart the transaction.
+    SelfAborted,
+    /// Aborting the victim freed the requested lock; the requester holds
+    /// it now and may proceed.
+    Granted,
+    /// The requester remains queued behind the surviving holders.
+    StillWaiting,
 }
 
 /// Claim-as-needed two-phase locking scheduler.
@@ -57,7 +79,8 @@ impl TwoPhaseScheduler {
     }
 
     /// Acquire one lock for `txn`. If a deadlock would result, the
-    /// youngest (largest-id) transaction on the cycle is aborted.
+    /// youngest (largest-id) transaction on each cycle is aborted until
+    /// no cycle remains.
     ///
     /// # Panics
     /// Panics if `txn` is already waiting for a lock (a transaction is a
@@ -75,18 +98,47 @@ impl TwoPhaseScheduler {
                 for b in &blockers {
                     self.graph.add_edge(txn, *b);
                 }
-                if let Some(cycle) = self.graph.find_cycle_from(txn) {
+                // One request can close several cycles at once (the new
+                // edges meet every pre-existing inbound edge to `txn`),
+                // and aborting one victim only breaks the cycles it lies
+                // on — so detect and abort until no cycle through `txn`
+                // remains. The loop terminates: every abort removes a
+                // node from the graph, and once `txn` stops waiting (it
+                // was granted or aborted) it has no outgoing edges left.
+                let mut victims = Vec::new();
+                let mut granted = Vec::new();
+                while let Some(cycle) = self.graph.find_cycle_from(txn) {
                     let victim = *cycle
                         .iter()
                         .max()
                         // lint:allow(P001): find_cycle_from never returns an
                         // empty cycle
                         .expect("cycle is non-empty");
-                    let granted = self.abort(victim);
+                    granted.extend(self.abort(victim));
                     self.aborts += 1;
-                    AcquireOutcome::Deadlock { victim, granted }
-                } else {
+                    victims.push(victim);
+                }
+                if victims.is_empty() {
                     AcquireOutcome::Waiting { blockers }
+                } else {
+                    // Re-evaluate the requester's queued request against
+                    // the post-abort table: the aborts may have promoted
+                    // it (reported as `retry`, not as a side effect),
+                    // left it queued, or cancelled it outright.
+                    let retry = if victims.contains(&txn) {
+                        RetryOutcome::SelfAborted
+                    } else if let Some(pos) = granted.iter().position(|g| *g == txn) {
+                        granted.remove(pos);
+                        RetryOutcome::Granted
+                    } else {
+                        debug_assert!(self.waiting.contains_key(&txn));
+                        RetryOutcome::StillWaiting
+                    };
+                    AcquireOutcome::Deadlock {
+                        victims,
+                        granted,
+                        retry,
+                    }
                 }
             }
         }
@@ -118,9 +170,19 @@ impl TwoPhaseScheduler {
         let mut granted = Vec::new();
         for (t, g, m) in promoted {
             if let Some(&(wg, wm)) = self.waiting.get(t) {
-                debug_assert_eq!((wg, wm.supremum(*m)), (*g, wm.supremum(*m)));
+                debug_assert_eq!(wg, *g, "{t:?} granted a granule it was not waiting for");
+                debug_assert_eq!(
+                    wm.supremum(*m),
+                    *m,
+                    "{t:?} granted {m} which does not cover the waited-for {wm}"
+                );
                 self.waiting.remove(t);
-                self.graph.remove_txn(*t);
+                // Only the satisfied wait's outgoing edges go away.
+                // Inbound edges from transactions queued behind `t` stay:
+                // they now wait on a *holder*, and deleting them (the old
+                // `remove_txn` behaviour) made later cycles through `t`
+                // invisible to the detector.
+                self.graph.remove_outgoing(*t);
                 granted.push(*t);
             }
         }
@@ -130,6 +192,16 @@ impl TwoPhaseScheduler {
     /// Is `txn` currently queued for a lock?
     pub fn is_waiting(&self, txn: TxnId) -> bool {
         self.waiting.contains_key(&txn)
+    }
+
+    /// Transactions `txn`'s queued request currently waits on (the
+    /// waits-for edges out of `txn`); empty when `txn` is not waiting.
+    /// Under exclusive-only locking a queued request always has at least
+    /// one edge — every earlier waiter and every holder conflicts with
+    /// it, so its recorded blockers cannot all disappear while it stays
+    /// queued.
+    pub fn blockers_of(&self, txn: TxnId) -> impl Iterator<Item = TxnId> + '_ {
+        self.graph.waits_on(txn)
     }
 
     /// Total deadlock aborts performed.
@@ -184,10 +256,15 @@ mod tests {
         ));
         // t2 closing the cycle: youngest (t2) is the victim.
         match s.acquire(t(2), g(0), X) {
-            AcquireOutcome::Deadlock { victim, granted } => {
-                assert_eq!(victim, t(2));
+            AcquireOutcome::Deadlock {
+                victims,
+                granted,
+                retry,
+            } => {
+                assert_eq!(victims, vec![t(2)]);
                 // Aborting t2 frees g1, granting t1's queued request.
                 assert_eq!(granted, vec![t(1)]);
+                assert_eq!(retry, RetryOutcome::SelfAborted);
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
@@ -211,9 +288,88 @@ mod tests {
             AcquireOutcome::Waiting { .. }
         ));
         match s.acquire(t(3), g(0), X) {
-            AcquireOutcome::Deadlock { victim, .. } => assert_eq!(victim, t(3)),
+            AcquireOutcome::Deadlock { victims, .. } => assert_eq!(victims, vec![t(3)]),
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn grant_preserves_inbound_edges_for_later_cycle() {
+        // Regression for the `note_grants` waits-for maintenance bug:
+        // granting T2 used `remove_txn`, which also deleted the inbound
+        // edge from T3 still queued behind it, so the cycle closed below
+        // went undetected (a permanent, silent deadlock).
+        let mut s = TwoPhaseScheduler::new();
+        assert_eq!(s.acquire(t(3), g(2), X), AcquireOutcome::Granted);
+        assert_eq!(s.acquire(t(1), g(0), X), AcquireOutcome::Granted);
+        assert!(matches!(
+            s.acquire(t(2), g(0), X),
+            AcquireOutcome::Waiting { .. }
+        ));
+        // T3 queues behind T2 on g0: edge T3 -> T2.
+        assert!(matches!(
+            s.acquire(t(3), g(0), X),
+            AcquireOutcome::Waiting { .. }
+        ));
+        // T1's release grants T2. T3 now waits on the *holder* T2 — that
+        // edge must survive the grant.
+        assert_eq!(s.release(t(1)), vec![t(2)]);
+        assert!(s.is_waiting(t(3)));
+        // T1 re-requests, queueing on g2 behind T3: edge T1 -> T3.
+        assert!(matches!(
+            s.acquire(t(1), g(2), X),
+            AcquireOutcome::Waiting { .. }
+        ));
+        // T2 requests g2, closing T2 -> T1 -> T3 -> T2. Detectable only
+        // through the preserved T3 -> T2 edge.
+        match s.acquire(t(2), g(2), X) {
+            AcquireOutcome::Deadlock {
+                victims,
+                granted,
+                retry,
+            } => {
+                assert_eq!(victims, vec![t(3)]);
+                // Aborting T3 frees g2; the earlier waiter T1 is granted.
+                assert_eq!(granted, vec![t(1)]);
+                // T2 stays queued on g2 behind T1.
+                assert_eq!(retry, RetryOutcome::StillWaiting);
+            }
+            other => panic!("cycle through the granted txn went undetected: {other:?}"),
+        }
+        assert_eq!(s.abort_count(), 1);
+        assert_eq!(s.table().held_mode(t(1), g(2)), Some(X));
+        assert!(s.is_waiting(t(2)));
+        assert!(!s.is_waiting(t(3)));
+    }
+
+    #[test]
+    fn non_self_victim_grants_requester_on_retry() {
+        // The requester closes the cycle but an *older* id means the other
+        // transaction is the victim; the re-evaluated request is granted.
+        let mut s = TwoPhaseScheduler::new();
+        assert_eq!(s.acquire(t(1), g(0), X), AcquireOutcome::Granted);
+        assert_eq!(s.acquire(t(2), g(1), X), AcquireOutcome::Granted);
+        assert!(matches!(
+            s.acquire(t(2), g(0), X),
+            AcquireOutcome::Waiting { .. }
+        ));
+        match s.acquire(t(1), g(1), X) {
+            AcquireOutcome::Deadlock {
+                victims,
+                granted,
+                retry,
+            } => {
+                assert_eq!(victims, vec![t(2)]);
+                // The requester's own grant is reported via `retry`, not
+                // in the side-effect list.
+                assert!(granted.is_empty());
+                assert_eq!(retry, RetryOutcome::Granted);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert_eq!(s.table().held_mode(t(1), g(1)), Some(X));
+        assert!(!s.is_waiting(t(1)));
+        assert!(s.table().holdings(t(2)).is_empty());
     }
 
     #[test]
@@ -238,9 +394,14 @@ mod tests {
             AcquireOutcome::Waiting { .. }
         ));
         match s.acquire(t(2), g(0), X) {
-            AcquireOutcome::Deadlock { victim, granted } => {
-                assert_eq!(victim, t(2));
+            AcquireOutcome::Deadlock {
+                victims,
+                granted,
+                retry,
+            } => {
+                assert_eq!(victims, vec![t(2)]);
                 assert_eq!(granted, vec![t(1)]);
+                assert_eq!(retry, RetryOutcome::SelfAborted);
                 assert_eq!(s.table().held_mode(t(1), g(0)), Some(X));
             }
             other => panic!("expected deadlock, got {other:?}"),

@@ -41,6 +41,15 @@ cargo test --offline --workspace -q
 echo "== determinism under parallelism (jobs = 1/2/8 byte-identical)"
 cargo test --offline -q --test parallel_determinism
 
+echo "== twophase smoke (incremental 2PL end to end: deadlocks detected, victims replayed)"
+# Contended single run in the new conflict mode, then a quick extI
+# figure pass (explicit vs twophase under an 80/20 hot spot). Both are
+# cheap; the figure's own unit tests carry the shape assertions.
+cargo run --offline -q --release --bin lockgran -- run --conflict twophase \
+    --ltot 10 --ntrans 50 --maxtransize 50 --placement random --tmax 1000 --seed 7 \
+    | grep -q "deadlocks" || { echo "twophase run smoke failed"; exit 1; }
+cargo run --offline -q --release --bin lockgran -- extI --quick --jobs 2 > /dev/null
+
 echo "== capacity smoke (scaled-down bench_capacity, single pass per point)"
 # One iteration of each capacity point at the quick scale: proves the
 # 10⁷-entity code paths (arena reuse, ln-gamma Yao routing, batch-means

@@ -98,6 +98,34 @@ fn hierarchical_sweep_identical_across_job_counts() {
     );
 }
 
+/// Incremental 2PL keeps the guarantee: an extI-style sweep (hot-spot
+/// contention, waits-for deadlock detection, youngest-victim aborts and
+/// replays) is byte-identical at `--jobs 1` and `--jobs 4`. Victim
+/// choice and replay scheduling are pure functions of the run's own
+/// seed, never of worker interleaving — and the sweep reuses arenas, so
+/// this also exercises the `reset`-equals-fresh contract for the
+/// twophase model.
+#[test]
+fn twophase_sweep_identical_across_job_counts() {
+    let base = ModelConfig::table1()
+        .with_conflict(ConflictMode::Twophase)
+        .with_ntrans(50)
+        .with_maxtransize(50)
+        .with_hot_spot(Some(lockgran_workload::HotSpot::eighty_twenty()));
+    let sweep = |jobs: usize| {
+        let mut opts = RunOptions::quick();
+        opts.jobs = jobs;
+        sweep_ltot(&base, &opts)
+    };
+    let a = fingerprint(&sweep(1));
+    let b = fingerprint(&sweep(4));
+    assert_eq!(a, b, "twophase sweep diverged across job counts");
+    assert!(
+        a.contains("\"deadlocks\":"),
+        "fingerprint should include the deadlocks counter"
+    );
+}
+
 /// The failure extension keeps the guarantee: an extF-style sweep with
 /// processors failing and transactions aborting is byte-identical at
 /// `--jobs 1` and `--jobs 4`. Failure randomness comes from the run's

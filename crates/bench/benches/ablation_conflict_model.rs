@@ -28,9 +28,13 @@ fn bench(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("ablation_conflict_model");
-    // Probabilistic vs explicit only: the hierarchical model's hot path
-    // has its own micro-bench (`micro_hierarchy`).
-    for mode in [ConflictMode::Probabilistic, ConflictMode::Explicit] {
+    // The hierarchical model's hot path is excluded: it has its own
+    // micro-bench (`micro_hierarchy`).
+    for mode in [
+        ConflictMode::Probabilistic,
+        ConflictMode::Explicit,
+        ConflictMode::Twophase,
+    ] {
         let cfg = ModelConfig::table1().with_conflict(mode).with_tmax(300.0);
         group.bench_function(mode.name(), |b| b.iter(|| sim::run(black_box(&cfg), 42)));
     }

@@ -1,0 +1,85 @@
+//! Micro-bench: lock-table request cost vs resident granule count.
+//!
+//! The paper's granularity sweeps keep up to `ltot` granule entries live
+//! in the table at once. This bench pins per-request cost at ltot ∈
+//! {10^2, 10^4, 10^6} so the container's scaling — the hash-indexed slab
+//! is O(1) per probe where an ordered map pays O(log n) pointer-chasing —
+//! is visible in isolation from the rest of the simulator.
+
+use lockgran_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lockgran_lockmgr::{GranuleId, LockMode, LockTable, TxnId};
+
+/// Resident holder transactions the populated table is spread across.
+const HOLDERS: u64 = 16;
+/// Granules the probe transaction touches per iteration.
+const PROBE: u64 = 64;
+
+/// A table with `ltot` granule entries resident, S-held by persistent
+/// holder transactions that never release.
+fn resident_table(ltot: u64) -> LockTable {
+    let mut lt = LockTable::new();
+    for g in 0..ltot {
+        let _ = lt.lock(TxnId(g % HOLDERS), GranuleId(g), LockMode::S);
+    }
+    lt
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_locktable");
+
+    for &ltot in &[100u64, 10_000, 1_000_000] {
+        // Acquire/release cycle strided across the resident set: pure
+        // index probe + compatible grant + release at table size ltot.
+        group.bench_with_input(
+            BenchmarkId::new("grant_release", ltot),
+            &ltot,
+            |b, &ltot| {
+                let mut lt = resident_table(ltot);
+                let step = (ltot / PROBE).max(1);
+                let probes = PROBE.min(ltot);
+                let mut serial = HOLDERS;
+                let mut offset = 0u64;
+                b.iter(|| {
+                    let txn = TxnId(serial);
+                    serial += 1;
+                    offset = (offset + 1) % step;
+                    for i in 0..probes {
+                        let g = (i * step + offset) % ltot;
+                        black_box(lt.lock(txn, GranuleId(g), LockMode::S));
+                    }
+                    black_box(lt.release_all(txn));
+                });
+            },
+        );
+
+        // Conflict-queue churn on one hot granule while ltot entries stay
+        // resident: block + wake + promote cost at table size ltot.
+        group.bench_with_input(BenchmarkId::new("queue_churn", ltot), &ltot, |b, &ltot| {
+            let mut lt = resident_table(ltot);
+            let hot = GranuleId(ltot); // fresh granule: pure X convoy
+            let mut head = HOLDERS;
+            let mut tail = HOLDERS;
+            for _ in 0..32 {
+                let _ = lt.lock(TxnId(tail), hot, LockMode::X);
+                tail += 1;
+            }
+            b.iter(|| {
+                black_box(lt.unlock(TxnId(head), hot));
+                head += 1;
+                let _ = lt.lock(TxnId(tail), hot, LockMode::X);
+                tail += 1;
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

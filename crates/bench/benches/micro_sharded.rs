@@ -1,0 +1,45 @@
+//! Micro-bench: the sharded try-lock table across shard counts.
+//!
+//! Single-threaded request cost of the all-or-nothing protocol — shard
+//! routing, per-shard locking, and grant/rollback bookkeeping — at 1, 4,
+//! and 16 shards, so the fixed overhead a shard adds to each request is
+//! visible independently of cross-thread contention.
+
+use lockgran_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lockgran_lockmgr::{GranuleId, LockMode, ShardedLockTable, TxnId};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_sharded");
+
+    for &shards in &[1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("try_lock_all_50", shards),
+            &shards,
+            |b, &n| {
+                let table = ShardedLockTable::new(n);
+                let locks: Vec<(GranuleId, LockMode)> = (0..50u64)
+                    .map(|g| (GranuleId(g * 7), LockMode::X))
+                    .collect();
+                let granules: Vec<GranuleId> = locks.iter().map(|&(g, _)| g).collect();
+                let mut serial = 0u64;
+                b.iter(|| {
+                    let txn = TxnId(serial);
+                    serial += 1;
+                    black_box(table.try_lock_all(txn, &locks));
+                    table.unlock_all(txn, &granules);
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -115,17 +115,25 @@ impl AccessSampler {
     /// draw sequence to the pre-trait system model: plain or hot-spot
     /// sampling, from the caller's access stream only.
     pub fn sample_into(&self, rng: &mut SimRng, entities: u64, out: &mut Vec<u64>) {
-        *out = match self.hot_spot {
-            None => access::sample_granules(rng, self.placement, entities, self.ltot, self.dbsize),
-            Some(skew) => access::sample_granules_hot(
+        match self.hot_spot {
+            None => access::sample_granules_into(
+                rng,
+                self.placement,
+                entities,
+                self.ltot,
+                self.dbsize,
+                out,
+            ),
+            Some(skew) => access::sample_granules_hot_into(
                 rng,
                 self.placement,
                 entities,
                 self.ltot,
                 self.dbsize,
                 skew,
+                out,
             ),
-        };
+        }
     }
 }
 
@@ -221,9 +229,14 @@ pub fn build_concurrency_control(cfg: &ModelConfig) -> Box<dyn ConcurrencyContro
             AccessSampler::from_config(cfg),
             cfg.hierarchy_spec(),
         )),
-        ConflictMode::Twophase => Box::new(crate::twophase::TwoPhaseConflict::new(
-            AccessSampler::from_config(cfg),
-        )),
+        ConflictMode::Twophase => {
+            let mut cc = crate::twophase::TwoPhaseConflict::new(AccessSampler::from_config(cfg));
+            // Closed system: `ntrans` terminals bound the concurrent
+            // transactions, so every per-transaction structure can be
+            // provisioned up front (steady state then allocates nothing).
+            cc.prewarm(cfg);
+            Box::new(cc)
+        }
     }
 }
 

@@ -13,10 +13,8 @@
 //! The paper locks granules exclusively (any overlap blocks), so granule
 //! sets are requested in mode `X`.
 
-use std::collections::BTreeMap;
-
 use lockgran_lockmgr::{ConservativeOutcome, ConservativeScheduler, GranuleId, LockMode, TxnId};
-use lockgran_sim::SimRng;
+use lockgran_sim::{DetMap, SimRng};
 
 use crate::config::{ConflictMode, ModelConfig};
 use crate::conflict::{AccessSampler, ConcurrencyControl, ConflictDecision, TxnSerial};
@@ -26,14 +24,20 @@ pub struct ExplicitConflict {
     scheduler: ConservativeScheduler,
     /// Granule sets of *blocked* transactions, replayed on retry so a
     /// retry contends for the same granules it failed on.
-    pending_sets: BTreeMap<TxnSerial, Vec<u64>>,
+    pending_sets: DetMap<Vec<u64>>,
+    /// Spare granule-set buffers recycled through `pending_sets`.
+    spare_sets: Vec<Vec<u64>>,
     active: u64,
     locks_held: u64,
     /// Locks per active transaction (for `locks_held` bookkeeping).
-    active_locks: BTreeMap<TxnSerial, u64>,
+    active_locks: DetMap<u64>,
     /// Declared-access sampler (required for `register_access`; unit
     /// tests that feed granule sets directly may leave it unset).
     sampler: Option<AccessSampler>,
+    /// Scratch: the (granule, mode) request of the current attempt.
+    request_scratch: Vec<(GranuleId, LockMode)>,
+    /// Scratch: wake list of the current release.
+    woken_scratch: Vec<TxnId>,
 }
 
 impl Default for ExplicitConflict {
@@ -47,11 +51,14 @@ impl ExplicitConflict {
     pub fn new() -> Self {
         ExplicitConflict {
             scheduler: ConservativeScheduler::new(),
-            pending_sets: BTreeMap::new(),
+            pending_sets: DetMap::new(),
+            spare_sets: Vec::new(),
             active: 0,
             locks_held: 0,
-            active_locks: BTreeMap::new(),
+            active_locks: DetMap::new(),
             sampler: None,
+            request_scratch: Vec::new(),
+            woken_scratch: Vec::new(),
         }
     }
 
@@ -87,23 +94,34 @@ impl ConcurrencyControl for ExplicitConflict {
         _rng: &mut SimRng,
     ) -> ConflictDecision {
         // A retry reuses the granule set from the failed attempt; a first
-        // attempt uses (and remembers) the set passed in.
-        let set: Vec<u64> = match self.pending_sets.remove(&txn) {
+        // attempt uses (and remembers) the set passed in. Set buffers
+        // cycle through the spare pool so the steady state allocates
+        // nothing.
+        let set: Vec<u64> = match self.pending_sets.remove(txn) {
             Some(saved) => saved,
-            None => granules.to_vec(),
+            None => {
+                let mut buf = self.spare_sets.pop().unwrap_or_default();
+                buf.clear();
+                buf.extend_from_slice(granules);
+                buf
+            }
         };
         debug_assert_eq!(
             set.len() as u64,
             locks,
             "granule set size disagrees with lock count"
         );
-        let request: Vec<(GranuleId, LockMode)> =
-            set.iter().map(|&g| (GranuleId(g), LockMode::X)).collect();
-        match self.scheduler.request_all(TxnId(txn), &request) {
+        let mut request = std::mem::take(&mut self.request_scratch);
+        request.clear();
+        request.extend(set.iter().map(|&g| (GranuleId(g), LockMode::X)));
+        let outcome = self.scheduler.request_all(TxnId(txn), &request);
+        self.request_scratch = request;
+        match outcome {
             ConservativeOutcome::Granted => {
                 self.active += 1;
                 self.locks_held += locks;
                 self.active_locks.insert(txn, locks);
+                self.spare_sets.push(set);
                 ConflictDecision::Granted
             }
             ConservativeOutcome::Blocked { blocker } => {
@@ -116,11 +134,14 @@ impl ConcurrencyControl for ExplicitConflict {
     fn release(&mut self, txn: TxnSerial, woken: &mut Vec<TxnSerial>) {
         let locks = self
             .active_locks
-            .remove(&txn)
+            .remove(txn)
             .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
         self.active -= 1;
         self.locks_held -= locks;
-        woken.extend(self.scheduler.release(TxnId(txn)).into_iter().map(|t| t.0));
+        let mut retry = std::mem::take(&mut self.woken_scratch);
+        self.scheduler.release_into(TxnId(txn), &mut retry);
+        woken.extend(retry.iter().map(|t| t.0));
+        self.woken_scratch = retry;
     }
 
     fn active_count(&self) -> usize {
@@ -135,11 +156,16 @@ impl ConcurrencyControl for ExplicitConflict {
         if cfg.conflict != ConflictMode::Explicit {
             return false;
         }
-        // The scheduler may still hold locks for transactions in flight at
-        // the horizon and exposes no bulk clear, so it is rebuilt; the
-        // maps (whose nodes a BTreeMap would not retain anyway) are simply
-        // emptied. The Box and this struct's storage are what reuse saves.
-        self.scheduler = ConservativeScheduler::new();
+        // Reset-equals-fresh throughout: the scheduler, the slot maps and
+        // the pooled set buffers all keep their allocations.
+        self.scheduler.reset();
+        // Recycle pending set buffers before dropping the map entries.
+        while let Some(key) = self.pending_sets.iter().next().map(|(k, _)| k) {
+            if let Some(mut set) = self.pending_sets.remove(key) {
+                set.clear();
+                self.spare_sets.push(set);
+            }
+        }
         self.pending_sets.clear();
         self.active = 0;
         self.locks_held = 0;

@@ -29,13 +29,11 @@
 //! an `X` lock on the root: whole-database locking, the paper's
 //! `ltot = 1` extreme, regardless of the configured `ltot`.
 
-use std::collections::BTreeMap;
-
 use lockgran_lockmgr::{
-    escalate_predeclared, ConservativeOutcome, ConservativeScheduler, EscalationPolicy, GranuleId,
-    GranuleTree, LockMode, NodeId, TxnId,
+    escalate_predeclared_into, ConservativeOutcome, ConservativeScheduler, EscalationPolicy,
+    GranuleId, GranuleTree, LockMode, NodeId, TxnId,
 };
-use lockgran_sim::SimRng;
+use lockgran_sim::{DetMap, SimRng};
 use lockgran_workload::HierarchyMap;
 
 use crate::config::{ConflictMode, HierarchySpec, ModelConfig};
@@ -51,16 +49,27 @@ pub struct HierarchicalConflict {
     sampler: AccessSampler,
     /// Granule sets of *blocked* transactions, replayed on retry so a
     /// retry contends for the same granules it failed on.
-    pending_sets: BTreeMap<TxnSerial, Vec<u64>>,
+    pending_sets: DetMap<Vec<u64>>,
+    /// Spare granule-set buffers recycled through `pending_sets`.
+    spare_sets: Vec<Vec<u64>>,
     active: u64,
     locks_held: u64,
     /// Locks per active transaction (for `locks_held` bookkeeping; the
     /// paper's `LU` count, independent of escalation).
-    active_locks: BTreeMap<TxnSerial, u64>,
+    active_locks: DetMap<u64>,
     stats: CcStats,
     /// Reusable request buffer (leaf → target → full intent-chain
     /// request), so steady-state attempts do not allocate it anew.
     request_buf: Vec<(GranuleId, LockMode)>,
+    /// Scratch: declared leaves of the current attempt.
+    leaves_buf: Vec<NodeId>,
+    /// Scratch: escalation survivors of the current attempt.
+    targets_buf: Vec<(NodeId, LockMode)>,
+    /// Scratch: escalation working sets (see `escalate_predeclared_into`).
+    current_buf: Vec<NodeId>,
+    promoted_buf: Vec<NodeId>,
+    /// Scratch: wake list of the current release.
+    woken_scratch: Vec<TxnId>,
 }
 
 impl HierarchicalConflict {
@@ -80,12 +89,18 @@ impl HierarchicalConflict {
             map,
             policy,
             sampler,
-            pending_sets: BTreeMap::new(),
+            pending_sets: DetMap::new(),
+            spare_sets: Vec::new(),
             active: 0,
             locks_held: 0,
-            active_locks: BTreeMap::new(),
+            active_locks: DetMap::new(),
             stats: CcStats::default(),
             request_buf: Vec::new(),
+            leaves_buf: Vec::new(),
+            targets_buf: Vec::new(),
+            current_buf: Vec::new(),
+            promoted_buf: Vec::new(),
+            woken_scratch: Vec::new(),
         }
     }
 
@@ -122,10 +137,17 @@ impl ConcurrencyControl for HierarchicalConflict {
         _rng: &mut SimRng,
     ) -> ConflictDecision {
         // A retry reuses the granule set from the failed attempt; a first
-        // attempt uses (and remembers) the set passed in.
-        let set: Vec<u64> = match self.pending_sets.remove(&txn) {
+        // attempt uses (and remembers) the set passed in. Set buffers
+        // cycle through the spare pool so the steady state allocates
+        // nothing.
+        let set: Vec<u64> = match self.pending_sets.remove(txn) {
             Some(saved) => saved,
-            None => granules.to_vec(),
+            None => {
+                let mut buf = self.spare_sets.pop().unwrap_or_default();
+                buf.clear();
+                buf.extend_from_slice(granules);
+                buf
+            }
         };
         debug_assert_eq!(
             set.len() as u64,
@@ -135,22 +157,27 @@ impl ConcurrencyControl for HierarchicalConflict {
         // The paper locks exclusively; map each flat granule id to its
         // leaf node and run escalation over the predeclared set.
         let leaf = self.tree.leaf_level();
-        let leaves: Vec<NodeId> = set
-            .iter()
-            .map(|&g| NodeId {
-                level: leaf,
-                index: g,
-            })
-            .collect();
-        let (targets, escalations) =
-            escalate_predeclared(&self.tree, self.policy, &leaves, LockMode::X);
+        self.leaves_buf.clear();
+        self.leaves_buf.extend(set.iter().map(|&g| NodeId {
+            level: leaf,
+            index: g,
+        }));
+        let escalations = escalate_predeclared_into(
+            &self.tree,
+            self.policy,
+            &self.leaves_buf,
+            LockMode::X,
+            &mut self.targets_buf,
+            &mut self.current_buf,
+            &mut self.promoted_buf,
+        );
         // Full request: intention locks on every ancestor of every
         // target, then the target itself. `request_all` sorts by flat id
         // and merges duplicates by supremum, so the probe walks the tree
         // root-first and the first conflicting holder is deterministic.
         let mut request = std::mem::take(&mut self.request_buf);
         request.clear();
-        for (node, mode) in &targets {
+        for (node, mode) in &self.targets_buf {
             for a in self.tree.ancestors(*node) {
                 request.push((self.tree.flat_id(a), mode.required_ancestor_intent()));
             }
@@ -163,6 +190,7 @@ impl ConcurrencyControl for HierarchicalConflict {
                 self.active += 1;
                 self.locks_held += locks;
                 self.active_locks.insert(txn, locks);
+                self.spare_sets.push(set);
                 self.stats.escalations += escalations;
                 // Count the intention locks actually granted (after the
                 // supremum merge) by inspecting the holdings.
@@ -170,8 +198,7 @@ impl ConcurrencyControl for HierarchicalConflict {
                 self.stats.intent_locks += self
                     .scheduler
                     .holdings(TxnId(txn))
-                    .iter()
-                    .filter(|&&g| {
+                    .filter(|&g| {
                         matches!(
                             table.held_mode(TxnId(txn), g),
                             Some(LockMode::IS | LockMode::IX | LockMode::SIX)
@@ -190,13 +217,16 @@ impl ConcurrencyControl for HierarchicalConflict {
     fn release(&mut self, txn: TxnSerial, woken: &mut Vec<TxnSerial>) {
         let locks = self
             .active_locks
-            .remove(&txn)
+            .remove(txn)
             // Protocol invariant: the system releases only transactions
             // it admitted.
             .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
         self.active -= 1;
         self.locks_held -= locks;
-        woken.extend(self.scheduler.release(TxnId(txn)).into_iter().map(|t| t.0));
+        let mut retry = std::mem::take(&mut self.woken_scratch);
+        self.scheduler.release_into(TxnId(txn), &mut retry);
+        woken.extend(retry.iter().map(|t| t.0));
+        self.woken_scratch = retry;
     }
 
     fn active_count(&self) -> usize {
@@ -226,16 +256,23 @@ impl ConcurrencyControl for HierarchicalConflict {
         }
         self.policy = Self::policy_of(&spec);
         self.sampler = sampler;
-        // Same rationale as the explicit model: the scheduler may hold
-        // locks for in-flight transactions at the horizon, so rebuild it.
-        self.scheduler = ConservativeScheduler::new();
+        // Reset-equals-fresh throughout: the scheduler, the slot maps and
+        // the pooled set buffers all keep their allocations.
+        self.scheduler.reset();
+        // Recycle pending set buffers before dropping the map entries.
+        while let Some(key) = self.pending_sets.iter().next().map(|(k, _)| k) {
+            if let Some(mut set) = self.pending_sets.remove(key) {
+                set.clear();
+                self.spare_sets.push(set);
+            }
+        }
         self.pending_sets.clear();
         self.active = 0;
         self.locks_held = 0;
         self.active_locks.clear();
         self.stats = CcStats::default();
-        // `request_buf` is cleared at each use; keeping its capacity is
-        // the point.
+        // The scratch buffers are cleared at each use; keeping their
+        // capacity is the point.
         true
     }
 }

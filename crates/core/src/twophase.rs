@@ -30,12 +30,10 @@
 //! through [`ConcurrencyControl::drain_deadlock_effects`] after every
 //! attempt.
 
-use std::collections::BTreeMap;
-
 use lockgran_lockmgr::{
-    AcquireOutcome, GranuleId, LockMode, RetryOutcome, TwoPhaseScheduler, TxnId,
+    AcquireEffects, AcquireStatus, GranuleId, LockMode, RetryOutcome, TwoPhaseScheduler, TxnId,
 };
-use lockgran_sim::SimRng;
+use lockgran_sim::{DetMap, SimRng};
 
 use crate::config::{ConflictMode, ModelConfig};
 use crate::conflict::{AccessSampler, CcStats, ConcurrencyControl, ConflictDecision, TxnSerial};
@@ -63,9 +61,15 @@ pub struct TwoPhaseConflict {
     /// Progress per simulator slot, present from first `try_acquire`
     /// until `release`; survives deadlock aborts (the replay re-locks the
     /// same saved set under the same age id).
-    progress: BTreeMap<TxnSerial, Progress>,
+    progress: DetMap<Progress>,
+    /// Spare granule-set buffers recycled through `progress`.
+    spare_sets: Vec<Vec<u64>>,
     /// Reverse map: internal age id → simulator slot.
-    slot_of: BTreeMap<u64, TxnSerial>,
+    slot_of: DetMap<TxnSerial>,
+    /// Reusable side-effect buffers for the scheduler's acquire path.
+    effects: AcquireEffects,
+    /// Scratch: wake list of the current release.
+    woken_scratch: Vec<TxnId>,
     /// Fully granted (running) transactions.
     active: usize,
     /// Locks currently held, including the partial holdings of blocked
@@ -87,8 +91,11 @@ impl TwoPhaseConflict {
             scheduler: TwoPhaseScheduler::new(),
             sampler: Some(sampler),
             next_id: 0,
-            progress: BTreeMap::new(),
-            slot_of: BTreeMap::new(),
+            progress: DetMap::new(),
+            spare_sets: Vec::new(),
+            slot_of: DetMap::new(),
+            effects: AcquireEffects::default(),
+            woken_scratch: Vec::new(),
             active: 0,
             locks_held: 0,
             deadlocks: 0,
@@ -102,16 +109,49 @@ impl TwoPhaseConflict {
         &self.scheduler
     }
 
+    /// Pre-size every per-transaction structure for the closed system
+    /// `cfg` describes: `ntrans` simulated terminals bound the concurrent
+    /// transactions, and `min(size.max(), ltot)` bounds the locks each
+    /// can hold — so the steady state stays allocation-free even when a
+    /// record waiter count or holdings high-water mark first occurs deep
+    /// into a run. Worst-case provisioning only makes sense while the
+    /// worst case is small: past a fixed budget (capacity-scale MPL
+    /// sweeps) the slabs are left to warm lazily instead of eagerly
+    /// committing hundreds of megabytes to records never reached.
+    pub fn prewarm(&mut self, cfg: &ModelConfig) {
+        /// Provisioned-entry ceiling above which eager warm-up is skipped.
+        const BUDGET: usize = 1 << 20;
+        let txns = cfg.ntrans as usize;
+        let per_txn = (cfg.size.max().min(cfg.ltot) as usize).max(1);
+        let records = txns.saturating_mul(per_txn).saturating_add(txns);
+        if records > BUDGET || txns.saturating_mul(txns) > BUDGET {
+            return;
+        }
+        self.scheduler.prewarm(txns, records);
+        self.progress.reserve(txns);
+        self.slot_of.reserve(txns);
+        self.effects.blockers.reserve(txns);
+        self.effects.victims.reserve(txns);
+        self.effects.granted.reserve(txns);
+        self.woken_scratch.reserve(txns);
+        self.aborted_fx.reserve(txns);
+        self.woken_fx.reserve(txns);
+    }
+
     /// The simulator slot behind an internal age id.
     fn slot_for(&self, id: TxnId) -> TxnSerial {
-        self.slot_of[&id.0]
+        match self.slot_of.get(id.0) {
+            Some(&slot) => slot,
+            // Every id the scheduler reports maps to a registered slot.
+            None => unreachable!("unregistered transaction id {id:?}"),
+        }
     }
 
     /// Record one granted lock for `slot`'s next granule.
     fn advance(&mut self, slot: TxnSerial) {
         let p = self
             .progress
-            .get_mut(&slot)
+            .get_mut(slot)
             // lint:allow(P001): every id the scheduler reports maps to a
             // registered slot — grants only reach queued transactions
             .expect("grant for unregistered transaction");
@@ -140,7 +180,9 @@ impl ConcurrencyControl for TwoPhaseConflict {
     ) -> ConflictDecision {
         // First attempt registers the declared set under a fresh age id;
         // wake-up retries and deadlock replays resume the saved entry.
-        if !self.progress.contains_key(&txn) {
+        // Set buffers cycle through the spare pool so the steady state
+        // allocates nothing.
+        if !self.progress.contains_key(txn) {
             debug_assert_eq!(
                 granules.len() as u64,
                 locks,
@@ -148,41 +190,43 @@ impl ConcurrencyControl for TwoPhaseConflict {
             );
             let id = self.next_id;
             self.next_id += 1;
-            self.progress.insert(
-                txn,
-                Progress {
-                    id,
-                    set: granules.to_vec(),
-                    cursor: 0,
-                },
-            );
+            let mut set = self.spare_sets.pop().unwrap_or_default();
+            set.clear();
+            set.extend_from_slice(granules);
+            self.progress.insert(txn, Progress { id, set, cursor: 0 });
             self.slot_of.insert(id, txn);
         }
         loop {
             let (id, granule) = {
-                let p = &self.progress[&txn];
+                let p = match self.progress.get(txn) {
+                    Some(p) => p,
+                    None => unreachable!("progress entry registered above"),
+                };
                 if p.cursor == p.set.len() {
                     break;
                 }
                 (TxnId(p.id), GranuleId(p.set[p.cursor]))
             };
             // The paper locks granules exclusively: any overlap conflicts.
-            match self.scheduler.acquire(id, granule, LockMode::X) {
-                AcquireOutcome::Granted => self.advance(txn),
-                AcquireOutcome::Waiting { blockers } => {
-                    return ConflictDecision::BlockedBy(self.slot_for(blockers[0]));
+            let mut fx = std::mem::take(&mut self.effects);
+            let status = self
+                .scheduler
+                .acquire_into(id, granule, LockMode::X, &mut fx);
+            let decision = match status {
+                AcquireStatus::Granted => {
+                    self.advance(txn);
+                    None
                 }
-                AcquireOutcome::Deadlock {
-                    victims,
-                    granted,
-                    retry,
-                } => {
-                    self.deadlocks += victims.len() as u64;
-                    for v in victims {
+                AcquireStatus::Waiting => {
+                    Some(ConflictDecision::BlockedBy(self.slot_for(fx.blockers[0])))
+                }
+                AcquireStatus::Deadlock { retry } => {
+                    self.deadlocks += fx.victims.len() as u64;
+                    for &v in &fx.victims {
                         let vslot = self.slot_for(v);
                         let p = self
                             .progress
-                            .get_mut(&vslot)
+                            .get_mut(vslot)
                             // lint:allow(P001): victims are waiting
                             // transactions, which are always registered
                             .expect("victim without progress entry");
@@ -194,16 +238,22 @@ impl ConcurrencyControl for TwoPhaseConflict {
                             self.aborted_fx.push(vslot);
                         }
                     }
-                    for g in granted {
-                        let gslot = self.slot_for(g);
+                    for i in 0..fx.granted.len() {
+                        let gslot = self.slot_for(fx.granted[i]);
                         self.advance(gslot);
                         self.woken_fx.push(gslot);
                     }
                     match retry {
-                        RetryOutcome::SelfAborted => return ConflictDecision::Aborted,
-                        RetryOutcome::Granted => self.advance(txn),
+                        RetryOutcome::SelfAborted => Some(ConflictDecision::Aborted),
+                        RetryOutcome::Granted => {
+                            self.advance(txn);
+                            None
+                        }
                         RetryOutcome::StillWaiting => {
-                            let id = TxnId(self.progress[&txn].id);
+                            let id = match self.progress.get(txn) {
+                                Some(p) => TxnId(p.id),
+                                None => unreachable!("surviving requester stays registered"),
+                            };
                             let blocker = self
                                 .scheduler
                                 .blockers_of(id)
@@ -213,10 +263,14 @@ impl ConcurrencyControl for TwoPhaseConflict {
                                 // least one waits-for edge (see
                                 // TwoPhaseScheduler::blockers_of)
                                 .expect("queued 2PL request with no waits-for edge");
-                            return ConflictDecision::BlockedBy(self.slot_for(blocker));
+                            Some(ConflictDecision::BlockedBy(self.slot_for(blocker)))
                         }
                     }
                 }
+            };
+            self.effects = fx;
+            if let Some(d) = decision {
+                return d;
             }
         }
         self.active += 1;
@@ -224,11 +278,11 @@ impl ConcurrencyControl for TwoPhaseConflict {
     }
 
     fn release(&mut self, txn: TxnSerial, woken: &mut Vec<TxnSerial>) {
-        let p = self
+        let mut p = self
             .progress
-            .remove(&txn)
+            .remove(txn)
             .unwrap_or_else(|| panic!("release of inactive transaction {txn}"));
-        self.slot_of.remove(&p.id);
+        self.slot_of.remove(p.id);
         debug_assert_eq!(
             p.cursor,
             p.set.len(),
@@ -236,11 +290,17 @@ impl ConcurrencyControl for TwoPhaseConflict {
         );
         self.locks_held -= p.cursor as u64;
         self.active -= 1;
-        for t in self.scheduler.release(TxnId(p.id)) {
+        let id = p.id;
+        p.set.clear();
+        self.spare_sets.push(std::mem::take(&mut p.set));
+        let mut granted = std::mem::take(&mut self.woken_scratch);
+        self.scheduler.release_into(TxnId(id), &mut granted);
+        for &t in &granted {
             let slot = self.slot_for(t);
             self.advance(slot);
             woken.push(slot);
         }
+        self.woken_scratch = granted;
     }
 
     fn drain_deadlock_effects(&mut self, aborted: &mut Vec<TxnSerial>, woken: &mut Vec<TxnSerial>) {
@@ -268,20 +328,30 @@ impl ConcurrencyControl for TwoPhaseConflict {
         if cfg.conflict != ConflictMode::Twophase {
             return false;
         }
-        // The scheduler may still hold locks for transactions in flight
-        // at the horizon and exposes no bulk clear, so it is rebuilt; the
-        // maps are emptied and the effect buffers keep their capacity
-        // (an empty Vec is indistinguishable from a fresh one).
-        self.scheduler = TwoPhaseScheduler::new();
+        // Reset-equals-fresh throughout: the scheduler, the slot maps and
+        // the pooled set buffers all keep their allocations.
+        self.scheduler.reset();
         self.sampler = Some(AccessSampler::from_config(cfg));
         self.next_id = 0;
+        // Recycle in-flight set buffers before dropping the map entries.
+        while let Some(key) = self.progress.iter().next().map(|(k, _)| k) {
+            if let Some(mut p) = self.progress.remove(key) {
+                p.set.clear();
+                self.spare_sets.push(std::mem::take(&mut p.set));
+            }
+        }
         self.progress.clear();
         self.slot_of.clear();
+        self.effects.clear();
+        self.woken_scratch.clear();
         self.active = 0;
         self.locks_held = 0;
         self.deadlocks = 0;
         self.aborted_fx.clear();
         self.woken_fx.clear();
+        // The new configuration may raise the multiprogramming level:
+        // re-provision for it (a no-op when capacity already suffices).
+        self.prewarm(cfg);
         true
     }
 }

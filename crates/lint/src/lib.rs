@@ -34,6 +34,7 @@
 //! | D002 | `std::time::{Instant, SystemTime}` (wall-clock reads) | all but `crates/bench` |
 //! | D003 | `==`/`!=` against a float literal | library code |
 //! | D004 | raw `thread::spawn` / `mpsc` outside the worker pool | all but `crates/sim/src/pool.rs` |
+//! | D005 | `BTreeMap`/`BTreeSet` on the lock-manager hot path (use `DetMap`) | lockmgr hot modules |
 //! | P001 | `.unwrap()` / `.expect("…")` panics | library code |
 //! | P002 | `.remove(0)` front-shift (use `VecDeque::pop_front`) | library code |
 //! | Z001 | non-local dependency in a `Cargo.toml` | all manifests |
@@ -102,6 +103,8 @@ pub enum Rule {
     D003,
     /// Raw threading primitives outside the deterministic worker pool.
     D004,
+    /// Ordered maps on the lock-manager hot path (use `DetMap`).
+    D005,
     /// Panicking calls in library code.
     P001,
     /// O(n) front-removal from a `Vec` in library code.
@@ -136,6 +139,7 @@ impl Rule {
             Rule::D002 => "D002",
             Rule::D003 => "D003",
             Rule::D004 => "D004",
+            Rule::D005 => "D005",
             Rule::P001 => "P001",
             Rule::P002 => "P002",
             Rule::Z001 => "Z001",
@@ -152,11 +156,12 @@ impl Rule {
     }
 
     /// Every rule in the catalog.
-    pub const ALL: [Rule; 16] = [
+    pub const ALL: [Rule; 17] = [
         Rule::D001,
         Rule::D002,
         Rule::D003,
         Rule::D004,
+        Rule::D005,
         Rule::P001,
         Rule::P002,
         Rule::Z001,
@@ -420,8 +425,8 @@ mod tests {
         assert_eq!(
             codes,
             [
-                "D001", "D002", "D003", "D004", "P001", "P002", "Z001", "J001", "L001", "L002",
-                "R001", "R002", "E001", "E002", "E003", "W001"
+                "D001", "D002", "D003", "D004", "D005", "P001", "P002", "Z001", "J001", "L001",
+                "L002", "R001", "R002", "E001", "E002", "E003", "W001"
             ]
         );
     }

@@ -1,4 +1,5 @@
-//! The token-level rule catalog: D001, D002, D003, D004, P001, P002.
+//! The token-level rule catalog: D001, D002, D003, D004, D005, P001,
+//! P002.
 //!
 //! Each rule is a linear scan over the token stream with a small amount
 //! of lookahead/lookbehind. Rules receive the file's [`Scope`] so they
@@ -35,7 +36,23 @@ pub fn check_tokens(
     if path != "crates/sim/src/pool.rs" {
         check_raw_threading(src, tokens, &mut sink);
     }
+    // D005 is gated to the lock manager's per-request modules; ordered
+    // maps elsewhere (escalation bookkeeping, the reference oracle) are
+    // legitimate and stay unflagged.
+    if HOT_LOCK_MODULES.contains(&path) {
+        check_ordered_map_hot_path(src, tokens, &mut sink);
+    }
 }
+
+/// The lock-manager modules on the per-request path, where every map
+/// lookup sits inside the acquire/release cycle.
+const HOT_LOCK_MODULES: [&str; 5] = [
+    "crates/lockmgr/src/table.rs",
+    "crates/lockmgr/src/deadlock.rs",
+    "crates/lockmgr/src/conservative.rs",
+    "crates/lockmgr/src/twophase.rs",
+    "crates/lockmgr/src/sharded.rs",
+];
 
 struct Sink<'a> {
     path: &'a str,
@@ -77,7 +94,8 @@ fn check_hash_containers(src: &str, tokens: &[Token], sink: &mut Sink<'_>) {
                 Rule::D001,
                 t,
                 format!(
-                    "`{name}` iterates in nondeterministic order; use `{ordered}` \
+                    "`{name}` iterates in nondeterministic order; use `{ordered}`, \
+                     or `lockgran_sim::DetMap` for a `u64`-keyed hot path \
                      (or add `// lint:allow(D001): <why order cannot leak>`)"
                 ),
             );
@@ -197,6 +215,34 @@ fn check_raw_threading(src: &str, tokens: &[Token], sink: &mut Sink<'_>) {
                      `lockgran_sim::pool::WorkerPool` so results gather in \
                      submission order (or add \
                      `// lint:allow(D004): <why ordering cannot leak>`)"
+                ),
+            );
+        }
+    }
+}
+
+/// D005: `BTreeMap` / `BTreeSet` inside a lock-manager hot-path module
+/// (see [`HOT_LOCK_MODULES`]). Per-request granule and transaction
+/// lookups were rebuilt on the O(1) `lockgran_sim::DetMap`; an ordered
+/// map sneaking back in reintroduces O(log n) pointer-chasing on every
+/// acquire/release. Ordered iteration that is actually required (a
+/// diagnostic dump, a deterministic sweep) can be vouched for with an
+/// allow.
+fn check_ordered_map_hot_path(src: &str, tokens: &[Token], sink: &mut Sink<'_>) {
+    for t in tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text(src);
+        if name == "BTreeMap" || name == "BTreeSet" {
+            sink.emit(
+                Rule::D005,
+                t,
+                format!(
+                    "`{name}` on the lock-manager hot path costs O(log n) \
+                     pointer-chasing per request; use `lockgran_sim::DetMap` \
+                     (O(1), deterministic insertion-order iteration) or add \
+                     `// lint:allow(D005): <why ordered lookup is required>`"
                 ),
             );
         }
@@ -404,6 +450,43 @@ mod tests {
         assert!(codes("http::Builder::new();", Scope::Library).is_empty());
         // Sleeping is not a fan-out.
         assert!(codes("thread::sleep(d);", Scope::Library).is_empty());
+    }
+
+    #[test]
+    fn d005_flags_ordered_maps_in_hot_lock_modules() {
+        for module in HOT_LOCK_MODULES {
+            assert_eq!(
+                run_at(module, "use std::collections::BTreeMap;", Scope::Library)
+                    .iter()
+                    .map(|d| d.rule.code())
+                    .collect::<Vec<_>>(),
+                vec!["D005"],
+                "{module}"
+            );
+        }
+        let diags = run_at(
+            "crates/lockmgr/src/table.rs",
+            "struct T { waits: BTreeSet<u64> }",
+            Scope::Library,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("DetMap"));
+    }
+
+    #[test]
+    fn d005_exempts_cold_modules_and_other_crates() {
+        // The reference oracle and escalation bookkeeping are off the
+        // per-request path; ordered maps there are the point.
+        for path in [
+            "crates/lockmgr/src/reference.rs",
+            "crates/lockmgr/src/escalation.rs",
+            "crates/core/src/system.rs",
+        ] {
+            assert!(
+                run_at(path, "use std::collections::BTreeMap;", Scope::Library).is_empty(),
+                "{path}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! Fixture: D005 — ordered maps inside a lock-manager hot-path module.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub struct Table {
+    entries: BTreeMap<u64, u32>,
+    dirty: BTreeSet<u64>,
+}
+
+// lint:allow(D005): diagnostics-only snapshot, not on the request path
+pub fn snapshot(entries: &BTreeMap<u64, u32>) -> usize {
+    entries.len()
+}

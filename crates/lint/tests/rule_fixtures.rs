@@ -90,6 +90,34 @@ fn d004_raw_threading() {
 }
 
 #[test]
+fn d005_ordered_maps_in_hot_lock_module() {
+    assert_eq!(
+        lint_fixture_at("d005.rs", "crates/lockmgr/src/table.rs"),
+        vec![
+            (3, 23, "D005"),
+            (4, 23, "D005"),
+            (7, 14, "D005"),
+            (8, 12, "D005"),
+            // The allowed occurrence (line 12) is suppressed.
+        ]
+    );
+}
+
+#[test]
+fn d005_gated_to_hot_lock_modules() {
+    // The reference oracle keeps its ordered maps on purpose; the same
+    // source there (or in any other crate) is exempt. (Its now-idle
+    // allow is reported as stale, which is W001's job, not D005's.)
+    for rel in [
+        "crates/lockmgr/src/reference.rs",
+        "crates/core/src/conflict.rs",
+    ] {
+        let diags = lint_fixture_at("d005.rs", rel);
+        assert!(diags.iter().all(|d| d.2 != "D005"), "{rel}: {diags:?}");
+    }
+}
+
+#[test]
 fn p001_panicking_calls() {
     assert_eq!(
         lint_fixture("p001.rs"),

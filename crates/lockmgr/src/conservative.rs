@@ -11,8 +11,12 @@
 //!
 //! Retries are all-or-nothing as well, so the scheduler never holds a
 //! partial lock set and the no-deadlock guarantee is preserved.
+//!
+//! The blocked/blocks indexes live in [`DetMap`]s and every per-request
+//! buffer is pooled, so the steady-state request/release cycle allocates
+//! nothing (the paper's sweeps hammer this path at every granularity).
 
-use std::collections::BTreeMap;
+use lockgran_sim::DetMap;
 
 use crate::mode::LockMode;
 use crate::table::{GranuleId, LockTable, TxnId};
@@ -35,17 +39,51 @@ pub enum ConservativeOutcome {
 #[derive(Default, Debug)]
 pub struct ConservativeScheduler {
     table: LockTable,
-    /// Blocked transaction → the holder it waits for, plus its saved
-    /// request for inspection.
-    blocked: BTreeMap<TxnId, TxnId>,
+    /// Blocked transaction → the holder it waits for.
+    blocked: DetMap<TxnId>,
     /// Reverse index: holder → transactions blocked on it (FIFO).
-    blocks: BTreeMap<TxnId, Vec<TxnId>>,
+    blocks: DetMap<Vec<TxnId>>,
+    /// Spare wake lists recycled through `blocks` (alloc-free steady state).
+    spare_lists: Vec<Vec<TxnId>>,
+    /// Scratch: merged request set for the current `request_all`.
+    merge_scratch: Vec<(GranuleId, LockMode)>,
+    /// Scratch: sorted copy of the caller's request set.
+    sort_scratch: Vec<(GranuleId, LockMode)>,
+    /// Scratch: blocker sink for the acquire phase.
+    blocker_scratch: Vec<TxnId>,
+    /// Scratch: promotion sink for release (asserted empty).
+    promote_scratch: Vec<(TxnId, GranuleId, LockMode)>,
 }
 
 impl ConservativeScheduler {
     /// An empty scheduler.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Drop all scheduler and table state but keep every allocation
+    /// (reset-equals-fresh).
+    pub fn reset(&mut self) {
+        self.table.reset();
+        self.blocked.clear();
+        // Recycle the wake lists still parked in the index.
+        let mut keys_done = false;
+        while !keys_done {
+            let key = self.blocks.iter().next().map(|(k, _)| k);
+            match key {
+                Some(k) => {
+                    if let Some(mut v) = self.blocks.remove(k) {
+                        v.clear();
+                        self.spare_lists.push(v);
+                    }
+                }
+                None => keys_done = true,
+            }
+        }
+        self.merge_scratch.clear();
+        self.sort_scratch.clear();
+        self.blocker_scratch.clear();
+        self.promote_scratch.clear();
     }
 
     /// Atomically request the full lock set for `txn`. The set must be
@@ -65,69 +103,95 @@ impl ConservativeScheduler {
         locks: &[(GranuleId, LockMode)],
     ) -> ConservativeOutcome {
         assert!(
-            self.table.holdings(txn).is_empty(),
+            self.table.holdings(txn).next().is_none(),
             "{txn:?} already holds locks"
         );
         assert!(
-            !self.blocked.contains_key(&txn),
+            !self.blocked.contains_key(txn.0),
             "{txn:?} is already blocked"
         );
 
-        // Merge duplicates deterministically.
-        let mut merged: Vec<(GranuleId, LockMode)> = Vec::with_capacity(locks.len());
-        let mut sorted = locks.to_vec();
+        // Merge duplicates deterministically, in pooled scratch buffers.
+        let mut sorted = std::mem::take(&mut self.sort_scratch);
+        sorted.clear();
+        sorted.extend_from_slice(locks);
         sorted.sort_by_key(|(g, _)| *g);
-        for (g, m) in sorted {
+        let mut merged = std::mem::take(&mut self.merge_scratch);
+        merged.clear();
+        for (g, m) in sorted.iter().copied() {
             match merged.last_mut() {
                 Some((lg, lm)) if *lg == g => *lm = lm.supremum(m),
                 _ => merged.push((g, m)),
             }
         }
+        self.sort_scratch = sorted;
 
         // Probe phase: find the first conflict without acquiring anything.
         for (g, m) in &merged {
-            let conflicts = self.table.conflicts_with(txn, *g, *m);
-            if let Some(&blocker) = conflicts.first() {
-                self.blocked.insert(txn, blocker);
-                self.blocks.entry(blocker).or_default().push(txn);
+            if let Some(blocker) = self.table.first_conflict(txn, *g, *m) {
+                self.blocked.insert(txn.0, blocker);
+                let list = self.blocks.get_or_insert_with(blocker.0, Vec::new);
+                if list.capacity() == 0 {
+                    if let Some(spare) = self.spare_lists.pop() {
+                        *list = spare;
+                    }
+                }
+                list.push(txn);
+                self.merge_scratch = merged;
                 return ConservativeOutcome::Blocked { blocker };
             }
         }
 
         // Acquire phase: by construction every request is grantable, and
         // single-threaded use means nothing changed since the probe.
+        let mut blockers = std::mem::take(&mut self.blocker_scratch);
         for (g, m) in &merged {
-            let out = self.table.lock(txn, *g, *m);
-            debug_assert_eq!(
-                out,
-                crate::table::LockOutcome::Granted,
-                "probe said grantable but lock queued"
-            );
+            let granted = self.table.lock_into(txn, *g, *m, &mut blockers);
+            debug_assert!(granted, "probe said grantable but lock queued");
         }
+        self.blocker_scratch = blockers;
+        self.merge_scratch = merged;
         ConservativeOutcome::Granted
     }
 
     /// Release everything `txn` holds and return the transactions that
-    /// were blocked on it, in the order they blocked. The caller re-issues
+    /// were blocked on it (allocating wrapper around
+    /// [`ConservativeScheduler::release_into`]).
+    pub fn release(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let mut woken = Vec::new();
+        self.release_into(txn, &mut woken);
+        woken
+    }
+
+    /// Release everything `txn` holds and append the transactions that
+    /// were blocked on it to `woken` (cleared first), in the order they
+    /// blocked. The caller re-issues
     /// [`ConservativeScheduler::request_all`] for each (they may block
     /// again, possibly on a different holder).
-    pub fn release(&mut self, txn: TxnId) -> Vec<TxnId> {
-        let promoted = self.table.release_all(txn);
+    pub fn release_into(&mut self, txn: TxnId, woken: &mut Vec<TxnId>) {
+        woken.clear();
+        let mut promoted = std::mem::take(&mut self.promote_scratch);
+        self.table.release_all_into(txn, &mut promoted);
         debug_assert!(
             promoted.is_empty(),
             "conservative scheduler never leaves waiters inside the table"
         );
-        let woken = self.blocks.remove(&txn).unwrap_or_default();
-        for t in &woken {
-            let removed = self.blocked.remove(t);
+        promoted.clear();
+        self.promote_scratch = promoted;
+        if let Some(mut list) = self.blocks.remove(txn.0) {
+            woken.extend_from_slice(&list);
+            list.clear();
+            self.spare_lists.push(list);
+        }
+        for t in woken.iter() {
+            let removed = self.blocked.remove(t.0);
             debug_assert_eq!(removed, Some(txn));
         }
-        woken
     }
 
     /// The holder `txn` is currently blocked on, if any.
     pub fn blocked_on(&self, txn: TxnId) -> Option<TxnId> {
-        self.blocked.get(&txn).copied()
+        self.blocked.get(txn.0).copied()
     }
 
     /// Number of currently blocked transactions.
@@ -135,8 +199,8 @@ impl ConservativeScheduler {
         self.blocked.len()
     }
 
-    /// Granules currently held by `txn`.
-    pub fn holdings(&self, txn: TxnId) -> &[GranuleId] {
+    /// Granules currently held by `txn`, in acquisition order.
+    pub fn holdings(&self, txn: TxnId) -> impl Iterator<Item = GranuleId> + '_ {
         self.table.holdings(txn)
     }
 
@@ -148,17 +212,23 @@ impl ConservativeScheduler {
     /// Check scheduler + table invariants.
     pub fn check_invariants(&self) -> Result<(), String> {
         self.table.check_invariants()?;
-        for (waiter, holder) in &self.blocked {
-            if !self.blocks.get(holder).is_some_and(|v| v.contains(waiter)) {
+        for (waiter, holder) in self.blocked.iter() {
+            let waiter = TxnId(waiter);
+            if !self
+                .blocks
+                .get(holder.0)
+                .is_some_and(|v| v.contains(&waiter))
+            {
                 return Err(format!("{waiter:?} blocked on {holder:?} but not indexed"));
             }
-            if !self.table.holdings(*waiter).is_empty() {
+            if self.table.holdings(waiter).next().is_some() {
                 return Err(format!("blocked {waiter:?} holds locks"));
             }
         }
-        for (holder, waiters) in &self.blocks {
+        for (holder, waiters) in self.blocks.iter() {
+            let holder = TxnId(holder);
             for w in waiters {
-                if self.blocked.get(w) != Some(holder) {
+                if self.blocked.get(w.0) != Some(&holder) {
                     return Err(format!("index lists {w:?} under {holder:?} spuriously"));
                 }
             }
@@ -298,6 +368,20 @@ mod tests {
         let mut s = ConservativeScheduler::new();
         assert_eq!(s.request_all(t(1), &[]), ConservativeOutcome::Granted);
         assert!(s.release(t(1)).is_empty());
+    }
+
+    #[test]
+    fn reset_behaves_like_fresh() {
+        let mut s = ConservativeScheduler::new();
+        s.request_all(t(1), &xs(&[0, 1]));
+        assert!(matches!(
+            s.request_all(t(2), &xs(&[1])),
+            ConservativeOutcome::Blocked { .. }
+        ));
+        s.reset();
+        assert_eq!(s.blocked_count(), 0);
+        assert_eq!(s.request_all(t(2), &xs(&[1])), ConservativeOutcome::Granted);
+        s.check_invariants().unwrap();
     }
 
     #[test]

@@ -5,15 +5,46 @@
 //! held (or queued ahead) by `B`, and searches for cycles after each new
 //! edge. The conservative protocol the paper simulates never needs this —
 //! all locks are pre-declared — but the [`crate::twophase`] extension does.
+//!
+//! Adjacency lists are kept sorted (ascending holder id, matching the old
+//! `BTreeSet` layout bit for bit) and recycled through a spare pool, and
+//! the DFS reuses stamped per-node colours plus persistent path/stack
+//! buffers — steady-state detection allocates nothing.
 
-use std::collections::{BTreeMap, BTreeSet};
+use lockgran_sim::DetMap;
 
 use crate::table::TxnId;
+
+/// DFS colour: on the current path.
+const GRAY: u8 = 1;
+/// DFS colour: fully explored, not on any cycle reachable this pass.
+const BLACK: u8 = 2;
+
+/// Per-transaction adjacency record.
+#[derive(Debug, Default)]
+struct Node {
+    /// Holders this transaction waits on, sorted ascending.
+    out: Vec<TxnId>,
+    /// DFS pass that last coloured this node.
+    stamp: u64,
+    /// Colour, valid only when `stamp` equals the current pass.
+    color: u8,
+}
 
 /// A directed waits-for graph over transactions.
 #[derive(Default, Debug)]
 pub struct WaitsForGraph {
-    edges: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    nodes: DetMap<Node>,
+    /// Spare adjacency lists recycled through `nodes`.
+    spare: Vec<Vec<TxnId>>,
+    /// Current DFS pass number (stamps validate per-node colours).
+    version: u64,
+    /// DFS scratch: the current path, reused across calls.
+    path: Vec<TxnId>,
+    /// DFS scratch: explicit stack of (node, next-neighbor index).
+    stack: Vec<(TxnId, usize)>,
+    /// The most recent cycle found (backs the returned slice).
+    cycle: Vec<TxnId>,
 }
 
 impl WaitsForGraph {
@@ -22,31 +53,83 @@ impl WaitsForGraph {
         Self::default()
     }
 
+    /// Drop every edge but keep node slabs, pooled adjacency lists and
+    /// DFS scratch (reset-equals-fresh).
+    pub fn clear(&mut self) {
+        for node in self.nodes.values_mut() {
+            let mut out = std::mem::take(&mut node.out);
+            out.clear();
+            self.spare.push(out);
+        }
+        self.nodes.clear();
+        self.path.clear();
+        self.stack.clear();
+        self.cycle.clear();
+    }
+
+    /// Pre-size every internal structure so `txns` concurrent waiters can
+    /// add, search and drop edges without touching the allocator — the
+    /// warm-up hook for closed systems where the multiprogramming level
+    /// bounds concurrent transactions. Without it the same capacities are
+    /// reached lazily, which is amortized-cheap but not *silent*: a
+    /// record waiter count late in a run still allocates.
+    pub fn prewarm(&mut self, txns: usize) {
+        self.nodes.reserve(txns);
+        self.spare.reserve(txns);
+        while self.spare.len() < txns {
+            self.spare.push(Vec::with_capacity(txns));
+        }
+        let bound = txns + 1;
+        self.path.reserve(bound);
+        self.stack.reserve(bound);
+        self.cycle.reserve(bound);
+    }
+
     /// Add the edge `waiter → holder`. Self-edges are ignored (a
     /// transaction never waits on itself).
     pub fn add_edge(&mut self, waiter: TxnId, holder: TxnId) {
-        if waiter != holder {
-            self.edges.entry(waiter).or_default().insert(holder);
+        if waiter == holder {
+            return;
+        }
+        let node = self.nodes.get_or_insert_with(waiter.0, Node::default);
+        if node.out.capacity() == 0 {
+            if let Some(spare) = self.spare.pop() {
+                node.out = spare;
+            }
+        }
+        if let Err(pos) = node.out.binary_search(&holder) {
+            node.out.insert(pos, holder);
+        }
+        // DFS depth is bounded by the node count, so growing the scratch
+        // buffers *here* — when the node-count record is set — keeps the
+        // search itself allocation-free: a record-length chain discovered
+        // late in a run finds capacity already provisioned by the earlier
+        // record in concurrent waiters.
+        let bound = self.nodes.len() + 1;
+        if self.path.capacity() < bound {
+            self.path.reserve(bound);
+            self.stack.reserve(bound);
+            self.cycle.reserve(bound);
         }
     }
 
     /// Remove a specific edge.
     pub fn remove_edge(&mut self, waiter: TxnId, holder: TxnId) {
-        if let Some(out) = self.edges.get_mut(&waiter) {
-            out.remove(&holder);
-            if out.is_empty() {
-                self.edges.remove(&waiter);
+        if let Some(node) = self.nodes.get_mut(waiter.0) {
+            if let Ok(pos) = node.out.binary_search(&holder) {
+                node.out.remove(pos);
             }
         }
     }
 
     /// Remove every edge into or out of `txn` (it committed or aborted).
     pub fn remove_txn(&mut self, txn: TxnId) {
-        self.edges.remove(&txn);
-        self.edges.retain(|_, out| {
-            out.remove(&txn);
-            !out.is_empty()
-        });
+        self.drop_node(txn);
+        for node in self.nodes.values_mut() {
+            if let Ok(pos) = node.out.binary_search(&txn) {
+                node.out.remove(pos);
+            }
+        }
     }
 
     /// Remove only the edges *out of* `txn` (its wait was satisfied),
@@ -55,84 +138,126 @@ impl WaitsForGraph {
     /// lock: its own wait ended, but anyone waiting on `txn` is now
     /// waiting on a holder — those edges are more valid than ever.
     pub fn remove_outgoing(&mut self, txn: TxnId) {
-        self.edges.remove(&txn);
+        self.drop_node(txn);
     }
 
-    /// Transactions `txn` currently waits on.
+    /// Delete `txn`'s node, recycling its adjacency list.
+    fn drop_node(&mut self, txn: TxnId) {
+        if let Some(mut node) = self.nodes.remove(txn.0) {
+            node.out.clear();
+            self.spare.push(std::mem::take(&mut node.out));
+        }
+    }
+
+    /// Transactions `txn` currently waits on, ascending.
     pub fn waits_on(&self, txn: TxnId) -> impl Iterator<Item = TxnId> + '_ {
-        self.edges.get(&txn).into_iter().flatten().copied()
+        self.nodes
+            .get(txn.0)
+            .map(|n| n.out.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.values().map(BTreeSet::len).sum()
+        self.nodes.iter().map(|(_, n)| n.out.len()).sum()
     }
 
     /// Find a cycle reachable from `start`, returned as the list of
     /// transactions on the cycle (in waits-for order, starting anywhere on
-    /// the cycle). `None` if `start` is not on/ahead of a cycle.
+    /// the cycle). `None` if `start` is not on/ahead of a cycle. The slice
+    /// is backed by an internal buffer overwritten by the next search.
     ///
     /// Iterative DFS with an explicit stack — transaction chains can be
     /// long under heavy contention and must not overflow the call stack.
-    pub fn find_cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
-        #[derive(Clone, Copy, PartialEq)]
-        enum Color {
-            Gray,
-            Black,
-        }
-        let mut color: BTreeMap<TxnId, Color> = BTreeMap::new();
-        let mut path: Vec<TxnId> = Vec::new();
-        // Stack holds (node, next-neighbor-iterator position).
-        let mut stack: Vec<(TxnId, Vec<TxnId>, usize)> = Vec::new();
+    /// Neighbours are explored ascending, so the cycle found is the same
+    /// one the sorted-set implementation reported.
+    pub fn find_cycle_from(&mut self, start: TxnId) -> Option<&[TxnId]> {
+        self.version += 1;
+        let version = self.version;
+        self.cycle.clear();
+        // A transaction with no outgoing edges (no node) cannot be on or
+        // ahead of a cycle.
+        self.nodes.get(start.0)?;
 
-        let neighbors = |t: TxnId| -> Vec<TxnId> {
-            let mut v: Vec<TxnId> = self.edges.get(&t).into_iter().flatten().copied().collect();
-            v.sort(); // deterministic exploration order
-            v
-        };
-
-        color.insert(start, Color::Gray);
+        let mut path = std::mem::take(&mut self.path);
+        let mut stack = std::mem::take(&mut self.stack);
+        path.clear();
+        stack.clear();
+        self.color(start, GRAY, version);
         path.push(start);
-        stack.push((start, neighbors(start), 0));
+        stack.push((start, 0));
+        let mut found = false;
 
-        while let Some((node, nbrs, idx)) = stack.last_mut() {
-            if *idx >= nbrs.len() {
-                color.insert(*node, Color::Black);
+        'dfs: while let Some(top) = stack.last_mut() {
+            let (node, idx) = (top.0, top.1);
+            let next = match self.nodes.get(node.0) {
+                Some(n) => n.out.get(idx).copied(),
+                None => None,
+            };
+            let Some(next) = next else {
+                // Out-neighbours exhausted: retire the node.
+                self.color(node, BLACK, version);
                 path.pop();
                 stack.pop();
                 continue;
-            }
-            let next = nbrs[*idx];
-            *idx += 1;
-            match color.get(&next) {
-                Some(Color::Gray) => {
-                    // Found a back edge: the cycle is the path suffix from
-                    // `next`.
-                    let pos = path
-                        .iter()
-                        .position(|&t| t == next)
-                        // lint:allow(P001): a gray node is on the DFS path by
-                        // construction of the coloring
-                        .expect("gray node must be on path");
-                    return Some(path[pos..].to_vec());
+            };
+            top.1 = idx + 1;
+            match self.nodes.get(next.0) {
+                // No outgoing edges: cannot close a cycle, skip.
+                None => {}
+                Some(n) if n.stamp == version && n.color == GRAY => {
+                    // Back edge: the cycle is the path suffix from `next`.
+                    let pos = match path.iter().position(|&t| t == next) {
+                        Some(p) => p,
+                        // A gray node is on the DFS path by construction
+                        // of the colouring.
+                        None => unreachable!("gray node must be on path"),
+                    };
+                    self.cycle.extend_from_slice(&path[pos..]);
+                    found = true;
+                    break 'dfs;
                 }
-                Some(Color::Black) => {}
-                None => {
-                    color.insert(next, Color::Gray);
+                Some(n) if n.stamp == version && n.color == BLACK => {}
+                Some(_) => {
+                    self.color(next, GRAY, version);
                     path.push(next);
-                    let n = neighbors(next);
-                    stack.push((next, n, 0));
+                    stack.push((next, 0));
                 }
+            }
+        }
+
+        self.path = path;
+        self.stack = stack;
+        if found {
+            Some(&self.cycle)
+        } else {
+            None
+        }
+    }
+
+    /// Detect any cycle in the whole graph, probing start nodes in
+    /// ascending id order. The slice is backed by an internal buffer
+    /// overwritten by the next search.
+    pub fn find_any_cycle(&mut self) -> Option<&[TxnId]> {
+        let mut starts: Vec<u64> = self.nodes.keys().collect();
+        starts.sort_unstable();
+        for s in starts {
+            if self.find_cycle_from(TxnId(s)).is_some() {
+                return Some(&self.cycle);
             }
         }
         None
     }
 
-    /// Detect any cycle in the whole graph.
-    pub fn find_any_cycle(&self) -> Option<Vec<TxnId>> {
-        let mut starts: Vec<TxnId> = self.edges.keys().copied().collect();
-        starts.sort();
-        starts.into_iter().find_map(|s| self.find_cycle_from(s))
+    /// Stamp `txn`'s colour for the current pass (no-op for absent nodes —
+    /// they have no out-edges and are never revisited as gray).
+    fn color(&mut self, txn: TxnId, color: u8, version: u64) {
+        if let Some(n) = self.nodes.get_mut(txn.0) {
+            n.stamp = version;
+            n.color = color;
+        }
     }
 }
 
@@ -184,7 +309,7 @@ mod tests {
         g.add_edge(t(1), t(2));
         g.add_edge(t(2), t(3));
         g.add_edge(t(3), t(1));
-        let cycle = g.find_cycle_from(t(0)).expect("cycle");
+        let cycle: Vec<TxnId> = g.find_cycle_from(t(0)).expect("cycle").to_vec();
         assert_eq!(cycle.len(), 3);
         assert!(!cycle.contains(&t(0)));
     }
@@ -253,5 +378,30 @@ mod tests {
         g.remove_edge(t(1), t(2));
         let remaining: Vec<TxnId> = g.waits_on(t(1)).collect();
         assert_eq!(remaining, vec![t(3)]);
+    }
+
+    #[test]
+    fn detection_is_allocation_free_after_warmup() {
+        // Colour stamps + pooled scratch: repeated searches over a live
+        // graph must not grow any buffer once warmed up.
+        let mut g = WaitsForGraph::new();
+        for i in 0..50 {
+            g.add_edge(t(i), t(i + 1));
+        }
+        g.add_edge(t(50), t(25));
+        for _ in 0..100 {
+            assert_eq!(g.find_cycle_from(t(0)).unwrap().len(), 26);
+            assert!(g.find_cycle_from(t(30)).is_some());
+        }
+        // Edges recycle through the spare pool.
+        for i in 0..50 {
+            g.remove_txn(t(i));
+        }
+        assert_eq!(g.edge_count(), 0);
+        for i in 0..50 {
+            g.add_edge(t(i), t(i + 1));
+        }
+        g.add_edge(t(50), t(25));
+        assert_eq!(g.find_cycle_from(t(0)).unwrap().len(), 26);
     }
 }

@@ -63,11 +63,41 @@ pub fn escalate_predeclared(
     leaves: &[NodeId],
     mode: LockMode,
 ) -> (Vec<(NodeId, LockMode)>, u64) {
-    let mut kept: Vec<(NodeId, LockMode)> = Vec::new();
+    let mut kept = Vec::new();
+    let mut current = Vec::new();
+    let mut promoted = Vec::new();
+    let escalations = escalate_predeclared_into(
+        tree,
+        policy,
+        leaves,
+        mode,
+        &mut kept,
+        &mut current,
+        &mut promoted,
+    );
+    (kept, escalations)
+}
+
+/// [`escalate_predeclared`] into caller-owned buffers (each cleared
+/// first), so steady-state callers reuse capacity instead of allocating
+/// three fresh `Vec`s per attempt. `kept` receives the surviving
+/// requests; `current` and `promoted` are pure scratch whose contents
+/// after the call are unspecified. Returns the promotion count.
+pub fn escalate_predeclared_into(
+    tree: &GranuleTree,
+    policy: EscalationPolicy,
+    leaves: &[NodeId],
+    mode: LockMode,
+    kept: &mut Vec<(NodeId, LockMode)>,
+    current: &mut Vec<NodeId>,
+    promoted: &mut Vec<NodeId>,
+) -> u64 {
+    kept.clear();
     let mut escalations = 0u64;
     // Sort (and dedup) so nodes sharing a parent are contiguous; every
     // round works on a single level, so ordering by index suffices.
-    let mut current: Vec<NodeId> = leaves.to_vec();
+    current.clear();
+    current.extend_from_slice(leaves);
     current.sort_unstable_by_key(|n| (n.level.0, n.index));
     current.dedup();
     while let Some(&first) = current.first() {
@@ -76,7 +106,7 @@ pub fn escalate_predeclared(
             kept.extend(current.drain(..).map(|n| (n, mode)));
             break;
         }
-        let mut promoted: Vec<NodeId> = Vec::new();
+        promoted.clear();
         let mut i = 0;
         while i < current.len() {
             let parent = tree
@@ -95,9 +125,9 @@ pub fn escalate_predeclared(
             }
             i = j;
         }
-        current = promoted;
+        std::mem::swap(current, promoted);
     }
-    (kept, escalations)
+    escalations
 }
 
 /// Outcome of one escalation attempt.

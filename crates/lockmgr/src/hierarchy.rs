@@ -301,7 +301,7 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, vec![t(1)]);
         // Roll-back check: t2 holds nothing.
-        assert!(lt.holdings(t(2)).is_empty());
+        assert!(lt.holdings(t(2)).next().is_none());
         lt.check_invariants().unwrap();
     }
 
@@ -328,13 +328,13 @@ mod tests {
         let mut lt = LockTable::new();
         // t2 already reads file 3.
         tr.lock_hierarchical(&mut lt, t(2), node(1, 3), S).unwrap();
-        let before = lt.holdings(t(2)).len();
+        let before = lt.holdings(t(2)).count();
         // t1 X-locks the whole database; t2's next request fails...
         tr.lock_hierarchical(&mut lt, t(1), node(1, 5), X).unwrap();
         let err = tr.lock_hierarchical(&mut lt, t(2), node(1, 5), S);
         assert!(err.is_err());
         // ...but its earlier locks are intact.
-        assert_eq!(lt.holdings(t(2)).len(), before);
+        assert_eq!(lt.holdings(t(2)).count(), before);
         assert_eq!(lt.held_mode(t(2), tr.flat_id(node(1, 3))), Some(S));
         lt.check_invariants().unwrap();
     }

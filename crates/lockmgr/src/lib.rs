@@ -34,6 +34,9 @@
 //! * [`sharded`] — a thread-safe sharded try-lock table, the production
 //!   shape of a lock manager (extension; stress-tested under real
 //!   threads).
+//! * [`reference`] — a naive ordered-map lock table with identical
+//!   semantics, the oracle for the differential property test pinning
+//!   [`table`]'s pooled implementation to an executable specification.
 //!
 //! ## Production status
 //!
@@ -55,6 +58,7 @@ pub mod deadlock;
 pub mod escalation;
 pub mod hierarchy;
 pub mod mode;
+pub mod reference;
 pub mod sharded;
 pub mod table;
 pub mod twophase;
@@ -62,10 +66,14 @@ pub mod twophase;
 pub use conservative::{ConservativeOutcome, ConservativeScheduler};
 pub use deadlock::WaitsForGraph;
 pub use escalation::{
-    escalate_predeclared, EscalationManager, EscalationOutcome, EscalationPolicy,
+    escalate_predeclared, escalate_predeclared_into, EscalationManager, EscalationOutcome,
+    EscalationPolicy,
 };
 pub use hierarchy::{GranuleTree, HierarchyLevel, NodeId};
 pub use mode::LockMode;
+pub use reference::ReferenceLockTable;
 pub use sharded::ShardedLockTable;
 pub use table::{GranuleId, LockOutcome, LockTable, TxnId};
-pub use twophase::{AcquireOutcome, RetryOutcome, TwoPhaseScheduler};
+pub use twophase::{
+    AcquireEffects, AcquireOutcome, AcquireStatus, RetryOutcome, TwoPhaseScheduler,
+};

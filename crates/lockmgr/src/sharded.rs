@@ -14,22 +14,27 @@
 //! * callers retry at their own pace (the conservative protocol's
 //!   blocked queue lives above this layer).
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use lockgran_sim::DetMap;
 
 use crate::mode::LockMode;
 use crate::table::{GranuleId, TxnId};
 
 #[derive(Default)]
 struct Shard {
-    /// granule → granted holders.
-    granted: BTreeMap<u64, Vec<(TxnId, LockMode)>>,
+    /// granule → granted holders (O(1) hashed lookup; see
+    /// [`lockgran_sim::DetMap`]).
+    granted: DetMap<Vec<(TxnId, LockMode)>>,
+    /// Spare holder lists recycled through `granted`, so the steady
+    /// state grants and revokes without touching the allocator.
+    spare: Vec<Vec<(TxnId, LockMode)>>,
 }
 
 impl Shard {
     fn compatible(&self, granule: u64, txn: TxnId, mode: LockMode) -> bool {
-        self.granted.get(&granule).is_none_or(|holders| {
+        self.granted.get(granule).is_none_or(|holders| {
             holders
                 .iter()
                 .all(|&(t, held)| t == txn || mode.compatible(held))
@@ -37,7 +42,12 @@ impl Shard {
     }
 
     fn grant(&mut self, granule: u64, txn: TxnId, mode: LockMode) {
-        let holders = self.granted.entry(granule).or_default();
+        let holders = self.granted.get_or_insert_with(granule, Vec::new);
+        if holders.capacity() == 0 {
+            if let Some(spare) = self.spare.pop() {
+                *holders = spare;
+            }
+        }
         match holders.iter_mut().find(|(t, _)| *t == txn) {
             Some((_, held)) => *held = held.supremum(mode),
             None => holders.push((txn, mode)),
@@ -45,10 +55,16 @@ impl Shard {
     }
 
     fn revoke(&mut self, granule: u64, txn: TxnId) {
-        if let Some(holders) = self.granted.get_mut(&granule) {
-            holders.retain(|(t, _)| *t != txn);
-            if holders.is_empty() {
-                self.granted.remove(&granule);
+        let emptied = match self.granted.get_mut(granule) {
+            Some(holders) => {
+                holders.retain(|(t, _)| *t != txn);
+                holders.is_empty()
+            }
+            None => false,
+        };
+        if emptied {
+            if let Some(list) = self.granted.remove(granule) {
+                self.spare.push(list);
             }
         }
     }
@@ -97,7 +113,21 @@ impl ShardedLockTable {
                 _ => merged.push((g, m)),
             }
         }
+        self.try_lock_all_merged(txn, &merged)
+    }
 
+    /// [`ShardedLockTable::try_lock_all`] for a request set the caller
+    /// has already sorted by granule and merged (no duplicate granules).
+    /// Skips the per-call sort/merge allocation, so hot callers that keep
+    /// a reusable sorted buffer acquire without touching the allocator.
+    ///
+    /// Duplicate granules in `merged` make the rollback path revoke too
+    /// much; debug builds assert the precondition.
+    pub fn try_lock_all_merged(&self, txn: TxnId, merged: &[(GranuleId, LockMode)]) -> bool {
+        debug_assert!(
+            merged.windows(2).all(|w| w[0].0 < w[1].0),
+            "request set must be sorted and duplicate-free"
+        );
         for (i, &(g, m)) in merged.iter().enumerate() {
             let mut shard = self.shard(g);
             if shard.compatible(g.0, txn, m) {
@@ -127,7 +157,7 @@ impl ShardedLockTable {
     pub fn held_mode(&self, txn: TxnId, granule: GranuleId) -> Option<LockMode> {
         self.shard(granule)
             .granted
-            .get(&granule.0)
+            .get(granule.0)
             .and_then(|hs| hs.iter().find(|(t, _)| *t == txn).map(|&(_, m)| m))
     }
 
@@ -146,8 +176,8 @@ impl ShardedLockTable {
         for (si, shard) in self.shards.iter().enumerate() {
             // lint:allow(P001): poisoning is unrecoverable for a lock table
             let shard = shard.lock().expect("shard poisoned");
-            for (g, holders) in &shard.granted {
-                if *g as usize % self.shards.len() != si {
+            for (g, holders) in shard.granted.iter() {
+                if g as usize % self.shards.len() != si {
                     return Err(format!("granule {g} stored in the wrong shard {si}"));
                 }
                 for i in 0..holders.len() {

@@ -9,14 +9,21 @@
 //! **youngest** transaction on it (fewest locks invested is a common
 //! alternative; youngest-aborts gives deterministic, starvation-resistant
 //! behaviour with monotone transaction ids).
+//!
+//! The steady-state entry points are [`TwoPhaseScheduler::acquire_into`],
+//! [`TwoPhaseScheduler::release_into`] and
+//! [`TwoPhaseScheduler::abort_into`], which report side effects through
+//! caller-owned [`AcquireEffects`]/`Vec` buffers and allocate nothing once
+//! warm; the `Vec`-returning wrappers remain for tests and diagnostics.
 
-use std::collections::BTreeMap;
+use lockgran_sim::DetMap;
 
 use crate::deadlock::WaitsForGraph;
 use crate::mode::LockMode;
-use crate::table::{GranuleId, LockOutcome, LockTable, TxnId};
+use crate::table::{GranuleId, LockTable, TxnId};
 
-/// Outcome of an incremental lock acquisition.
+/// Outcome of an incremental lock acquisition (allocating wrapper form;
+/// see [`AcquireStatus`] for the buffer-reusing variant).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AcquireOutcome {
     /// Lock held; proceed.
@@ -48,6 +55,45 @@ pub enum AcquireOutcome {
     },
 }
 
+/// Tag returned by [`TwoPhaseScheduler::acquire_into`]; the lists backing
+/// the corresponding [`AcquireOutcome`] variants land in the caller's
+/// [`AcquireEffects`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireStatus {
+    /// Lock held; proceed. (`effects` untouched beyond the initial clear.)
+    Granted,
+    /// Queued; `effects.blockers` lists the transactions waited on.
+    Waiting,
+    /// Deadlock broken; `effects.victims`/`effects.granted` carry the
+    /// side effects and `retry` the requester's post-abort status.
+    Deadlock {
+        /// Post-abort status of the requester's queued request.
+        retry: RetryOutcome,
+    },
+}
+
+/// Caller-owned side-effect buffers for
+/// [`TwoPhaseScheduler::acquire_into`]. Reusing one across calls makes
+/// the steady-state acquire path allocation-free.
+#[derive(Default, Debug)]
+pub struct AcquireEffects {
+    /// Transactions the queued request waits on (Waiting).
+    pub blockers: Vec<TxnId>,
+    /// Aborted transactions, youngest-per-cycle in abort order (Deadlock).
+    pub victims: Vec<TxnId>,
+    /// Third parties granted by the aborts (Deadlock).
+    pub granted: Vec<TxnId>,
+}
+
+impl AcquireEffects {
+    /// Empty all three lists (capacity retained).
+    pub fn clear(&mut self) {
+        self.blockers.clear();
+        self.victims.clear();
+        self.granted.clear();
+    }
+}
+
 /// Post-abort status of the requester whose `acquire` detected a deadlock
 /// (see [`AcquireOutcome::Deadlock::retry`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,8 +114,10 @@ pub struct TwoPhaseScheduler {
     table: LockTable,
     graph: WaitsForGraph,
     /// Requests currently queued in the table: txn → (granule, mode).
-    waiting: BTreeMap<TxnId, (GranuleId, LockMode)>,
+    waiting: DetMap<(GranuleId, LockMode)>,
     aborts: u64,
+    /// Scratch: promotion sink shared by the release/abort paths.
+    promote_scratch: Vec<(TxnId, GranuleId, LockMode)>,
 }
 
 impl TwoPhaseScheduler {
@@ -78,105 +126,174 @@ impl TwoPhaseScheduler {
         Self::default()
     }
 
-    /// Acquire one lock for `txn`. If a deadlock would result, the
-    /// youngest (largest-id) transaction on each cycle is aborted until
-    /// no cycle remains.
+    /// Pre-size the lock table, the waiting map, the waits-for graph and
+    /// the promotion scratch for `txns` concurrent transactions holding
+    /// or awaiting up to `records` lock requests in total, so a closed
+    /// system running at that multiprogramming level never allocates on
+    /// the acquire/release/abort paths — not even when a record waiter
+    /// count first occurs deep into a run. Skip the call when the worst
+    /// case is too large to provision eagerly.
+    pub fn prewarm(&mut self, txns: usize, records: usize) {
+        self.table.prewarm(txns, records);
+        self.waiting.reserve(txns);
+        self.graph.prewarm(txns);
+        self.promote_scratch.reserve(txns);
+    }
+
+    /// Drop all scheduler and table state but keep the allocations
+    /// (reset-equals-fresh).
+    pub fn reset(&mut self) {
+        self.table.reset();
+        self.graph.clear();
+        self.waiting.clear();
+        self.aborts = 0;
+        self.promote_scratch.clear();
+    }
+
+    /// Acquire one lock for `txn` (allocating wrapper around
+    /// [`TwoPhaseScheduler::acquire_into`]). If a deadlock would result,
+    /// the youngest (largest-id) transaction on each cycle is aborted
+    /// until no cycle remains.
     ///
     /// # Panics
     /// Panics if `txn` is already waiting for a lock (a transaction is a
     /// single thread of control: it cannot issue a second request while
     /// blocked).
     pub fn acquire(&mut self, txn: TxnId, granule: GranuleId, mode: LockMode) -> AcquireOutcome {
+        let mut fx = AcquireEffects::default();
+        match self.acquire_into(txn, granule, mode, &mut fx) {
+            AcquireStatus::Granted => AcquireOutcome::Granted,
+            AcquireStatus::Waiting => AcquireOutcome::Waiting {
+                blockers: fx.blockers,
+            },
+            AcquireStatus::Deadlock { retry } => AcquireOutcome::Deadlock {
+                victims: fx.victims,
+                granted: fx.granted,
+                retry,
+            },
+        }
+    }
+
+    /// Acquire one lock for `txn`, reporting side effects through the
+    /// caller's reusable `effects` buffers (cleared first). See
+    /// [`TwoPhaseScheduler::acquire`] for semantics and panics.
+    pub fn acquire_into(
+        &mut self,
+        txn: TxnId,
+        granule: GranuleId,
+        mode: LockMode,
+        effects: &mut AcquireEffects,
+    ) -> AcquireStatus {
+        effects.clear();
         assert!(
-            !self.waiting.contains_key(&txn),
+            !self.waiting.contains_key(txn.0),
             "{txn:?} issued a request while already waiting"
         );
-        match self.table.lock(txn, granule, mode) {
-            LockOutcome::Granted => AcquireOutcome::Granted,
-            LockOutcome::Queued { blockers } => {
-                self.waiting.insert(txn, (granule, mode));
-                for b in &blockers {
-                    self.graph.add_edge(txn, *b);
-                }
-                // One request can close several cycles at once (the new
-                // edges meet every pre-existing inbound edge to `txn`),
-                // and aborting one victim only breaks the cycles it lies
-                // on — so detect and abort until no cycle through `txn`
-                // remains. The loop terminates: every abort removes a
-                // node from the graph, and once `txn` stops waiting (it
-                // was granted or aborted) it has no outgoing edges left.
-                let mut victims = Vec::new();
-                let mut granted = Vec::new();
-                while let Some(cycle) = self.graph.find_cycle_from(txn) {
-                    let victim = *cycle
-                        .iter()
-                        .max()
-                        // lint:allow(P001): find_cycle_from never returns an
-                        // empty cycle
-                        .expect("cycle is non-empty");
-                    granted.extend(self.abort(victim));
-                    self.aborts += 1;
-                    victims.push(victim);
-                }
-                if victims.is_empty() {
-                    AcquireOutcome::Waiting { blockers }
-                } else {
-                    // Re-evaluate the requester's queued request against
-                    // the post-abort table: the aborts may have promoted
-                    // it (reported as `retry`, not as a side effect),
-                    // left it queued, or cancelled it outright.
-                    let retry = if victims.contains(&txn) {
-                        RetryOutcome::SelfAborted
-                    } else if let Some(pos) = granted.iter().position(|g| *g == txn) {
-                        granted.remove(pos);
-                        RetryOutcome::Granted
-                    } else {
-                        debug_assert!(self.waiting.contains_key(&txn));
-                        RetryOutcome::StillWaiting
-                    };
-                    AcquireOutcome::Deadlock {
-                        victims,
-                        granted,
-                        retry,
-                    }
-                }
-            }
+        if self
+            .table
+            .lock_into(txn, granule, mode, &mut effects.blockers)
+        {
+            return AcquireStatus::Granted;
+        }
+        self.waiting.insert(txn.0, (granule, mode));
+        for b in &effects.blockers {
+            self.graph.add_edge(txn, *b);
+        }
+        // One request can close several cycles at once (the new edges meet
+        // every pre-existing inbound edge to `txn`), and aborting one
+        // victim only breaks the cycles it lies on — so detect and abort
+        // until no cycle through `txn` remains. The loop terminates: every
+        // abort removes a node from the graph, and once `txn` stops
+        // waiting (it was granted or aborted) it has no outgoing edges
+        // left.
+        while let Some(victim) = self.graph.find_cycle_from(txn).map(|cycle| {
+            // lint:allow(P001): find_cycle_from never returns an empty cycle
+            *cycle.iter().max().expect("cycle is non-empty")
+        }) {
+            self.abort_collect(victim, &mut effects.granted);
+            self.aborts += 1;
+            effects.victims.push(victim);
+        }
+        if effects.victims.is_empty() {
+            AcquireStatus::Waiting
+        } else {
+            // Re-evaluate the requester's queued request against the
+            // post-abort table: the aborts may have promoted it (reported
+            // as `retry`, not as a side effect), left it queued, or
+            // cancelled it outright.
+            let retry = if effects.victims.contains(&txn) {
+                RetryOutcome::SelfAborted
+            } else if let Some(pos) = effects.granted.iter().position(|g| *g == txn) {
+                effects.granted.remove(pos);
+                RetryOutcome::Granted
+            } else {
+                debug_assert!(self.waiting.contains_key(txn.0));
+                RetryOutcome::StillWaiting
+            };
+            AcquireStatus::Deadlock { retry }
         }
     }
 
     /// Abort `victim`: drop its locks and queued request, grant whatever
     /// becomes available. Returns the transactions granted as a result.
     pub fn abort(&mut self, victim: TxnId) -> Vec<TxnId> {
-        self.waiting.remove(&victim);
+        let mut granted = Vec::new();
+        self.abort_into(victim, &mut granted);
+        granted
+    }
+
+    /// Abort `victim`, appending the transactions granted as a result to
+    /// `granted` (cleared first).
+    pub fn abort_into(&mut self, victim: TxnId, granted: &mut Vec<TxnId>) {
+        granted.clear();
+        self.abort_collect(victim, granted);
+    }
+
+    /// Abort `victim`, appending (not clearing) grants — the deadlock
+    /// loop accumulates across several victims.
+    fn abort_collect(&mut self, victim: TxnId, granted: &mut Vec<TxnId>) {
+        self.waiting.remove(victim.0);
         self.graph.remove_txn(victim);
-        let promoted = self.table.release_all(victim);
-        self.note_grants(&promoted)
+        let mut promoted = std::mem::take(&mut self.promote_scratch);
+        self.table.release_all_into(victim, &mut promoted);
+        self.note_grants(&promoted, granted);
+        self.promote_scratch = promoted;
     }
 
     /// Commit `txn`: release all its locks. Returns the transactions
     /// granted as a result (their `acquire` has now succeeded; callers
     /// resume them).
     pub fn release(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let mut granted = Vec::new();
+        self.release_into(txn, &mut granted);
+        granted
+    }
+
+    /// Commit `txn`, appending the transactions granted as a result to
+    /// `granted` (cleared first).
+    pub fn release_into(&mut self, txn: TxnId, granted: &mut Vec<TxnId>) {
+        granted.clear();
         debug_assert!(
-            !self.waiting.contains_key(&txn),
+            !self.waiting.contains_key(txn.0),
             "{txn:?} released while waiting"
         );
         self.graph.remove_txn(txn);
-        let promoted = self.table.release_all(txn);
-        self.note_grants(&promoted)
+        let mut promoted = std::mem::take(&mut self.promote_scratch);
+        self.table.release_all_into(txn, &mut promoted);
+        self.note_grants(&promoted, granted);
+        self.promote_scratch = promoted;
     }
 
-    fn note_grants(&mut self, promoted: &[(TxnId, GranuleId, LockMode)]) -> Vec<TxnId> {
-        let mut granted = Vec::new();
+    fn note_grants(&mut self, promoted: &[(TxnId, GranuleId, LockMode)], granted: &mut Vec<TxnId>) {
         for (t, g, m) in promoted {
-            if let Some(&(wg, wm)) = self.waiting.get(t) {
+            if let Some(&(wg, wm)) = self.waiting.get(t.0) {
                 debug_assert_eq!(wg, *g, "{t:?} granted a granule it was not waiting for");
                 debug_assert_eq!(
                     wm.supremum(*m),
                     *m,
                     "{t:?} granted {m} which does not cover the waited-for {wm}"
                 );
-                self.waiting.remove(t);
+                self.waiting.remove(t.0);
                 // Only the satisfied wait's outgoing edges go away.
                 // Inbound edges from transactions queued behind `t` stay:
                 // they now wait on a *holder*, and deleting them (the old
@@ -186,12 +303,11 @@ impl TwoPhaseScheduler {
                 granted.push(*t);
             }
         }
-        granted
     }
 
     /// Is `txn` currently queued for a lock?
     pub fn is_waiting(&self, txn: TxnId) -> bool {
-        self.waiting.contains_key(&txn)
+        self.waiting.contains_key(txn.0)
     }
 
     /// Transactions `txn`'s queued request currently waits on (the
@@ -225,6 +341,10 @@ mod tests {
     }
     fn g(n: u64) -> GranuleId {
         GranuleId(n)
+    }
+
+    fn holds_nothing(s: &TwoPhaseScheduler, txn: TxnId) -> bool {
+        s.table().holdings(txn).next().is_none()
     }
 
     #[test]
@@ -270,7 +390,7 @@ mod tests {
         }
         assert_eq!(s.abort_count(), 1);
         assert_eq!(s.table().held_mode(t(1), g(1)), Some(X));
-        assert!(s.table().holdings(t(2)).is_empty());
+        assert!(holds_nothing(&s, t(2)));
     }
 
     #[test]
@@ -369,7 +489,7 @@ mod tests {
         }
         assert_eq!(s.table().held_mode(t(1), g(1)), Some(X));
         assert!(!s.is_waiting(t(1)));
-        assert!(s.table().holdings(t(2)).is_empty());
+        assert!(holds_nothing(&s, t(2)));
     }
 
     #[test]
@@ -422,6 +542,21 @@ mod tests {
         ));
         let granted = s.release(t(1));
         assert_eq!(granted, vec![t(2), t(3)]);
+    }
+
+    #[test]
+    fn reset_behaves_like_fresh() {
+        let mut s = TwoPhaseScheduler::new();
+        assert_eq!(s.acquire(t(1), g(0), X), AcquireOutcome::Granted);
+        assert!(matches!(
+            s.acquire(t(2), g(0), X),
+            AcquireOutcome::Waiting { .. }
+        ));
+        s.reset();
+        assert_eq!(s.abort_count(), 0);
+        assert!(!s.is_waiting(t(2)));
+        assert_eq!(s.acquire(t(2), g(0), X), AcquireOutcome::Granted);
+        assert_eq!(s.table().held_mode(t(2), g(0)), Some(X));
     }
 
     #[test]

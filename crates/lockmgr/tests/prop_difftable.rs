@@ -1,0 +1,159 @@
+//! Differential property test: the pooled, hash-indexed
+//! [`LockTable`] against its executable specification
+//! [`ReferenceLockTable`] (`lockmgr::reference`).
+//!
+//! Seeded random request streams drive both tables in lockstep; after
+//! every operation the observable outcome must be identical — grant vs
+//! queue, blocker lists, wake lists (contents *and* order), holdings
+//! order, counters, probes. Small transaction/granule spaces keep
+//! contention high so upgrades, upgrade-jumps-queue, waiting-re-request
+//! merges and greedy multi-waiter promotion runs all occur constantly.
+
+use lockgran_lockmgr::{GranuleId, LockMode, LockOutcome, LockTable, ReferenceLockTable, TxnId};
+use lockgran_sim::SimRng;
+
+const MODES: [LockMode; 5] = [
+    LockMode::IS,
+    LockMode::IX,
+    LockMode::S,
+    LockMode::SIX,
+    LockMode::X,
+];
+
+/// Number of (seed, stream) repetitions. The quick profile
+/// (`QUICK_PROP=1`, set by `verify.sh --quick`) trims the seed count.
+fn seeds() -> u64 {
+    if std::env::var_os("QUICK_PROP").is_some() {
+        4
+    } else {
+        24
+    }
+}
+
+fn drive(seed: u64, txns: u64, granules: u64, ops: usize) {
+    let mut rng = SimRng::new(seed);
+    let mut real = LockTable::new();
+    let mut spec = ReferenceLockTable::new();
+    let mut blockers = Vec::new();
+    let mut woken = Vec::new();
+    let mut released = Vec::new();
+
+    for step in 0..ops {
+        let txn = TxnId(rng.uniform_inclusive(0, txns - 1));
+        let granule = GranuleId(rng.uniform_inclusive(0, granules - 1));
+        let mode = MODES[rng.uniform_inclusive(0, 4) as usize];
+        let ctx =
+            |what: &str| format!("seed {seed} step {step} {what} ({txn:?} {granule:?} {mode})");
+
+        match rng.uniform_inclusive(0, 9) {
+            // Lock-heavy mix keeps queues deep.
+            0..=5 => {
+                let granted = real.lock_into(txn, granule, mode, &mut blockers);
+                let expected = spec.lock(txn, granule, mode);
+                match expected {
+                    LockOutcome::Granted => {
+                        assert!(granted, "{}", ctx("spec granted, real queued"))
+                    }
+                    LockOutcome::Queued { blockers: want } => {
+                        assert!(!granted, "{}", ctx("spec queued, real granted"));
+                        assert_eq!(blockers, want, "{}", ctx("blocker list diverged"));
+                    }
+                }
+            }
+            6..=7 => {
+                real.unlock_into(txn, granule, &mut woken);
+                let want = spec.unlock(txn, granule);
+                assert_eq!(woken, want, "{}", ctx("unlock wake list diverged"));
+            }
+            _ => {
+                real.release_all_into(txn, &mut released);
+                let want = spec.release_all(txn);
+                assert_eq!(released, want, "{}", ctx("release_all wake list diverged"));
+            }
+        }
+
+        // Probes after every op (cheap, and they exercise the read paths
+        // at every intermediate state).
+        assert_eq!(
+            real.held_mode(txn, granule),
+            spec.held_mode(txn, granule),
+            "{}",
+            ctx("held_mode diverged")
+        );
+        assert_eq!(
+            real.would_grant(txn, granule, mode),
+            spec.would_grant(txn, granule, mode),
+            "{}",
+            ctx("would_grant diverged")
+        );
+        let want = spec.conflicts_with(txn, granule, mode);
+        assert_eq!(
+            real.conflicts_with(txn, granule, mode),
+            want,
+            "{}",
+            ctx("conflicts_with diverged")
+        );
+        assert_eq!(
+            real.first_conflict(txn, granule, mode),
+            want.first().copied(),
+            "{}",
+            ctx("first_conflict diverged")
+        );
+
+        // Full-state audit every 64 steps (holdings of every txn, entry
+        // count, counters) plus the production invariant checker.
+        if step % 64 == 0 {
+            for t in 0..txns {
+                let t = TxnId(t);
+                let holdings: Vec<GranuleId> = real.holdings(t).collect();
+                assert_eq!(
+                    holdings,
+                    spec.holdings(t),
+                    "seed {seed} step {step}: holdings of {t:?} diverged"
+                );
+            }
+            assert_eq!(
+                real.active_granules(),
+                spec.active_granules(),
+                "seed {seed} step {step}"
+            );
+            assert_eq!(
+                real.grant_count(),
+                spec.grant_count(),
+                "seed {seed} step {step}"
+            );
+            assert_eq!(
+                real.wait_count(),
+                spec.wait_count(),
+                "seed {seed} step {step}"
+            );
+            real.check_invariants().unwrap();
+        }
+    }
+}
+
+/// High contention: few granules, many transactions.
+#[test]
+fn differential_high_contention() {
+    for seed in 0..seeds() {
+        drive(seed, 8, 4, 2_000);
+    }
+}
+
+/// Medium contention with a wider granule space (more distinct entries,
+/// more pool churn and hash growth in the production table).
+#[test]
+fn differential_wide_granule_space() {
+    for seed in 0..seeds() {
+        drive(1_000 + seed, 12, 64, 2_000);
+    }
+}
+
+/// Two-transaction duels: maximizes upgrade deadlock-free interleavings
+/// (S+S then both upgrade, re-request while waiting, etc.).
+#[test]
+fn differential_upgrade_duels() {
+    for seed in 0..seeds() {
+        drive(2_000 + seed, 2, 3, 2_000);
+    }
+}

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod calendar;
+pub mod detmap;
 pub mod engine;
 pub mod event;
 pub mod json;
@@ -75,6 +76,7 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarQueue;
+pub use detmap::DetMap;
 pub use engine::{Executor, FelKind, Model};
 pub use event::EventQueue;
 pub use json::{FromJson, Json, ToJson};

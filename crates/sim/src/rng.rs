@@ -144,8 +144,20 @@ impl SimRng {
     /// # Panics
     /// Panics if `k > n`.
     pub fn sample_distinct(&mut self, n: u64, k: u64) -> Vec<u64> {
+        let mut chosen = Vec::with_capacity(k as usize);
+        self.sample_distinct_into(n, k, &mut chosen);
+        chosen
+    }
+
+    /// [`SimRng::sample_distinct`] into a caller-owned buffer (cleared
+    /// first; identical draw sequence), so steady-state callers reuse
+    /// capacity instead of allocating a fresh `Vec` per sample.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_distinct_into(&mut self, n: u64, k: u64, chosen: &mut Vec<u64>) {
         assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
-        let mut chosen: Vec<u64> = Vec::with_capacity(k as usize);
+        chosen.clear();
         for j in (n - k)..n {
             let t = self.uniform_inclusive(0, j);
             if chosen.contains(&t) {
@@ -154,7 +166,6 @@ impl SimRng {
                 chosen.push(t);
             }
         }
-        chosen
     }
 }
 

@@ -110,16 +110,36 @@ pub fn sample_granules(
     ltot: u64,
     dbsize: u64,
 ) -> Vec<u64> {
+    let mut out = Vec::new();
+    sample_granules_into(rng, placement, nu, ltot, dbsize, &mut out);
+    out
+}
+
+/// [`sample_granules`] into a caller-owned buffer (cleared first;
+/// identical draw sequence), so steady-state callers reuse capacity
+/// instead of allocating a fresh `Vec` per transaction.
+///
+/// # Panics
+/// Panics if `ltot == 0`, `dbsize == 0` or `ltot > dbsize`.
+pub fn sample_granules_into(
+    rng: &mut SimRng,
+    placement: Placement,
+    nu: u64,
+    ltot: u64,
+    dbsize: u64,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
     let count = placement.locks_required(nu, ltot, dbsize);
     if count == 0 {
-        return Vec::new();
+        return;
     }
     match AccessPattern::for_placement(placement) {
         AccessPattern::Sequential => {
             let start = rng.uniform_inclusive(0, ltot - 1);
-            (0..count).map(|i| (start + i) % ltot).collect()
+            out.extend((0..count).map(|i| (start + i) % ltot));
         }
-        AccessPattern::Scattered => rng.sample_distinct(ltot, count),
+        AccessPattern::Scattered => rng.sample_distinct_into(ltot, count, out),
     }
 }
 
@@ -141,12 +161,33 @@ pub fn sample_granules_hot(
     dbsize: u64,
     skew: HotSpot,
 ) -> Vec<u64> {
+    let mut out = Vec::new();
+    sample_granules_hot_into(rng, placement, nu, ltot, dbsize, skew, &mut out);
+    out
+}
+
+/// [`sample_granules_hot`] into a caller-owned buffer (cleared first;
+/// identical draw sequence).
+///
+/// # Panics
+/// Panics if `skew.validate()` fails, `ltot == 0`, `dbsize == 0` or
+/// `ltot > dbsize`.
+pub fn sample_granules_hot_into(
+    rng: &mut SimRng,
+    placement: Placement,
+    nu: u64,
+    ltot: u64,
+    dbsize: u64,
+    skew: HotSpot,
+    out: &mut Vec<u64>,
+) {
     if let Err(e) = skew.validate() {
         panic!("invalid hot spot: {e}");
     }
+    out.clear();
     let count = placement.locks_required(nu, ltot, dbsize);
     if count == 0 {
-        return Vec::new();
+        return;
     }
     if AccessPattern::for_placement(placement) == AccessPattern::Sequential {
         // Sequential runs: skew biases the *start* of the run into the
@@ -159,13 +200,14 @@ pub fn sample_granules_hot(
         } else {
             rng.uniform_inclusive(0, ltot - 1)
         };
-        return (0..count).map(|i| (start + i) % ltot).collect();
+        out.extend((0..count).map(|i| (start + i) % ltot));
+        return;
     }
 
     let hot = ((skew.fraction * ltot as f64).ceil() as u64).clamp(1, ltot);
     let cold = ltot - hot;
     let mut set = std::collections::BTreeSet::new();
-    let mut out = Vec::with_capacity(count as usize);
+    out.reserve(count as usize);
     // Rejection sampling with a bounded number of tries per element;
     // afterwards fill deterministically so the contract (exact count)
     // always holds.
@@ -188,7 +230,6 @@ pub fn sample_granules_hot(
         }
         next += 1;
     }
-    out
 }
 
 /// Maps the paper's flat granule ids (`0..ltot`) onto a three-level

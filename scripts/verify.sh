@@ -35,6 +35,12 @@ fi
 echo "== cargo build --release"
 cargo build --offline --release --workspace
 
+echo "== differential property test (lock table vs ordered-map oracle, quick profile)"
+# QUICK_PROP trims the seed sweep (24 → 4 seeds per shape) so the
+# cross-check runs early and fast; the full sweep still runs as part of
+# the workspace test pass below.
+QUICK_PROP=1 cargo test --offline -q -p lockgran-lockmgr --test prop_difftable
+
 echo "== cargo test"
 cargo test --offline --workspace -q
 
@@ -45,9 +51,11 @@ echo "== twophase smoke (incremental 2PL end to end: deadlocks detected, victims
 # Contended single run in the new conflict mode, then a quick extI
 # figure pass (explicit vs twophase under an 80/20 hot spot). Both are
 # cheap; the figure's own unit tests carry the shape assertions.
-cargo run --offline -q --release --bin lockgran -- run --conflict twophase \
-    --ltot 10 --ntrans 50 --maxtransize 50 --placement random --tmax 1000 --seed 7 \
-    | grep -q "deadlocks" || { echo "twophase run smoke failed"; exit 1; }
+# Capture, then grep: `grep -q` exits on first match and closes the
+# pipe mid-print, which the binary reports as a broken-pipe panic.
+twophase_out=$(cargo run --offline -q --release --bin lockgran -- run --conflict twophase \
+    --ltot 10 --ntrans 50 --maxtransize 50 --placement random --tmax 1000 --seed 7)
+grep -q "deadlocks" <<<"$twophase_out" || { echo "twophase run smoke failed"; exit 1; }
 cargo run --offline -q --release --bin lockgran -- extI --quick --jobs 2 > /dev/null
 
 echo "== capacity smoke (scaled-down bench_capacity, single pass per point)"

@@ -15,7 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lockgran_core::system::System;
-use lockgran_core::ModelConfig;
+use lockgran_core::{ConflictMode, ModelConfig};
 use lockgran_sim::{Executor, FelKind, Time};
 
 /// Passthrough allocator that counts heap acquisitions (`alloc` and
@@ -44,19 +44,18 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
 
-/// Drive the Table 1 baseline through a warm half (capacities settle,
-/// the calendar queue finds its bucket count, server queues reach their
-/// high-water marks) and then a measured half that must be allocation-free.
-#[test]
-fn table1_steady_state_allocates_nothing() {
-    let cfg = ModelConfig::table1().with_tmax(4_000.0);
+/// Drive a configuration through a warm half (capacities settle, the
+/// calendar queue finds its bucket count, server queues reach their
+/// high-water marks, lock-table pools fill) and then a measured half
+/// that must perform **exactly zero** heap acquisitions.
+fn assert_steady_state_is_silent(cfg: ModelConfig, what: &str) {
     let mut ex = Executor::with_fel(FelKind::Calendar);
     let mut system = System::new(&cfg, 42, &mut ex);
     let horizon = system.tmax();
 
     // Start-up transient: arrivals fill the slab, buffers and queues grow
     // to their working sizes. Allocation here is expected and amortized.
-    let mid = Time::from_units(2_000.0);
+    let mid = Time::from_units(horizon.units() / 2.0);
     ex.run(&mut system, mid);
     let events_before = ex.events_processed();
     let allocs_before = HEAP_ACQUISITIONS.load(Ordering::Relaxed);
@@ -68,16 +67,43 @@ fn table1_steady_state_allocates_nothing() {
 
     assert!(
         events > 1_000,
-        "measured half processed only {events} events — not a meaningful audit"
+        "{what}: measured half processed only {events} events — not a meaningful audit"
     );
     assert_eq!(
         allocs, 0,
-        "steady state performed {allocs} heap acquisitions over {events} events"
+        "{what}: steady state performed {allocs} heap acquisitions over {events} events"
     );
 
     // The run itself must still be a valid, completing simulation.
     let metrics = system.finish(end);
-    assert!(metrics.totcom > 0, "no transactions completed");
+    assert!(metrics.totcom > 0, "{what}: no transactions completed");
+}
+
+#[test]
+fn table1_steady_state_allocates_nothing() {
+    assert_steady_state_is_silent(ModelConfig::table1().with_tmax(4_000.0), "probabilistic");
+}
+
+/// The explicit model runs the conservative protocol against the real
+/// pooled lock table: granule sampling, request merging, blocking,
+/// wake-up and retry must all recycle their buffers.
+#[test]
+fn explicit_steady_state_allocates_nothing() {
+    let cfg = ModelConfig::table1()
+        .with_conflict(ConflictMode::Explicit)
+        .with_tmax(4_000.0);
+    assert_steady_state_is_silent(cfg, "explicit");
+}
+
+/// Incremental 2PL adds the waits-for graph, deadlock detection and
+/// victim abort/replay on top of the lock table — the full machinery
+/// must be allocation-free once warm.
+#[test]
+fn twophase_steady_state_allocates_nothing() {
+    let cfg = ModelConfig::table1()
+        .with_conflict(ConflictMode::Twophase)
+        .with_tmax(4_000.0);
+    assert_steady_state_is_silent(cfg, "twophase");
 }
 
 /// Arena reuse audit: the second run through a [`RunArena`] must get by
